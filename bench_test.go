@@ -1,0 +1,131 @@
+// Top-level benchmark harness: one testing.B entry point per table and
+// figure of the paper's evaluation (§6). Each benchmark regenerates its
+// experiment's rows and prints them, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. Set PPQ_BENCH_SCALE=full for the larger
+// recorded configuration (minutes); the default keeps every benchmark in
+// the seconds range.
+package ppqtraj
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"ppqtraj/internal/bench"
+)
+
+func benchScale() bench.Scale {
+	if os.Getenv("PPQ_BENCH_SCALE") == "full" {
+		return bench.Full
+	}
+	return bench.Small
+}
+
+// runPrinted executes one experiment per iteration, printing its table on
+// the first iteration only (b.N > 1 reruns measure time without
+// re-printing).
+func runPrinted(b *testing.B, fn func(s bench.Scale, w io.Writer)) {
+	b.Helper()
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		var w io.Writer = io.Discard
+		if i == 0 {
+			w = os.Stdout
+		}
+		fn(s, w)
+	}
+}
+
+// BenchmarkTable2_STRQQuality regenerates Table 2: quality of summaries
+// (MAE) and approximate STRQ precision/recall for all nine methods on
+// both datasets.
+func BenchmarkTable2_STRQQuality(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Table2(s, w) })
+}
+
+// BenchmarkTable3_TPQ regenerates Table 3: TPQ MAE against path lengths
+// 10–50.
+func BenchmarkTable3_TPQ(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Table3(s, w) })
+}
+
+// BenchmarkTable4_ExactFilter regenerates Table 4: the average ratio of
+// trajectories visited for exact queries, and MAE, against codebook sizes
+// of 5–9 bits.
+func BenchmarkTable4_ExactFilter(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) {
+		s.Queries /= 2 // 8 methods × 5 bit-levels × 2 datasets of builds
+		bench.Table4(s, w)
+	})
+}
+
+// BenchmarkTable5_BuildTime and BenchmarkTable6_Codewords share one
+// sweep: error-bounded builds across spatial deviations 200–1000 m.
+func BenchmarkTable5_BuildTime(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Table56(s, w) })
+}
+
+// BenchmarkTable6_Codewords re-reports the Table 5 sweep's codeword
+// counts (the paper derives Tables 5 and 6 from the same runs).
+func BenchmarkTable6_Codewords(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) {
+		rows := bench.Table56(s, nil)
+		if w != nil {
+			fmt.Fprintln(w, "== Table 6: #codewords against spatial deviation ==")
+			for _, r := range rows {
+				fmt.Fprintf(w, "  %-10s %-24s dev %5.0fm: %d codewords\n",
+					r.Dataset, r.Method, r.DevMeters, r.Codewords)
+			}
+		}
+	})
+}
+
+// BenchmarkTable7_TPIEpsilonC regenerates Table 7: TPI size, build time,
+// periods, and insertions across ε_c.
+func BenchmarkTable7_TPIEpsilonC(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Table7(s, w) })
+}
+
+// BenchmarkTable8_TPIEpsilonD regenerates Table 8: the same statistics
+// across ε_d.
+func BenchmarkTable8_TPIEpsilonD(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Table8(s, w) })
+}
+
+// BenchmarkTable9_Disk regenerates Table 9: disk-based TPI vs per-tick PI
+// vs TrajStore — index size, I/Os, response time, build time.
+func BenchmarkTable9_Disk(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Table9(s, w) })
+}
+
+// BenchmarkFigure7_PartitionTime regenerates Figure 7: incremental
+// temporal partitioning time against ε_p for PPQ-A and PPQ-S.
+func BenchmarkFigure7_PartitionTime(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Figure7(s, w) })
+}
+
+// BenchmarkFigure8_PartitionCount regenerates Figure 8: the evolution of
+// the partition count q over time per ε_p.
+func BenchmarkFigure8_PartitionCount(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Figure8(s, w) })
+}
+
+// BenchmarkFigure9_Compression regenerates Figure 9: compression ratio
+// against spatial deviation on Porto, GeoLife and sub-Porto (with REST).
+func BenchmarkFigure9_Compression(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) {
+		t56 := bench.Table56(s, nil)
+		bench.Figure9(s, w, t56)
+	})
+}
+
+// BenchmarkAblations quantifies the design choices DESIGN.md calls out:
+// prediction, partitioning, CQC, incremental partitioning, and posting
+// compression.
+func BenchmarkAblations(b *testing.B) {
+	runPrinted(b, func(s bench.Scale, w io.Writer) { bench.Ablations(s, w) })
+}

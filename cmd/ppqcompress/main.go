@@ -1,0 +1,91 @@
+// Command ppqcompress builds a PPQ summary for a trajectory CSV file
+// (traj_id,tick,x,y) and reports compression and quality statistics. With
+// -demo it generates a synthetic Porto dataset instead of reading a file.
+//
+// Usage:
+//
+//	ppqcompress -in trips.csv -epsilon 111 -mode spatial
+//	ppqcompress -demo 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/traj"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV (traj_id,tick,x,y)")
+	demo := flag.Int("demo", 0, "generate a synthetic Porto dataset of n trajectories instead of reading a file")
+	epsM := flag.Float64("epsilon", 111, "codebook error bound ε₁ in meters")
+	gsM := flag.Float64("gs", 50, "CQC grid cell size g_s in meters (0 disables CQC)")
+	mode := flag.String("mode", "spatial", "partitioning: spatial, autocorr, none")
+	epsP := flag.Float64("epsp", 0, "partition threshold ε_p (0 = default for mode)")
+	noPred := flag.Bool("nopredict", false, "disable prediction (Q-trajectory baseline)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var d *traj.Dataset
+	switch {
+	case *demo > 0:
+		d = gen.Porto(gen.Config{NumTrajectories: *demo, MinLen: 30, MaxLen: 200, Seed: *seed})
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		d, err = traj.ReadCSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -in FILE or -demo N")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := core.Options{
+		K:        3,
+		Epsilon1: geo.MetersToDegrees(*epsM),
+		Seed:     *seed,
+	}
+	switch *mode {
+	case "spatial":
+		opts.Mode = partition.Spatial
+		opts.EpsilonP = 0.1
+	case "autocorr":
+		opts.Mode = partition.Autocorr
+		opts.EpsilonP = 0.2
+	case "none":
+		opts.Mode = partition.None
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+	if *epsP > 0 {
+		opts.EpsilonP = *epsP
+	}
+	if *gsM > 0 {
+		opts.UseCQC = true
+		opts.GS = geo.MetersToDegrees(*gsM)
+	}
+	opts.NoPrediction = *noPred
+
+	fmt.Printf("input: %d trajectories, %d points, %.2f MB raw\n",
+		d.Len(), d.NumPoints(), float64(d.RawBytes())/1e6)
+	s := core.Build(d, opts)
+	fmt.Printf("build: %.2f s (partitioning %.2f s)\n",
+		s.BuildTime.Seconds(), s.PartitionTime.Seconds())
+	fmt.Printf("codebook: %d codewords\n", s.NumCodewords())
+	fmt.Printf("summary: %.2f KB → compression ratio %.2fx\n",
+		float64(s.SizeBytes())/1e3, s.CompressionRatio(d.RawBytes()))
+	fmt.Printf("quality: MAE %.1f m, worst case %.1f m\n",
+		s.MAEMeters(), geo.DegreesToMeters(s.MaxDeviation()))
+}

@@ -1,0 +1,95 @@
+// Command ppqquery builds a summary plus index over a trajectory CSV (or
+// a synthetic demo dataset) and answers spatio-temporal queries supplied
+// on the command line.
+//
+// Usage:
+//
+//	ppqquery -demo 300 -x -8.61 -y 41.15 -t 40 -l 10
+//	ppqquery -in trips.csv -x 116.35 -y 39.95 -t 100 -exact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/query"
+	"ppqtraj/internal/traj"
+)
+
+func main() {
+	in := flag.String("in", "", "input CSV (traj_id,tick,x,y)")
+	demo := flag.Int("demo", 0, "use a synthetic Porto dataset of n trajectories")
+	x := flag.Float64("x", 0, "query longitude")
+	y := flag.Float64("y", 0, "query latitude")
+	t := flag.Int("t", 0, "query tick")
+	l := flag.Int("l", 0, "path-query length (0 = range query only)")
+	exact := flag.Bool("exact", false, "verify candidates against raw data (precision 1)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var d *traj.Dataset
+	switch {
+	case *demo > 0:
+		d = gen.Porto(gen.Config{NumTrajectories: *demo, MinLen: 30, MaxLen: 200, Seed: *seed})
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		d, err = traj.ReadCSV(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -in FILE or -demo N")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := core.DefaultOptions(partition.Spatial, 0.1)
+	opts.Seed = *seed
+	sum := core.Build(d, opts)
+	eng, err := query.BuildEngine(sum, index.Options{
+		EpsS: 0.1,
+		GC:   geo.MetersToDegrees(100),
+		EpsC: 0.5,
+		EpsD: 0.5,
+		Seed: *seed,
+	}, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d trajectories (%d points), summary %.1f KB, MAE %.1f m\n",
+		d.Len(), d.NumPoints(), float64(sum.SizeBytes())/1e3, sum.MAEMeters())
+
+	p := geo.Pt(*x, *y)
+	res := eng.STRQ(p, *t, *exact, nil)
+	if !res.Covered {
+		fmt.Printf("query %v @ t=%d: outside indexed space\n", p, *t)
+		return
+	}
+	fmt.Printf("query %v @ t=%d (cell %v):\n", p, *t, res.Cell)
+	fmt.Printf("  %d matches (candidates %d", len(res.IDs), res.Candidates)
+	if *exact {
+		fmt.Printf(", raw verifications %d", res.Visited)
+	}
+	fmt.Println(")")
+	for _, id := range res.IDs {
+		fmt.Printf("  trajectory %d", id)
+		if *l > 0 {
+			path := sum.ReconstructPath(id, *t, *l)
+			if len(path) > 0 {
+				fmt.Printf(" → next %d: %v … %v", len(path), path[0], path[len(path)-1])
+			}
+		}
+		fmt.Println()
+	}
+}

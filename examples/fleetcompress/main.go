@@ -1,0 +1,51 @@
+// Command fleetcompress sweeps the accuracy/size trade-off for archiving
+// a delivery fleet's GPS history: how much storage does each spatial
+// deviation budget cost, and what do the PPQ design choices (partitioning
+// mode, CQC) buy? This mirrors the compression study of the paper's §6.4.
+package main
+
+import (
+	"fmt"
+
+	"ppqtraj"
+)
+
+func build(data *ppqtraj.Dataset, cfg ppqtraj.Config, label string) {
+	sum := ppqtraj.BuildSummary(data, cfg)
+	fmt.Printf("  %-22s MAE %7.1f m   worst %7.1f m   %8.1f KB   ratio %5.1fx   |C|=%d\n",
+		label, sum.MAEMeters(), sum.MaxDeviationMeters(),
+		float64(sum.SizeBytes())/1e3, sum.CompressionRatio(data.RawBytes()),
+		sum.NumCodewords())
+}
+
+func main() {
+	data := ppqtraj.SyntheticPorto(400, 99)
+	fmt.Printf("fleet history: %d vehicles, %d fixes, %.1f MB raw\n\n",
+		data.Len(), data.NumPoints(), float64(data.RawBytes())/1e6)
+
+	fmt.Println("deviation budget sweep (spatial partitioning, CQC on):")
+	for _, devM := range []float64{200, 400, 600, 800, 1000} {
+		cfg := ppqtraj.DefaultConfig()
+		// Paper protocol (§6.3.1): ε₁^M = 2·g_s so the CQC-refined
+		// deviation equals the budget.
+		cfg.EpsilonMeters = devM
+		cfg.CQCCellMeters = devM / 2
+		build(data, cfg, fmt.Sprintf("budget %4.0f m", devM))
+	}
+
+	fmt.Println("\ndesign ablations at the default ε₁ ≈ 111 m:")
+	cfg := ppqtraj.DefaultConfig()
+	build(data, cfg, "PPQ-S (spatial + CQC)")
+
+	cfg = ppqtraj.DefaultConfig()
+	cfg.Mode = ppqtraj.Autocorr
+	build(data, cfg, "PPQ-A (autocorr + CQC)")
+
+	cfg = ppqtraj.DefaultConfig()
+	cfg.DisableCQC = true
+	build(data, cfg, "PPQ-S-basic (no CQC)")
+
+	cfg = ppqtraj.DefaultConfig()
+	cfg.Mode = ppqtraj.NoPartition
+	build(data, cfg, "E-PQ (no partitioning)")
+}

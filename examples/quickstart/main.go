@@ -1,0 +1,54 @@
+// Command quickstart is the smallest end-to-end use of ppqtraj: generate
+// a taxi-like dataset, build the PPQ summary, index it, and run one
+// spatio-temporal range query and one path query.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ppqtraj"
+)
+
+func main() {
+	// 1. Data: 200 synthetic Porto taxi trajectories (swap in your own
+	//    with ppqtraj.NewDataset).
+	data := ppqtraj.SyntheticPorto(200, 42)
+	fmt.Printf("dataset: %d trajectories, %d points, %.1f MB raw\n",
+		data.Len(), data.NumPoints(), float64(data.RawBytes())/1e6)
+
+	// 2. Summary: error-bounded predictive quantization with CQC.
+	sum := ppqtraj.BuildSummary(data, ppqtraj.DefaultConfig())
+	fmt.Printf("summary: %d codewords, %.1f KB, compression ratio %.1fx\n",
+		sum.NumCodewords(), float64(sum.SizeBytes())/1e3,
+		sum.CompressionRatio(data.RawBytes()))
+	fmt.Printf("quality: MAE %.1f m (worst case %.1f m)\n",
+		sum.MAEMeters(), sum.MaxDeviationMeters())
+
+	// 3. Index and query.
+	eng, err := ppqtraj.NewEngine(sum, ppqtraj.DefaultIndexConfig(), data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Who was near this point at tick 20?
+	tr := data.Get(0)
+	probe, _ := tr.At(tr.Start + 20)
+	res := eng.RangeQuery(probe, tr.Start+20)
+	fmt.Printf("\nSTRQ at %v, tick %d → %d trajectories: %v\n",
+		probe, tr.Start+20, len(res.IDs), res.IDs)
+
+	// Where do they go over the next 10 ticks (2.5 min at 15 s sampling)?
+	paths := eng.PathQuery(probe, tr.Start+20, 10)
+	for id, path := range paths.Paths {
+		if len(path) > 0 {
+			fmt.Printf("TPQ: trajectory %d heads to %v after %d steps\n",
+				id, path[len(path)-1], len(path))
+		}
+	}
+
+	// Exact mode: verify candidates against raw data → precision 1.
+	exact := eng.ExactRangeQuery(probe, tr.Start+20)
+	fmt.Printf("\nexact STRQ → %d verified matches (visited %d of %d trajectories)\n",
+		len(exact.IDs), exact.Visited, data.Len())
+}

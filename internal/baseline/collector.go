@@ -1,0 +1,68 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// Collector assembles a FlatSummary from reconstructions that arrive in
+// arbitrary order (TrajStore compresses per spatial cell, so one
+// trajectory's points come back scattered across cells).
+type Collector struct {
+	method string
+	recs   map[traj.ID]map[int][2]geo.Point // id → tick → (orig, recon)
+}
+
+// NewCollector creates a Collector for the named method.
+func NewCollector(method string) *Collector {
+	return &Collector{method: method, recs: make(map[traj.ID]map[int][2]geo.Point)}
+}
+
+// Add records the reconstruction of one point.
+func (c *Collector) Add(id traj.ID, tick int, orig, recon geo.Point) {
+	m := c.recs[id]
+	if m == nil {
+		m = make(map[int][2]geo.Point)
+		c.recs[id] = m
+	}
+	m[tick] = [2]geo.Point{orig, recon}
+}
+
+// Finish sorts every trajectory's ticks and materializes the FlatSummary.
+// Each trajectory's ticks must form a contiguous range (they do: a
+// trajectory is sampled at consecutive ticks); a gap is a caller bug and
+// returns an error.
+func (c *Collector) Finish() (*FlatSummary, error) {
+	f := newFlat(c.method)
+	tickSet := map[int]bool{}
+	ids := make([]traj.ID, 0, len(c.recs))
+	for id := range c.recs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := c.recs[id]
+		ticks := make([]int, 0, len(m))
+		for t := range m {
+			ticks = append(ticks, t)
+			tickSet[t] = true
+		}
+		sort.Ints(ticks)
+		for i, t := range ticks {
+			if i > 0 && t != ticks[i-1]+1 {
+				return nil, fmt.Errorf("baseline: trajectory %d has a tick gap %d→%d", id, ticks[i-1], t)
+			}
+			pair := m[t]
+			f.record(id, t, pair[0], pair[1])
+		}
+	}
+	f.ticks = make([]int, 0, len(tickSet))
+	for t := range tickSet {
+		f.ticks = append(f.ticks, t)
+	}
+	sort.Ints(f.ticks)
+	return f, nil
+}

@@ -1,0 +1,309 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the paper's evaluation (§6), each regenerating the
+// corresponding rows over the synthetic Porto/GeoLife/sub-Porto workloads.
+// Absolute numbers differ from the paper (different data scale, Go vs
+// Matlab, simulated disk); the reproduction target is the *shape*: method
+// ordering, relative factors, and trends across the swept parameter.
+//
+// Every runner takes an io.Writer for the human-readable table and
+// returns structured rows so tests can assert the shapes.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ppqtraj/internal/baseline"
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/query"
+	"ppqtraj/internal/traj"
+	"ppqtraj/internal/trajstore"
+)
+
+// Scale controls dataset sizes and query counts. The paper uses 1.2M/18k
+// trajectories and 10k queries; Small keeps unit tests fast and Full is
+// the recorded benchmark configuration.
+type Scale struct {
+	PortoTrajs, PortoMinLen, PortoMaxLen       int
+	GeoLifeTrajs, GeoLifeMinLen, GeoLifeMaxLen int
+	SubPortoBases, SubPortoCompress            int
+	Queries                                    int
+	Seed                                       int64
+}
+
+// Small is the test-suite scale (seconds per experiment). Trajectory
+// counts stay well above the codeword budgets so the equal-budget
+// protocol is meaningful (see table2Words), and lengths exceed the
+// longest TPQ path (Table3Lengths).
+var Small = Scale{
+	PortoTrajs: 150, PortoMinLen: 55, PortoMaxLen: 90,
+	GeoLifeTrajs: 40, GeoLifeMinLen: 120, GeoLifeMaxLen: 250,
+	SubPortoBases: 20, SubPortoCompress: 30,
+	Queries: 150,
+	Seed:    1,
+}
+
+// Full is the recorded benchmark scale (minutes for the whole suite).
+var Full = Scale{
+	PortoTrajs: 900, PortoMinLen: 55, PortoMaxLen: 150,
+	GeoLifeTrajs: 150, GeoLifeMinLen: 200, GeoLifeMaxLen: 600,
+	SubPortoBases: 80, SubPortoCompress: 100,
+	Queries: 1000,
+	Seed:    1,
+}
+
+// DatasetName distinguishes the two main workloads.
+type DatasetName string
+
+const (
+	Porto   DatasetName = "Porto"
+	GeoLife DatasetName = "Geolife"
+)
+
+// Data returns the named dataset at this scale (deterministic).
+func (s Scale) Data(name DatasetName) *traj.Dataset {
+	switch name {
+	case GeoLife:
+		return gen.GeoLife(gen.Config{
+			NumTrajectories: s.GeoLifeTrajs,
+			MinLen:          s.GeoLifeMinLen, MaxLen: s.GeoLifeMaxLen,
+			Seed: s.Seed,
+		})
+	default:
+		return gen.Porto(gen.Config{
+			NumTrajectories: s.PortoTrajs,
+			MinLen:          s.PortoMinLen, MaxLen: s.PortoMaxLen,
+			Seed: s.Seed,
+		})
+	}
+}
+
+// spatialEpsP is ε_p for PPQ-S per dataset (paper §6.1: 0.1 Porto,
+// 5 GeoLife).
+func spatialEpsP(name DatasetName) float64 {
+	if name == GeoLife {
+		return 5
+	}
+	return 0.1
+}
+
+// autocorrEpsP is the calibrated autocorrelation ε_p (paper 0.01 ↦ 0.2,
+// see DESIGN.md).
+const autocorrEpsP = 0.2
+
+// Method names, matching the paper's Table 2 lineup.
+const (
+	MPPQA      = "PPQ-A"
+	MPPQABasic = "PPQ-A-basic"
+	MPPQS      = "PPQ-S"
+	MPPQSBasic = "PPQ-S-basic"
+	MEPQ       = "E-PQ"
+	MQTraj     = "Q-trajectory"
+	MRQ        = "Residual Quantization"
+	MPQ        = "Product Quantization"
+	MTrajStore = "TrajStore"
+	MREST      = "REST"
+)
+
+// FixedMethods is the Table 2/3 lineup (fixed per-tick codeword budget).
+var FixedMethods = []string{
+	MPPQA, MPPQABasic, MPPQS, MPPQSBasic, MEPQ, MQTraj, MRQ, MPQ, MTrajStore,
+}
+
+// BoundedMethods is the Table 5/6 / Figure 9 lineup (error-bounded).
+var BoundedMethods = []string{
+	MPPQA, MPPQABasic, MPPQS, MPPQSBasic, MEPQ, MQTraj, MRQ, MPQ, MTrajStore,
+}
+
+// Built is one method's summary plus its accounting.
+type Built struct {
+	Name      string
+	Src       query.Source
+	MAEm      float64 // meters
+	Codewords int
+	SizeBytes int
+	BuildTime time.Duration
+}
+
+func coreOpts(method string, dsName DatasetName) core.Options {
+	o := core.Options{K: 3, Seed: 7}
+	switch method {
+	case MPPQA, MPPQABasic:
+		o.Mode = partition.Autocorr
+		o.EpsilonP = autocorrEpsP
+	case MPPQS, MPPQSBasic:
+		o.Mode = partition.Spatial
+		o.EpsilonP = spatialEpsP(dsName)
+	case MEPQ:
+		o.Mode = partition.None
+	case MQTraj:
+		o.Mode = partition.None
+		o.NoPrediction = true
+	}
+	return o
+}
+
+// isCore reports whether the method runs through core.Builder.
+func isCore(method string) bool {
+	switch method {
+	case MPPQA, MPPQABasic, MPPQS, MPPQSBasic, MEPQ, MQTraj:
+		return true
+	}
+	return false
+}
+
+func usesCQC(method string) bool { return method == MPPQA || method == MPPQS }
+
+// trajStoreRegion pads the dataset's bounding box for the TrajStore root.
+func trajStoreRegion(d *traj.Dataset) geo.Rect {
+	return d.BoundingRect().Expand(1e-6)
+}
+
+func feedTrajStore(d *traj.Dataset, ts *trajstore.Store) {
+	_ = d.Stream(func(col *traj.Column) error {
+		ts.Append(col.IDs, col.Points, col.Tick)
+		return nil
+	})
+}
+
+// BuildFixed builds one method with a fixed per-tick codeword budget
+// (Tables 2–4 protocol: "the same number of codewords is given to
+// trajectory points at the same time across all methods").
+func BuildFixed(method string, dsName DatasetName, d *traj.Dataset, words int) Built {
+	start := time.Now()
+	switch {
+	case isCore(method):
+		o := coreOpts(method, dsName)
+		o.FixedWords = words
+		o.Epsilon1 = 0
+		if usesCQC(method) {
+			o.UseCQC = true
+			o.GS = geo.MetersToDegrees(50)
+		}
+		s := core.Build(d, o)
+		return Built{Name: method, Src: s, MAEm: s.MAEMeters(),
+			Codewords: s.NumCodewords(), SizeBytes: s.SizeBytes(), BuildTime: s.BuildTime}
+	case method == MRQ:
+		f := baseline.ResidualQuant(d, words, 7)
+		return Built{Name: method, Src: f, MAEm: f.MAEMeters(),
+			Codewords: f.Codewords, SizeBytes: f.SizeBytes(), BuildTime: f.BuildTime}
+	case method == MPQ:
+		f := baseline.ProductQuant(d, words, 7)
+		return Built{Name: method, Src: f, MAEm: f.MAEMeters(),
+			Codewords: f.Codewords, SizeBytes: f.SizeBytes(), BuildTime: f.BuildTime}
+	case method == MTrajStore:
+		ts := trajstore.New(trajstore.Options{Region: trajStoreRegion(d)})
+		feedTrajStore(d, ts)
+		// Same total budget: words per tick × ticks.
+		total := words * d.MaxTick()
+		f, used, err := ts.CompressFixed(total, 7)
+		if err != nil {
+			panic(err)
+		}
+		return Built{Name: method, Src: f, MAEm: f.MAEMeters(),
+			Codewords: used, SizeBytes: f.SizeBytes(),
+			BuildTime: time.Since(start)}
+	}
+	panic("bench: unknown fixed method " + method)
+}
+
+// BuildBounded builds one method at a target spatial deviation in meters
+// (Tables 5–6 / Figure 9 protocol: for the CQC variants ε₁^M = 2·g_s with
+// (√2/2)·g_s equal to the deviation budget; for all others ε₁^M equals the
+// budget directly, §6.3.1).
+func BuildBounded(method string, dsName DatasetName, d *traj.Dataset, devMeters float64) Built {
+	eps := geo.MetersToDegrees(devMeters)
+	start := time.Now()
+	switch {
+	case isCore(method):
+		o := coreOpts(method, dsName)
+		o.ClusterQuantizer = true // the paper's VQ path (Table 5's measure)
+		if usesCQC(method) {
+			gs := devMeters * 1.4142135623730951 // (√2/2)·g_s = budget
+			o.GS = geo.MetersToDegrees(gs)
+			o.Epsilon1 = geo.MetersToDegrees(2 * gs)
+			o.UseCQC = true
+		} else {
+			o.Epsilon1 = eps
+		}
+		s := core.Build(d, o)
+		return Built{Name: method, Src: s, MAEm: s.MAEMeters(),
+			Codewords: s.NumCodewords(), SizeBytes: s.SizeBytes(), BuildTime: s.BuildTime}
+	case method == MRQ:
+		f := baseline.ResidualQuantBounded(d, eps, 3)
+		return Built{Name: method, Src: f, MAEm: f.MAEMeters(),
+			Codewords: f.Codewords, SizeBytes: f.SizeBytes(), BuildTime: f.BuildTime}
+	case method == MPQ:
+		f := baseline.ProductQuantBounded(d, eps)
+		return Built{Name: method, Src: f, MAEm: f.MAEMeters(),
+			Codewords: f.Codewords, SizeBytes: f.SizeBytes(), BuildTime: f.BuildTime}
+	case method == MTrajStore:
+		ts := trajstore.New(trajstore.Options{Region: trajStoreRegion(d)})
+		feedTrajStore(d, ts)
+		f, used, err := ts.CompressBounded(eps, true)
+		if err != nil {
+			panic(err)
+		}
+		return Built{Name: method, Src: f, MAEm: f.MAEMeters(),
+			Codewords: used, SizeBytes: f.SizeBytes(),
+			BuildTime: time.Since(start)}
+	}
+	panic("bench: unknown bounded method " + method)
+}
+
+// indexOptions is the default TPI configuration of §6.1.
+func indexOptions(dsName DatasetName) index.Options {
+	return index.Options{
+		EpsS: spatialEpsP(dsName),
+		GC:   geo.MetersToDegrees(100),
+		EpsC: 0.5,
+		EpsD: 0.5,
+		Seed: 11,
+	}
+}
+
+// engineFor wraps a Built summary in a query engine over d, with the
+// local-search radius capped at 4 grid cells (methods whose deviation
+// exceeds that lose recall — the paper's "×" regime).
+func engineFor(b Built, dsName DatasetName, d *traj.Dataset) (*query.Engine, error) {
+	opts := indexOptions(dsName)
+	e, err := query.BuildEngine(b.Src, opts, d)
+	if err != nil {
+		return nil, err
+	}
+	e.MarginCap = 4 * opts.GC
+	return e, nil
+}
+
+// queryPoints samples n (position, tick) probes from actual trajectory
+// points so that queries land on data (the paper samples 10k queries).
+func queryPoints(d *traj.Dataset, n int, seed int64) ([]geo.Point, []int) {
+	rng := newRng(seed)
+	pts := make([]geo.Point, 0, n)
+	ticks := make([]int, 0, n)
+	for len(pts) < n {
+		tr := d.Get(traj.ID(rng.Intn(d.Len())))
+		if tr.Len() == 0 {
+			continue
+		}
+		k := tr.Start + rng.Intn(tr.Len())
+		p, _ := tr.At(k)
+		pts = append(pts, p)
+		ticks = append(ticks, k)
+	}
+	return pts, ticks
+}
+
+// fprintf swallows write errors and tolerates a nil writer (callers pass
+// nil to run an experiment for its rows only).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	if w == nil {
+		return
+	}
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/rest"
+)
+
+// Figure7Row is one sweep point of Figure 7: the temporal-partitioning
+// component's running time against ε_p.
+type Figure7Row struct {
+	Method  string // PPQ-A or PPQ-S
+	Dataset DatasetName
+	EpsP    float64
+	Time    time.Duration
+	MaxQ    int
+}
+
+// figure7EpsP returns the paper's ε_p sweeps: PPQ-A {0.01,0.03,0.05}
+// (calibrated ×20 for this library's feature scale, DESIGN.md §2);
+// PPQ-S {0.1,0.3,0.5} on Porto, {1,3,5} on GeoLife.
+func figure7EpsP(method string, ds DatasetName) []float64 {
+	if method == MPPQA {
+		return []float64{0.2, 0.6, 1.0}
+	}
+	if ds == GeoLife {
+		return []float64{1, 3, 5}
+	}
+	return []float64{0.1, 0.3, 0.5}
+}
+
+// Figure7 regenerates Figure 7: the running time of the incremental
+// temporal partitioning across ε_p values, for PPQ-A and PPQ-S on both
+// datasets. Figure 8's q series comes from the same builds (see Figure8).
+func Figure7(s Scale, w io.Writer) []Figure7Row {
+	var rows []Figure7Row
+	for _, method := range []string{MPPQA, MPPQS} {
+		for _, dsName := range []DatasetName{Porto, GeoLife} {
+			d := s.Data(dsName)
+			fprintf(w, "== Figure 7 (%s, %s): partitioning time vs ε_p ==\n", method, dsName)
+			for _, epsP := range figure7EpsP(method, dsName) {
+				o := coreOpts(method, dsName)
+				o.EpsilonP = epsP
+				o.Epsilon1 = 0.001
+				if usesCQC(method) {
+					o.UseCQC = true
+					o.GS = geo.MetersToDegrees(50)
+				}
+				sum := core.Build(d, o)
+				maxQ := 0
+				for _, q := range sum.QHistory {
+					if q > maxQ {
+						maxQ = q
+					}
+				}
+				rows = append(rows, Figure7Row{
+					Method: method, Dataset: dsName, EpsP: epsP,
+					Time: sum.PartitionTime, MaxQ: maxQ,
+				})
+				fprintf(w, "  ε_p=%-5.2f  partition time %8.3f s  (max q = %d)\n",
+					epsP, sum.PartitionTime.Seconds(), maxQ)
+			}
+			fprintf(w, "\n")
+		}
+	}
+	return rows
+}
+
+// Figure8Row samples the partition count q over time for one ε_p.
+type Figure8Row struct {
+	Method  string
+	Dataset DatasetName
+	EpsP    float64
+	Ticks   []int // sampled ticks
+	Q       []int // q at each sampled tick
+	MaxQ    int
+	FinalQ  int
+}
+
+// Figure8 regenerates Figure 8: the evolution of the number of partitions
+// q over time for each ε_p, showing stabilization.
+func Figure8(s Scale, w io.Writer) []Figure8Row {
+	var rows []Figure8Row
+	for _, method := range []string{MPPQA, MPPQS} {
+		for _, dsName := range []DatasetName{Porto, GeoLife} {
+			d := s.Data(dsName)
+			fprintf(w, "== Figure 8 (%s, %s): q over time ==\n", method, dsName)
+			for _, epsP := range figure7EpsP(method, dsName) {
+				o := coreOpts(method, dsName)
+				o.EpsilonP = epsP
+				o.Epsilon1 = 0.001
+				sum := core.Build(d, o)
+				qh := sum.QHistory
+				row := Figure8Row{Method: method, Dataset: dsName, EpsP: epsP}
+				// Sample ~8 evenly spaced points of the series.
+				step := len(qh) / 8
+				if step < 1 {
+					step = 1
+				}
+				for i := 0; i < len(qh); i += step {
+					row.Ticks = append(row.Ticks, i)
+					row.Q = append(row.Q, qh[i])
+				}
+				for _, q := range qh {
+					if q > row.MaxQ {
+						row.MaxQ = q
+					}
+				}
+				if len(qh) > 0 {
+					row.FinalQ = qh[len(qh)-1]
+				}
+				rows = append(rows, row)
+				fprintf(w, "  ε_p=%-5.2f  q series:", epsP)
+				for i := range row.Ticks {
+					fprintf(w, " t%d:%d", row.Ticks[i], row.Q[i])
+				}
+				fprintf(w, "  (max %d, final %d)\n", row.MaxQ, row.FinalQ)
+			}
+			fprintf(w, "\n")
+		}
+	}
+	return rows
+}
+
+// Figure9Row is one compression-ratio point (Figure 9a/9b reuse the
+// Table 5/6 runs; 9c is the sub-Porto comparison including REST).
+type Figure9Row struct {
+	Method    string
+	Dataset   string // "Porto", "Geolife", or "sub-Porto"
+	DevMeters float64
+	Ratio     float64
+}
+
+// Figure9 regenerates Figure 9: compression ratio against spatial
+// deviation on Porto and GeoLife for the standard lineup (panels a, b),
+// and on sub-Porto including REST (panel c).
+func Figure9(s Scale, w io.Writer, table56 []Table56Row) []Figure9Row {
+	var rows []Figure9Row
+	// Panels a and b from the Table 5/6 runs.
+	for _, r := range table56 {
+		rows = append(rows, Figure9Row{
+			Method: r.Method, Dataset: string(r.Dataset),
+			DevMeters: r.DevMeters, Ratio: r.Ratio,
+		})
+	}
+	fprintf(w, "== Figure 9a/9b: compression ratios come from the Tables 5+6 runs above ==\n\n")
+
+	// Panel c: sub-Porto with REST.
+	sp := gen.NewSubPorto(s.SubPortoBases, s.SubPortoCompress, s.Seed)
+	raw := sp.Compress.RawBytes()
+	fprintf(w, "== Figure 9c (sub-Porto): compression ratio vs spatial deviation ==\n")
+	methods := []string{MPPQA, MPPQABasic, MPPQS, MPPQSBasic, MEPQ, MQTraj, MRQ, MPQ}
+	for _, method := range methods {
+		fprintf(w, "  %-24s", method)
+		for _, dev := range Deviations {
+			b := BuildBounded(method, Porto, sp.Compress, dev)
+			ratio := float64(raw) / float64(b.SizeBytes)
+			rows = append(rows, Figure9Row{Method: method, Dataset: "sub-Porto",
+				DevMeters: dev, Ratio: ratio})
+			fprintf(w, "  %4.0fm:%6.1fx", dev, ratio)
+		}
+		fprintf(w, "\n")
+	}
+	// REST: reference set from the pool, compress the target set.
+	fprintf(w, "  %-24s", MREST)
+	for _, dev := range Deviations {
+		ref := rest.BuildReference(sp.Reference, rest.Options{Tolerance: geoDeg(dev)})
+		res := ref.CompressDataset(sp.Compress)
+		rows = append(rows, Figure9Row{Method: MREST, Dataset: "sub-Porto",
+			DevMeters: dev, Ratio: res.CompressionRatio()})
+		fprintf(w, "  %4.0fm:%6.1fx", dev, res.CompressionRatio())
+	}
+	fprintf(w, "\n\n")
+	return rows
+}

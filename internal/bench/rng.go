@@ -1,0 +1,6 @@
+package bench
+
+import "math/rand"
+
+// newRng returns a deterministic RNG for query sampling.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/traj"
+)
+
+// Deviations is the spatial-deviation sweep of Tables 5–6 and Figure 9.
+var Deviations = []float64{200, 400, 600, 800, 1000}
+
+// Table56Row carries one method×deviation build: running time (Table 5)
+// and codebook size (Table 6).
+type Table56Row struct {
+	Method    string
+	Dataset   DatasetName
+	DevMeters float64
+	BuildTime time.Duration
+	Codewords int
+	SizeBytes int
+	Ratio     float64 // compression ratio (reused by Figure 9)
+}
+
+// Table56 regenerates Tables 5 and 6 in one pass (the paper derives both
+// from the same runs): error-bounded builds across spatial deviations,
+// reporting build time and codeword counts. The rows also carry the
+// compression ratios that Figure 9a/9b plot.
+func Table56(s Scale, w io.Writer) []Table56Row {
+	var rows []Table56Row
+	for _, dsName := range []DatasetName{Porto, GeoLife} {
+		d := s.Data(dsName)
+		raw := d.RawBytes()
+		fprintf(w, "== Tables 5+6 (%s): build time (s) | #codewords | compression ratio ==\n", dsName)
+		for _, method := range BoundedMethods {
+			fprintf(w, "  %-24s", method)
+			for _, dev := range Deviations {
+				b := BuildBounded(method, dsName, d, dev)
+				ratio := float64(raw) / float64(b.SizeBytes)
+				rows = append(rows, Table56Row{
+					Method: method, Dataset: dsName, DevMeters: dev,
+					BuildTime: b.BuildTime, Codewords: b.Codewords,
+					SizeBytes: b.SizeBytes, Ratio: ratio,
+				})
+				fprintf(w, "  %4.0fm:%6.2fs|%6d|%5.1fx",
+					dev, b.BuildTime.Seconds(), b.Codewords, ratio)
+			}
+			fprintf(w, "\n")
+		}
+		fprintf(w, "\n")
+	}
+	return rows
+}
+
+// TPIStatsRow is one sweep point of Tables 7/8: TPI characteristics under
+// varying ε_c or ε_d.
+type TPIStatsRow struct {
+	Param      string // "eps_c" or "eps_d"
+	Value      float64
+	Dataset    DatasetName
+	SizeBytes  int
+	BuildTime  time.Duration
+	Periods    int
+	Insertions int
+}
+
+// tpiSweep is the shared Tables 7/8 driver: build a TPI over the raw
+// stream with one knob swept.
+func tpiSweep(s Scale, w io.Writer, param string, values []float64) []TPIStatsRow {
+	var rows []TPIStatsRow
+	for _, dsName := range []DatasetName{Porto, GeoLife} {
+		// Staggered starts make density genuinely evolve so the
+		// re-build/insert machinery is exercised.
+		var d *traj.Dataset
+		if dsName == Porto {
+			d = gen.Porto(gen.Config{
+				NumTrajectories: s.PortoTrajs, MinLen: s.PortoMinLen,
+				MaxLen: s.PortoMaxLen, Horizon: s.PortoMaxLen, Seed: s.Seed,
+			})
+		} else {
+			d = gen.GeoLife(gen.Config{
+				NumTrajectories: s.GeoLifeTrajs, MinLen: s.GeoLifeMinLen,
+				MaxLen: s.GeoLifeMaxLen, Horizon: s.GeoLifeMinLen, Seed: s.Seed,
+			})
+		}
+		fprintf(w, "== TPI sweep over %s (%s): size | time | periods | insertions ==\n", param, dsName)
+		for _, v := range values {
+			opts := indexOptions(dsName)
+			if param == "eps_c" {
+				opts.EpsC = v
+			} else {
+				opts.EpsD = v
+			}
+			tpi := index.NewTPI(opts)
+			_ = d.Stream(func(col *traj.Column) error {
+				tpi.Append(col.IDs, col.Points, col.Tick)
+				return nil
+			})
+			if err := tpi.Seal(); err != nil {
+				panic(err)
+			}
+			st := tpi.Stats()
+			row := TPIStatsRow{
+				Param: param, Value: v, Dataset: dsName,
+				SizeBytes: tpi.SizeBytes(), BuildTime: st.BuildTime,
+				Periods: tpi.NumPeriods(), Insertions: st.Insertions,
+			}
+			rows = append(rows, row)
+			fprintf(w, "  %s=%.1f: %8.1f KB  %8.3f s  %4d periods  %5d insertions\n",
+				param, v, float64(row.SizeBytes)/1e3, row.BuildTime.Seconds(),
+				row.Periods, row.Insertions)
+		}
+		fprintf(w, "\n")
+	}
+	return rows
+}
+
+// Table7 regenerates Table 7: TPI statistics across ε_c (ε_d fixed 0.5).
+func Table7(s Scale, w io.Writer) []TPIStatsRow {
+	return tpiSweep(s, w, "eps_c", []float64{0.2, 0.4, 0.6, 0.8})
+}
+
+// Table8 regenerates Table 8: TPI statistics across ε_d (ε_c fixed 0.5).
+func Table8(s Scale, w io.Writer) []TPIStatsRow {
+	return tpiSweep(s, w, "eps_d", []float64{0.2, 0.4, 0.6, 0.8})
+}
+
+// geoDeg is a tiny alias to keep call sites in this package short.
+func geoDeg(m float64) float64 { return geo.MetersToDegrees(m) }

@@ -1,0 +1,267 @@
+// Package cluster provides the clustering substrate for PPQ-trajectory:
+// Lloyd's k-means with k-means++ seeding [Lloyd 1982], and the
+// bounded-radius partitioning loop of §3.2.1 that increases the number of
+// partitions round by round until every partition satisfies the ε_p
+// deviation constraint of Equations 7 and 8 (complexity O(q·m·N·l),
+// Lemma 1).
+//
+// Vectors are generic []float64 so the same code clusters 2-D trajectory
+// points (spatial partitioning, Eq. 7) and k-dimensional autocorrelation
+// features (Eq. 8).
+package cluster
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Result describes a clustering: one centroid per cluster and, for every
+// input vector, the index of its assigned cluster.
+type Result struct {
+	Centroids [][]float64
+	Assign    []int
+}
+
+// K returns the number of clusters in the result.
+func (r *Result) K() int { return len(r.Centroids) }
+
+// Sizes returns the number of members per cluster.
+func (r *Result) Sizes() []int {
+	sizes := make([]int, len(r.Centroids))
+	for _, a := range r.Assign {
+		sizes[a]++
+	}
+	return sizes
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ rule: the first
+// uniformly, each next with probability proportional to the squared
+// distance from the nearest already-chosen centroid.
+func seedPlusPlus(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(data)
+	centroids := make([][]float64, 0, k)
+	first := append([]float64(nil), data[rng.Intn(n)]...)
+	centroids = append(centroids, first)
+	d2 := make([]float64, n)
+	for i, v := range data {
+		d2[i] = dist2(v, first)
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var next []float64
+		if total <= 0 {
+			// All remaining points coincide with existing centroids;
+			// any point works.
+			next = data[rng.Intn(n)]
+		} else {
+			target := rng.Float64() * total
+			idx := n - 1
+			var acc float64
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					idx = i
+					break
+				}
+			}
+			next = data[idx]
+		}
+		c := append([]float64(nil), next...)
+		centroids = append(centroids, c)
+		for i, v := range data {
+			if d := dist2(v, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// KMeans clusters data into k clusters with at most maxIter Lloyd
+// iterations. It is deterministic for a given seed. k is clamped to
+// [1, len(data)]; empty data yields an empty Result.
+func KMeans(data [][]float64, k, maxIter int, seed int64) *Result {
+	n := len(data)
+	if n == 0 {
+		return &Result{}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(data, k, rng)
+	assign := make([]int, n)
+	dim := len(data[0])
+	sums := make([][]float64, k)
+	counts := make([]int, k)
+	for i := range sums {
+		sums[i] = make([]float64, dim)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range data {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := dist2(v, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best || iter == 0 {
+				changed = changed || assign[i] != best
+				assign[i] = best
+			}
+		}
+		if iter == 0 {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+		for c := range sums {
+			counts[c] = 0
+			for j := range sums[c] {
+				sums[c][j] = 0
+			}
+		}
+		for i, v := range data {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += x
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to keep k effective clusters.
+				far, farD := 0, -1.0
+				for i, v := range data {
+					if d := dist2(v, centroids[assign[i]]); d > farD {
+						far, farD = i, d
+					}
+				}
+				copy(centroids[c], data[far])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] * inv
+			}
+		}
+	}
+	// Final assignment against the final centroids.
+	for i, v := range data {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range centroids {
+			if d := dist2(v, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+	}
+	return &Result{Centroids: centroids, Assign: assign}
+}
+
+// MaxRadius returns, per cluster, the maximum distance from a member to
+// its centroid — the left-hand side of Equations 7/8.
+func (r *Result) MaxRadius(data [][]float64) []float64 {
+	radii := make([]float64, len(r.Centroids))
+	for i, v := range data {
+		c := r.Assign[i]
+		if d := math.Sqrt(dist2(v, r.Centroids[c])); d > radii[c] {
+			radii[c] = d
+		}
+	}
+	return radii
+}
+
+// BoundedOptions configures BoundedPartition.
+type BoundedOptions struct {
+	// Epsilon is ε_p: the maximum allowed distance from any member to its
+	// partition centroid (Equations 7/8).
+	Epsilon float64
+	// Step is the per-round increment "a" of the partition count in
+	// Lemma 1's proof. Defaults to 1.
+	Step int
+	// MaxIter bounds Lloyd iterations per round (the "l" in Lemma 1).
+	// Defaults to 25.
+	MaxIter int
+	// MaxK caps the number of partitions as a safety valve for adversarial
+	// inputs; 0 means no cap beyond len(data).
+	MaxK int
+	// Seed makes the clustering deterministic.
+	Seed int64
+}
+
+func (o *BoundedOptions) defaults() {
+	if o.Step < 1 {
+		o.Step = 1
+	}
+	if o.MaxIter < 1 {
+		o.MaxIter = 25
+	}
+}
+
+// BoundedStats reports the work BoundedPartition did, feeding the Lemma 1
+// complexity accounting and Figure 7/8 experiments.
+type BoundedStats struct {
+	Rounds     int // m: rounds of increasing q
+	FinalK     int // q: resulting partition count
+	Iterations int // total Lloyd iterations across rounds (≈ m·l)
+}
+
+// BoundedPartition partitions data into the smallest number of clusters
+// (tried in increments of opts.Step) such that every cluster satisfies the
+// ε_p radius bound. This is the §3.2.1 partitioning loop: run k-means with
+// growing q until Equations 7/8 hold for all partitions.
+func BoundedPartition(data [][]float64, opts BoundedOptions) (*Result, BoundedStats) {
+	opts.defaults()
+	n := len(data)
+	var stats BoundedStats
+	if n == 0 {
+		return &Result{}, stats
+	}
+	maxK := n
+	if opts.MaxK > 0 && opts.MaxK < maxK {
+		maxK = opts.MaxK
+	}
+	k := 1
+	for {
+		stats.Rounds++
+		res := KMeans(data, k, opts.MaxIter, opts.Seed+int64(k))
+		stats.Iterations += opts.MaxIter
+		ok := true
+		for _, rad := range res.MaxRadius(data) {
+			if rad > opts.Epsilon {
+				ok = false
+				break
+			}
+		}
+		if ok || k >= maxK {
+			stats.FinalK = res.K()
+			return res, stats
+		}
+		k += opts.Step
+		if k > maxK {
+			k = maxK
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package codec
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadHuffmanCode is returned when a bit stream does not decode to a
+// known symbol.
+var ErrBadHuffmanCode = errors.New("codec: invalid huffman code")
+
+// huffNode is a node of the Huffman construction heap.
+type huffNode struct {
+	weight      uint64
+	symbol      uint32 // valid for leaves
+	leaf        bool
+	left, right *huffNode
+	order       int // tie-break for determinism
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Huffman is a canonical Huffman coder over uint32 symbols. Build it from
+// symbol frequencies, then Encode/Decode streams of symbols.
+type Huffman struct {
+	lens    map[uint32]int    // symbol → code length
+	codes   map[uint32]uint64 // symbol → canonical code
+	decode  map[uint64]uint32 // (length<<32 | code) → symbol (small alphabets)
+	maxLen  int
+	symbols []uint32 // canonical order, for serialization
+}
+
+// NewHuffman builds a coder from frequency counts. Symbols with zero
+// frequency are ignored. At least one symbol must have positive frequency.
+func NewHuffman(freq map[uint32]uint64) (*Huffman, error) {
+	var syms []uint32
+	for s, f := range freq {
+		if f > 0 {
+			syms = append(syms, s)
+		}
+	}
+	if len(syms) == 0 {
+		return nil, errors.New("codec: huffman needs at least one symbol")
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	lens := make(map[uint32]int, len(syms))
+	if len(syms) == 1 {
+		// Degenerate alphabet: one symbol, one bit.
+		lens[syms[0]] = 1
+	} else {
+		h := make(huffHeap, 0, len(syms))
+		for i, s := range syms {
+			h = append(h, &huffNode{weight: freq[s], symbol: s, leaf: true, order: i})
+		}
+		heap.Init(&h)
+		order := len(syms)
+		for h.Len() > 1 {
+			a := heap.Pop(&h).(*huffNode)
+			b := heap.Pop(&h).(*huffNode)
+			heap.Push(&h, &huffNode{weight: a.weight + b.weight, left: a, right: b, order: order})
+			order++
+		}
+		root := h[0]
+		var walk func(n *huffNode, depth int)
+		walk = func(n *huffNode, depth int) {
+			if n.leaf {
+				if depth == 0 {
+					depth = 1
+				}
+				lens[n.symbol] = depth
+				return
+			}
+			walk(n.left, depth+1)
+			walk(n.right, depth+1)
+		}
+		walk(root, 0)
+	}
+	return newCanonical(lens)
+}
+
+// newCanonical assigns canonical codes given code lengths.
+func newCanonical(lens map[uint32]int) (*Huffman, error) {
+	type symLen struct {
+		sym uint32
+		l   int
+	}
+	sl := make([]symLen, 0, len(lens))
+	maxLen := 0
+	for s, l := range lens {
+		if l <= 0 || l > 63 {
+			return nil, fmt.Errorf("codec: bad code length %d", l)
+		}
+		sl = append(sl, symLen{s, l})
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	sort.Slice(sl, func(i, j int) bool {
+		if sl[i].l != sl[j].l {
+			return sl[i].l < sl[j].l
+		}
+		return sl[i].sym < sl[j].sym
+	})
+	h := &Huffman{
+		lens:   lens,
+		codes:  make(map[uint32]uint64, len(lens)),
+		decode: make(map[uint64]uint32, len(lens)),
+		maxLen: maxLen,
+	}
+	var code uint64
+	prevLen := 0
+	for _, e := range sl {
+		code <<= uint(e.l - prevLen)
+		prevLen = e.l
+		h.codes[e.sym] = code
+		h.decode[uint64(e.l)<<32|code] = e.sym
+		h.symbols = append(h.symbols, e.sym)
+		code++
+	}
+	return h, nil
+}
+
+// CodeLen returns the code length in bits for symbol s (0 if unknown).
+func (h *Huffman) CodeLen(s uint32) int { return h.lens[s] }
+
+// MaxLen returns the longest code length.
+func (h *Huffman) MaxLen() int { return h.maxLen }
+
+// EncodeSymbol appends the code for s to w.
+func (h *Huffman) EncodeSymbol(w *BitWriter, s uint32) error {
+	l, ok := h.lens[s]
+	if !ok {
+		return fmt.Errorf("codec: symbol %d not in huffman alphabet", s)
+	}
+	w.WriteBits(h.codes[s], l)
+	return nil
+}
+
+// DecodeSymbol reads one symbol from r.
+func (h *Huffman) DecodeSymbol(r *BitReader) (uint32, error) {
+	var code uint64
+	for l := 1; l <= h.maxLen; l++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint64(bit)
+		if s, ok := h.decode[uint64(l)<<32|code]; ok {
+			return s, nil
+		}
+	}
+	return 0, ErrBadHuffmanCode
+}
+
+// Encode writes all symbols to a fresh buffer and returns it along with
+// the exact bit length.
+func (h *Huffman) Encode(symbols []uint32) ([]byte, int, error) {
+	var w BitWriter
+	for _, s := range symbols {
+		if err := h.EncodeSymbol(&w, s); err != nil {
+			return nil, 0, err
+		}
+	}
+	return w.Bytes(), w.Len(), nil
+}
+
+// Decode reads exactly n symbols from buf (containing nbits valid bits).
+func (h *Huffman) Decode(buf []byte, nbits, n int) ([]uint32, error) {
+	r := NewBitReader(buf, nbits)
+	out := make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		s, err := h.DecodeSymbol(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// EncodedBits returns the total bit length of encoding symbols without
+// materializing the stream — used by the size accounting in Figure 9.
+func (h *Huffman) EncodedBits(symbols []uint32) (int, error) {
+	total := 0
+	for _, s := range symbols {
+		l, ok := h.lens[s]
+		if !ok {
+			return 0, fmt.Errorf("codec: symbol %d not in huffman alphabet", s)
+		}
+		total += l
+	}
+	return total, nil
+}
+
+// TableBits estimates the serialized size of the code table itself:
+// per symbol, the symbol value (32 bits) and its length (6 bits). The
+// canonical construction means lengths alone are sufficient to rebuild.
+func (h *Huffman) TableBits() int { return len(h.lens) * (32 + 6) }

@@ -1,0 +1,164 @@
+package codec
+
+import (
+	"errors"
+	"sort"
+)
+
+// PostingList compresses a sorted list of trajectory IDs with delta
+// encoding followed by Huffman coding of the gap values — the grid-cell
+// posting-list representation of §5.1. Gaps larger than the Huffman
+// alphabet are escaped with a reserved symbol followed by a 32-bit raw
+// value, so arbitrary ID distributions stay lossless.
+type PostingList struct {
+	N    int    // number of IDs
+	Bits int    // exact encoded length in bits (excluding the shared table)
+	Data []byte // encoded gaps
+}
+
+// escapeSymbol marks a gap too large for the shared alphabet; it is
+// followed by 32 raw bits.
+const escapeSymbol = ^uint32(0)
+
+// GapAlphabet bounds the directly-encoded gap values; gaps ≥ GapAlphabet
+// use the escape path. Small gaps dominate in dense cells, which is where
+// compression matters.
+const GapAlphabet = 1 << 12
+
+// PostingCoder owns the Huffman table shared by all posting lists of one
+// index (one table per PI, amortizing the table cost across cells).
+type PostingCoder struct {
+	huff *Huffman
+}
+
+// gaps converts a sorted ID list to first-value-plus-gaps form. The first
+// element is stored as-is (it is also a "gap" from −1 conceptually; we use
+// id₀+1 gap from -1 to keep all symbols ≥ 0... simply: first = ids[0],
+// then deltas).
+func gaps(ids []uint32) []uint32 {
+	out := make([]uint32, len(ids))
+	prev := uint32(0)
+	for i, id := range ids {
+		if i == 0 {
+			out[i] = id
+		} else {
+			out[i] = id - prev
+		}
+		prev = id
+	}
+	return out
+}
+
+// symbolize maps a gap to its Huffman symbol (escape for large gaps).
+func symbolize(g uint32) uint32 {
+	if g >= GapAlphabet {
+		return escapeSymbol
+	}
+	return g
+}
+
+// NewPostingCoder builds the shared gap-frequency Huffman table from all
+// posting lists that the index will store. lists need not be sorted; the
+// coder sorts copies internally (IDs within a cell are set-valued).
+func NewPostingCoder(lists [][]uint32) (*PostingCoder, error) {
+	freq := make(map[uint32]uint64)
+	for _, ids := range lists {
+		if len(ids) == 0 {
+			continue
+		}
+		s := append([]uint32(nil), ids...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		for _, g := range gaps(s) {
+			freq[symbolize(g)]++
+		}
+	}
+	if len(freq) == 0 {
+		// An index with only empty cells still needs a functioning coder.
+		freq[0] = 1
+	}
+	h, err := NewHuffman(freq)
+	if err != nil {
+		return nil, err
+	}
+	return &PostingCoder{huff: h}, nil
+}
+
+// TableBits returns the size of the shared Huffman table in bits.
+func (c *PostingCoder) TableBits() int { return c.huff.TableBits() }
+
+// Encode compresses ids (sorted ascending; duplicates are collapsed by the
+// caller's contract — an ID appears at most once per cell per timestamp).
+func (c *PostingCoder) Encode(ids []uint32) (*PostingList, error) {
+	s := append([]uint32(nil), ids...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	var w BitWriter
+	for _, g := range gaps(s) {
+		sym := symbolize(g)
+		if err := c.huff.EncodeSymbol(&w, sym); err != nil {
+			return nil, err
+		}
+		if sym == escapeSymbol {
+			w.WriteBits(uint64(g), 32)
+		}
+	}
+	return &PostingList{N: len(s), Bits: w.Len(), Data: w.Bytes()}, nil
+}
+
+// Decode reconstructs the sorted ID list.
+func (c *PostingCoder) Decode(p *PostingList) ([]uint32, error) {
+	if p.N == 0 {
+		return nil, nil
+	}
+	r := NewBitReader(p.Data, p.Bits)
+	out := make([]uint32, 0, p.N)
+	var prev uint32
+	for i := 0; i < p.N; i++ {
+		sym, err := c.huff.DecodeSymbol(r)
+		if err != nil {
+			return nil, err
+		}
+		g := sym
+		if sym == escapeSymbol {
+			raw, err := r.ReadBits(32)
+			if err != nil {
+				return nil, err
+			}
+			g = uint32(raw)
+		}
+		var id uint32
+		if i == 0 {
+			id = g
+		} else {
+			id = prev + g
+		}
+		out = append(out, id)
+		prev = id
+	}
+	return out, nil
+}
+
+// DeltaEncode returns the delta (gap) representation of a sorted uint32
+// slice, exposed for size accounting and tests.
+func DeltaEncode(sorted []uint32) ([]uint32, error) {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] < sorted[i-1] {
+			return nil, errors.New("codec: DeltaEncode requires sorted input")
+		}
+	}
+	return gaps(sorted), nil
+}
+
+// DeltaDecode inverts DeltaEncode.
+func DeltaDecode(deltas []uint32) []uint32 {
+	out := make([]uint32, len(deltas))
+	var prev uint32
+	for i, g := range deltas {
+		if i == 0 {
+			out[i] = g
+		} else {
+			out[i] = prev + g
+		}
+		prev = out[i]
+	}
+	return out
+}

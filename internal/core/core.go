@@ -1,0 +1,612 @@
+// Package core implements the heart of the paper: the error-bounded
+// predictive quantizer E-PQ (Algorithm 1) and its partition-wise extension
+// PPQ (§3.2), producing the queryable summary
+// ({P_j[t]}, C, {b_i^t}, CQC) of the trajectory stream.
+//
+// Per timestamp t the builder:
+//
+//  1. partitions the live trajectory points by spatial proximity or
+//     autocorrelation similarity (ε_p, Equations 7/8, incremental §3.2.2);
+//  2. fits one linear prediction function f_j per partition over the
+//     previous k *reconstructed* points (Equations 1–2) — the decoder
+//     only ever has reconstructions, so predicting from them keeps
+//     encoder and decoder in lock-step;
+//  3. quantizes the prediction errors against the error-bounded codebook
+//     C (Equation 3), growing it only when an error violates ε₁;
+//  4. optionally emits a CQC code for the residual (§4), tightening the
+//     per-point deviation from ε₁ to (√2/2)·g_s (Lemma 3).
+//
+// The summary is fully decodable: Decode replays prediction +
+// codeword + CQC refinement from the stored parameters alone, and the
+// builder's cached reconstructions are bit-identical to the decoder's
+// output (tested).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ppqtraj/internal/codec"
+	"ppqtraj/internal/cqc"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/predict"
+	"ppqtraj/internal/quant"
+	"ppqtraj/internal/traj"
+)
+
+// Options configures a Builder. The zero value is not useful; use
+// DefaultOptions as a starting point.
+type Options struct {
+	// K is the AR lag order k of the prediction function.
+	K int
+	// Epsilon1 is ε₁, the codebook error bound (coordinate units).
+	Epsilon1 float64
+	// EpsilonP is ε_p, the partition radius threshold (Equations 7/8).
+	EpsilonP float64
+	// Mode selects spatial (PPQ-S), autocorrelation (PPQ-A) or no
+	// partitioning (E-PQ).
+	Mode partition.Mode
+	// NoPrediction disables the predictive stage entirely (the
+	// Q-trajectory baseline: raw positions are quantized directly).
+	NoPrediction bool
+	// UseCQC enables coordinate quadtree coding of the residual error
+	// (PPQ-S/PPQ-A vs their -basic variants).
+	UseCQC bool
+	// GS is g_s, the CQC grid cell size (coordinate units). Required when
+	// UseCQC is set.
+	GS float64
+	// FixedWords, when > 0, switches to the equal-budget comparison mode
+	// of Tables 2–4: an independent codebook with exactly FixedWords
+	// codewords is learned for each timestamp, instead of the incremental
+	// error-bounded global codebook.
+	FixedWords int
+	// ClusterQuantizer selects the clustering growth path of the
+	// incremental quantizer (the paper's vector-quantization step, whose
+	// running time scales with the error range — Table 5's measure). The
+	// default greedy path is faster and fully online.
+	ClusterQuantizer bool
+	// AutocorrWindow is the raw-point window used to estimate the lag-k
+	// autocorrelation features; defaults to 4·K+2.
+	AutocorrWindow int
+	// MaxPartitions caps q (0 = no cap).
+	MaxPartitions int
+	// Seed makes the build deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's §6.1 defaults for a given dataset
+// scale: ε₁ = 0.001° (≈111 m), g_s = 50 m, spatial ε_p as provided.
+func DefaultOptions(mode partition.Mode, epsP float64) Options {
+	return Options{
+		K:        3,
+		Epsilon1: 0.001,
+		EpsilonP: epsP,
+		Mode:     mode,
+		UseCQC:   true,
+		GS:       geo.MetersToDegrees(50),
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.K < 1 {
+		o.K = 3
+	}
+	if o.AutocorrWindow < o.K+2 {
+		o.AutocorrWindow = 32
+	}
+	// Autocorrelation features are statistical estimates; a safety cap on
+	// q keeps coefficient storage bounded when the estimate noise exceeds
+	// ε_p (the paper's q tops out around 83 on Porto, Figure 8).
+	if o.Mode == partition.Autocorr && o.MaxPartitions == 0 {
+		o.MaxPartitions = 64
+	}
+	return o
+}
+
+// PointEntry is the stored code of one trajectory point: the partition
+// whose coefficients predicted it, the codeword index b_i^t, and (when CQC
+// is enabled) the residual code.
+type PointEntry struct {
+	Part int32
+	Word int32
+	CQC  cqc.Code
+}
+
+// TickSummary holds the per-timestamp side of the summary: the prediction
+// coefficients of every partition active at that tick and, in FixedWords
+// mode, the tick's codebook.
+type TickSummary struct {
+	Tick   int
+	Coeffs map[int]predict.Coefficients
+	Book   *quant.Codebook // nil outside FixedWords mode
+}
+
+// TrajSummary is one trajectory's compressed representation plus a
+// reconstruction cache (derivable from the entries, excluded from the
+// size accounting).
+type TrajSummary struct {
+	Start   int
+	Entries []PointEntry
+	Recon   []geo.Point
+}
+
+// End returns the first tick after the trajectory.
+func (ts *TrajSummary) End() int { return ts.Start + len(ts.Entries) }
+
+// Summary is the complete PPQ-trajectory summary.
+type Summary struct {
+	Opts  Options
+	Book  *quant.Codebook // global codebook (incremental mode)
+	Coder *cqc.Coder      // nil unless UseCQC
+	Ticks map[int]*TickSummary
+	Trajs map[traj.ID]*TrajSummary
+
+	// Stats
+	NumPoints     int
+	QHistory      []int // q at each processed tick (Figure 8)
+	BuildTime     time.Duration
+	PartitionTime time.Duration
+	// ObservedMaxErr is the largest original-vs-final deviation seen during
+	// the build — the effective bound in FixedWords mode.
+	ObservedMaxErr float64
+	sumAbsErr      float64
+	partChanges    int // per-point partition-label transitions (size accounting)
+	maxLabel       int
+}
+
+// MAE returns the mean absolute (Euclidean) deviation between original
+// and reconstructed points in coordinate units.
+func (s *Summary) MAE() float64 {
+	if s.NumPoints == 0 {
+		return 0
+	}
+	return s.sumAbsErr / float64(s.NumPoints)
+}
+
+// MAEMeters returns MAE under the paper's degree→meter conversion.
+func (s *Summary) MAEMeters() float64 { return geo.DegreesToMeters(s.MAE()) }
+
+// NumCodewords returns the total stored codewords (Table 6): the global
+// codebook in incremental mode, or the sum of per-tick codebooks in
+// FixedWords mode.
+func (s *Summary) NumCodewords() int {
+	if s.Opts.FixedWords > 0 {
+		n := 0
+		for _, t := range s.Ticks {
+			if t.Book != nil {
+				n += t.Book.Len()
+			}
+		}
+		return n
+	}
+	return s.Book.Len()
+}
+
+// SizeBytes returns the storage footprint of the summary as the paper's
+// compression-ratio accounting counts it (§6.4): codebook(s), prediction
+// coefficients per partition per timestamp, per-point codeword indexes,
+// per-point CQC codes, run-length-coded partition membership, and
+// per-trajectory metadata. The reconstruction cache is derivable and not
+// counted.
+func (s *Summary) SizeBytes() int {
+	bits := 0
+	// Codebook(s).
+	if s.Opts.FixedWords > 0 {
+		for _, t := range s.Ticks {
+			if t.Book != nil {
+				bits += t.Book.Bytes() * 8
+			}
+		}
+	} else {
+		bits += s.Book.Bytes() * 8
+	}
+	// Prediction coefficients: k fixed-point values per partition per tick
+	// (see predict.QuantizeCoefficients).
+	if !s.Opts.NoPrediction {
+		for _, t := range s.Ticks {
+			bits += len(t.Coeffs) * s.Opts.K * predict.CoefficientBits
+		}
+	}
+	// Per-point codeword indexes.
+	if s.Opts.FixedWords > 0 {
+		for _, tr := range s.Trajs {
+			for i := range tr.Entries {
+				tick := tr.Start + i
+				if ts := s.Ticks[tick]; ts != nil && ts.Book != nil {
+					bits += codec.BitsFor(ts.Book.Len())
+				}
+			}
+		}
+	} else {
+		bits += s.NumPoints * codec.BitsFor(s.Book.Len())
+	}
+	// CQC codes.
+	if s.Coder != nil {
+		bits += s.NumPoints * s.Coder.CodeBits()
+	}
+	// Partition membership: label changes run-length encoded — a label
+	// plus a tick offset per transition.
+	labelBits := codec.BitsFor(s.maxLabel + 1)
+	bits += s.partChanges * (labelBits + 16)
+	// Per-trajectory metadata: start tick.
+	bits += len(s.Trajs) * 32
+	return (bits + 7) / 8
+}
+
+// CompressionRatio returns rawBytes / SizeBytes().
+func (s *Summary) CompressionRatio(rawBytes int) float64 {
+	sz := s.SizeBytes()
+	if sz == 0 {
+		return 0
+	}
+	return float64(rawBytes) / float64(sz)
+}
+
+// ReconstructedPoint returns the (CQC-refined when enabled) reconstruction
+// of trajectory id at the given tick.
+func (s *Summary) ReconstructedPoint(id traj.ID, tick int) (geo.Point, bool) {
+	tr, ok := s.Trajs[id]
+	if !ok || tick < tr.Start || tick >= tr.End() {
+		return geo.Point{}, false
+	}
+	return tr.Recon[tick-tr.Start], true
+}
+
+// ReconstructPath returns the reconstructions of trajectory id for ticks
+// [from, from+l), clipped to the trajectory's range — the TPQ
+// reconstruction primitive (Definition 5.3).
+func (s *Summary) ReconstructPath(id traj.ID, from, l int) []geo.Point {
+	tr, ok := s.Trajs[id]
+	if !ok {
+		return nil
+	}
+	lo, hi := from, from+l
+	if lo < tr.Start {
+		lo = tr.Start
+	}
+	if hi > tr.End() {
+		hi = tr.End()
+	}
+	if lo >= hi {
+		return nil
+	}
+	return tr.Recon[lo-tr.Start : hi-tr.Start]
+}
+
+// wordOf returns the codeword for an entry at the given tick, resolving
+// per-tick books in FixedWords mode.
+func (s *Summary) wordOf(tick int, e PointEntry) geo.Point {
+	if s.Opts.FixedWords > 0 {
+		return s.Ticks[tick].Book.Word(int(e.Word))
+	}
+	return s.Book.Word(int(e.Word))
+}
+
+// Decode replays the decoder for one trajectory purely from the stored
+// summary parameters (coefficients, codebook, CQC codes) and returns the
+// reconstructed points. The builder's cache must match this exactly; the
+// test suite enforces it.
+func (s *Summary) Decode(id traj.ID) ([]geo.Point, error) {
+	tr, ok := s.Trajs[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown trajectory %d", id)
+	}
+	k := s.Opts.K
+	var history []geo.Point
+	out := make([]geo.Point, 0, len(tr.Entries))
+	for i, e := range tr.Entries {
+		tick := tr.Start + i
+		var pred geo.Point
+		if !s.Opts.NoPrediction {
+			switch {
+			case len(history) == 0:
+				// cold start: predict the origin (P_j[t] = 0 for t ≤ k)
+			case len(history) < k:
+				pred = history[len(history)-1]
+			default:
+				ts := s.Ticks[tick]
+				if ts == nil {
+					return nil, fmt.Errorf("core: missing tick summary %d", tick)
+				}
+				coeffs, ok := ts.Coeffs[int(e.Part)]
+				if !ok {
+					return nil, fmt.Errorf("core: missing coefficients for partition %d at tick %d", e.Part, tick)
+				}
+				pred = predict.Predict(coeffs, history)
+			}
+		}
+		recon := pred.Add(s.wordOf(tick, e))
+		final := recon
+		if s.Coder != nil {
+			final = s.Coder.Refine(recon, e.CQC)
+		}
+		out = append(out, final)
+		history = append(history, final)
+		if len(history) > k {
+			history = history[1:]
+		}
+	}
+	return out, nil
+}
+
+type trajState struct {
+	history   []geo.Point // last K reconstructions, oldest first
+	rawWindow []geo.Point // recent raw points for autocorrelation features
+	arFeature []float64   // EMA-smoothed autocorrelation feature
+}
+
+// Builder consumes a trajectory stream one timestamp at a time
+// (Algorithm 1's outer loop) and produces a Summary.
+type Builder struct {
+	opts  Options
+	part  *partition.Partitioner
+	inc   *quant.Incremental
+	coder *cqc.Coder
+	sum   *Summary
+	state map[traj.ID]*trajState
+}
+
+// NewBuilder creates a Builder. It panics on inconsistent options
+// (UseCQC without GS, non-positive ε₁ in incremental mode).
+func NewBuilder(opts Options) *Builder {
+	opts = opts.withDefaults()
+	if opts.UseCQC && opts.GS <= 0 {
+		panic("core: UseCQC requires GS > 0")
+	}
+	if opts.FixedWords <= 0 && opts.Epsilon1 <= 0 {
+		panic("core: incremental mode requires Epsilon1 > 0")
+	}
+	b := &Builder{
+		opts: opts,
+		part: partition.New(partition.Options{
+			Mode:          opts.Mode,
+			EpsP:          opts.EpsilonP,
+			MaxPartitions: opts.MaxPartitions,
+			Seed:          opts.Seed,
+		}),
+		state: make(map[traj.ID]*trajState),
+		sum: &Summary{
+			Opts:  opts,
+			Ticks: make(map[int]*TickSummary),
+			Trajs: make(map[traj.ID]*TrajSummary),
+		},
+	}
+	if opts.FixedWords <= 0 {
+		if opts.ClusterQuantizer {
+			b.inc = quant.NewIncrementalClustered(opts.Epsilon1)
+		} else {
+			b.inc = quant.NewIncremental(opts.Epsilon1)
+		}
+		b.sum.Book = b.inc.Book
+	}
+	if opts.UseCQC {
+		eps := opts.Epsilon1
+		if opts.FixedWords > 0 && eps <= 0 {
+			// Fixed-budget mode has no hard bound; size the CQC grid for
+			// a generous multiple of the cell size (two extra code bits
+			// per 2× radius, by the quadtree's log depth).
+			eps = 16 * opts.GS
+		}
+		b.coder = cqc.NewCoder(eps, opts.GS)
+		b.sum.Coder = b.coder
+	}
+	return b
+}
+
+// features computes the partitioning feature of each column member.
+func (b *Builder) features(col *traj.Column) [][]float64 {
+	switch b.opts.Mode {
+	case partition.Autocorr:
+		// Per-trajectory Yule-Walker estimates over short windows are
+		// noisy; an exponential moving average stabilizes the feature so
+		// partitions do not churn tick to tick (churn would bloat both
+		// the membership coding and the coefficient storage).
+		const alpha = 0.1
+		out := make([][]float64, col.Len())
+		for i, id := range col.IDs {
+			st := b.state[id]
+			var window []geo.Point
+			if st != nil {
+				window = append(window, st.rawWindow...)
+			}
+			window = append(window, col.Points[i])
+			raw := predict.AutocorrFeature(window, b.opts.K)
+			if st != nil && st.arFeature != nil {
+				sm := make([]float64, len(raw))
+				for d := range raw {
+					sm[d] = (1-alpha)*st.arFeature[d] + alpha*raw[d]
+				}
+				st.arFeature = sm
+				out[i] = sm
+			} else {
+				if st != nil {
+					st.arFeature = raw
+				}
+				out[i] = raw
+			}
+		}
+		return out
+	default:
+		return partition.SpatialFeatures(col.Points)
+	}
+}
+
+// Append processes one timestamp column (Algorithm 1 lines 3–8 across all
+// partitions). Columns must arrive in strictly increasing tick order.
+func (b *Builder) Append(col *traj.Column) {
+	start := time.Now()
+	defer func() { b.sum.BuildTime += time.Since(start) }()
+	if col.Len() == 0 {
+		return
+	}
+	for i, p := range col.Points {
+		if !p.IsFinite() {
+			panic(fmt.Sprintf("core: non-finite position %v for trajectory %d at tick %d",
+				p, col.IDs[i], col.Tick))
+		}
+	}
+
+	res := b.part.Step(col.IDs, b.features(col))
+	b.sum.QHistory = append(b.sum.QHistory, res.Q)
+
+	k := b.opts.K
+	tickSum := &TickSummary{Tick: col.Tick, Coeffs: make(map[int]predict.Coefficients)}
+	b.sum.Ticks[col.Tick] = tickSum
+
+	// Predictions and errors, per partition group.
+	preds := make([]geo.Point, col.Len())
+	parts := make([]int32, col.Len())
+	for g, members := range res.Groups {
+		label := res.Labels[g]
+		if label > b.sum.maxLabel {
+			b.sum.maxLabel = label
+		}
+		var coeffs predict.Coefficients
+		if !b.opts.NoPrediction {
+			// Fit Equation 1 over the members with a full k-history.
+			var histories [][]geo.Point
+			var targets []geo.Point
+			for _, i := range members {
+				st := b.state[col.IDs[i]]
+				if st != nil && len(st.history) >= k {
+					histories = append(histories, st.history)
+					targets = append(targets, col.Points[i])
+				}
+			}
+			coeffs = predict.Fit(k, histories, targets)
+			tickSum.Coeffs[label] = coeffs
+		}
+		for _, i := range members {
+			parts[i] = int32(label)
+			if b.opts.NoPrediction {
+				continue // prediction stays the origin
+			}
+			st := b.state[col.IDs[i]]
+			switch {
+			case st == nil || len(st.history) == 0:
+				// origin
+			case len(st.history) < k:
+				preds[i] = st.history[len(st.history)-1]
+			default:
+				preds[i] = predict.Predict(coeffs, st.history)
+			}
+		}
+	}
+
+	// Quantize the prediction errors (Algorithm 1 line 6).
+	errs := make([]geo.Point, col.Len())
+	for i := range errs {
+		errs[i] = col.Points[i].Sub(preds[i])
+	}
+	words := make([]int, col.Len())
+	var book *quant.Codebook
+	if b.opts.FixedWords > 0 {
+		fixed := quant.FixedKMeans(errs, b.opts.FixedWords, 20, b.opts.Seed+int64(col.Tick))
+		copy(words, fixed.Codes)
+		book = fixed.Book
+		tickSum.Book = book
+	} else {
+		copy(words, b.inc.Quantize(errs))
+		book = b.inc.Book
+	}
+
+	// Reconstruct, refine, record.
+	for i, id := range col.IDs {
+		recon := preds[i].Add(book.Word(words[i]))
+		final := recon
+		entry := PointEntry{Part: parts[i], Word: int32(words[i])}
+		if b.coder != nil {
+			entry.CQC = b.coder.Encode(col.Points[i], recon)
+			final = b.coder.Refine(recon, entry.CQC)
+		}
+
+		tr := b.sum.Trajs[id]
+		if tr == nil {
+			tr = &TrajSummary{Start: col.Tick}
+			b.sum.Trajs[id] = tr
+			b.sum.partChanges++ // initial label
+		} else if len(tr.Entries) > 0 && tr.Entries[len(tr.Entries)-1].Part != parts[i] {
+			b.sum.partChanges++
+		}
+		tr.Entries = append(tr.Entries, entry)
+		tr.Recon = append(tr.Recon, final)
+
+		st := b.state[id]
+		if st == nil {
+			st = &trajState{}
+			b.state[id] = st
+		}
+		st.history = append(st.history, final)
+		if len(st.history) > k {
+			st.history = st.history[1:]
+		}
+		if b.opts.Mode == partition.Autocorr {
+			st.rawWindow = append(st.rawWindow, col.Points[i])
+			if len(st.rawWindow) > b.opts.AutocorrWindow {
+				st.rawWindow = st.rawWindow[1:]
+			}
+		}
+
+		dev := col.Points[i].Dist(final)
+		b.sum.sumAbsErr += dev
+		if dev > b.sum.ObservedMaxErr {
+			b.sum.ObservedMaxErr = dev
+		}
+		b.sum.NumPoints++
+	}
+	b.sum.PartitionTime = b.part.Stats().Elapsed
+}
+
+// Summary finalizes and returns the summary. The builder can keep
+// appending afterwards; the summary is live state, not a copy.
+func (b *Builder) Summary() *Summary { return b.sum }
+
+// PartitionStats exposes the partitioner's work counters (Figures 7–8).
+func (b *Builder) PartitionStats() partition.Stats { return b.part.Stats() }
+
+// Build runs the full stream of a dataset through a fresh builder — the
+// common offline entry point.
+func Build(d *traj.Dataset, opts Options) *Summary {
+	b := NewBuilder(opts)
+	_ = d.Stream(func(col *traj.Column) error {
+		b.Append(col)
+		return nil
+	})
+	return b.Summary()
+}
+
+// SortedTicks returns the processed tick values in increasing order.
+func (s *Summary) SortedTicks() []int {
+	out := make([]int, 0, len(s.Ticks))
+	for t := range s.Ticks {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TrajIDs returns the summarized trajectory IDs in increasing order.
+func (s *Summary) TrajIDs() []traj.ID {
+	out := make([]traj.ID, 0, len(s.Trajs))
+	for id := range s.Trajs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MaxDeviation returns the worst-case distance between a reconstructed
+// point and its original: the observed maximum in FixedWords mode (which
+// has no a-priori bound, and whose CQC encodes may clamp), otherwise the
+// Lemma 3 bound under CQC, otherwise ε₁.
+func (s *Summary) MaxDeviation() float64 {
+	if s.Opts.FixedWords > 0 {
+		return s.ObservedMaxErr
+	}
+	if s.Coder != nil {
+		return s.Coder.MaxDeviation()
+	}
+	return s.Opts.Epsilon1
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/partition"
+)
+
+func roundTrip(t *testing.T, s *Summary) *Summary {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != buf.Len() {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSummary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSerializeRoundTripPPQS(t *testing.T) {
+	d := gen.Porto(gen.Config{NumTrajectories: 15, MinLen: 30, MaxLen: 50, Seed: 3})
+	s := Build(d, DefaultOptions(partition.Spatial, 0.1))
+	got := roundTrip(t, s)
+	if got.NumPoints != s.NumPoints {
+		t.Fatalf("NumPoints %d vs %d", got.NumPoints, s.NumPoints)
+	}
+	// The loaded summary's decoder-rebuilt reconstructions must be
+	// bit-identical to the original build's.
+	for _, id := range s.TrajIDs() {
+		a, b := s.Trajs[id], got.Trajs[id]
+		if b == nil || a.Start != b.Start || len(a.Recon) != len(b.Recon) {
+			t.Fatalf("trajectory %d shape mismatch", id)
+		}
+		for i := range a.Recon {
+			if a.Recon[i] != b.Recon[i] {
+				t.Fatalf("trajectory %d point %d: %v vs %v", id, i, a.Recon[i], b.Recon[i])
+			}
+		}
+	}
+	if got.SizeBytes() != s.SizeBytes() {
+		t.Fatalf("SizeBytes %d vs %d", got.SizeBytes(), s.SizeBytes())
+	}
+}
+
+func TestSerializeRoundTripVariants(t *testing.T) {
+	d := gen.Porto(gen.Config{NumTrajectories: 10, MinLen: 25, MaxLen: 35, Seed: 4})
+	cases := map[string]Options{
+		"autocorr":    DefaultOptions(partition.Autocorr, 0.2),
+		"epq-basic":   {K: 3, Epsilon1: 0.001, Mode: partition.None},
+		"qtraj":       {K: 3, Epsilon1: 0.001, Mode: partition.None, NoPrediction: true},
+		"fixed-words": {K: 3, Mode: partition.Spatial, EpsilonP: 0.1, FixedWords: 8},
+	}
+	for name, opts := range cases {
+		s := Build(d, opts)
+		got := roundTrip(t, s)
+		for _, id := range s.TrajIDs() {
+			a, b := s.Trajs[id], got.Trajs[id]
+			for i := range a.Recon {
+				if a.Recon[i] != b.Recon[i] {
+					t.Fatalf("%s: trajectory %d point %d mismatch", name, id, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadSummaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadSummary(bytes.NewReader([]byte("not a summary at all"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, err := ReadSummary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	// Truncated stream.
+	d := gen.Porto(gen.Config{NumTrajectories: 5, MinLen: 20, MaxLen: 25, Seed: 5})
+	s := Build(d, DefaultOptions(partition.Spatial, 0.1))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadSummary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+}
+
+func TestReadSummaryRejectsWrongVersion(t *testing.T) {
+	d := gen.Porto(gen.Config{NumTrajectories: 3, MinLen: 20, MaxLen: 22, Seed: 6})
+	s := Build(d, DefaultOptions(partition.Spatial, 0.1))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 0xFF // corrupt the version field
+	if _, err := ReadSummary(bytes.NewReader(b)); err == nil {
+		t.Fatal("expected error for unsupported version")
+	}
+}
+
+func TestSerializeSizeReasonable(t *testing.T) {
+	// The wire size should be in the same ballpark as the accounted
+	// summary size (wire uses varints and full floats, so allow slack).
+	d := gen.Porto(gen.Config{NumTrajectories: 20, MinLen: 40, MaxLen: 60, Seed: 7})
+	s := Build(d, DefaultOptions(partition.Spatial, 0.1))
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 8*s.SizeBytes() {
+		t.Fatalf("wire size %d ≫ accounted size %d", buf.Len(), s.SizeBytes())
+	}
+	if buf.Len() >= d.RawBytes() {
+		t.Fatalf("wire size %d should still beat raw %d", buf.Len(), d.RawBytes())
+	}
+}

@@ -1,0 +1,327 @@
+// Package gen synthesizes the evaluation workloads. The paper evaluates on
+// Porto (1.2M taxi trajectories, 74.3M points) and GeoLife (17,932
+// trajectories up to 92,645 points, 24.8M points); neither archive is
+// available offline, so this package generates statistically similar
+// datasets that preserve the structural properties the experiments depend
+// on:
+//
+//   - Porto-like: many short-to-medium urban trips confined to a small
+//     bounding box (~0.13° × 0.08°), smooth street-grid motion at taxi
+//     speeds with a 15 s sampling interval. Strong lag correlation, small
+//     spatial span.
+//   - GeoLife-like: few but very long multi-modal trajectories over a much
+//     larger region (> 2° span) with mode switches (walk/bike/car/train).
+//     The large span is what blows up the non-predictive baselines in
+//     Table 2, so the generator preserves it.
+//   - sub-Porto: the paper's REST construction (§6.1) — base trajectories
+//     plus four derived variants each (down-sampling + Gaussian noise,
+//     procedure of [23]); most variants form the reference set, a random
+//     subset is the compression target.
+//
+// All generators are deterministic for a given Config.Seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// Config controls dataset synthesis.
+type Config struct {
+	// NumTrajectories is the number of trajectories to generate.
+	NumTrajectories int
+	// MinLen and MaxLen bound the per-trajectory sample count.
+	MinLen, MaxLen int
+	// Horizon is the tick range for trajectory start times; 0 means all
+	// trajectories start at tick 0 (the fully-aligned stream used by the
+	// per-timestamp experiments).
+	Horizon int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults(def Config) Config {
+	if c.NumTrajectories == 0 {
+		c.NumTrajectories = def.NumTrajectories
+	}
+	if c.MinLen == 0 {
+		c.MinLen = def.MinLen
+	}
+	if c.MaxLen == 0 {
+		c.MaxLen = def.MaxLen
+	}
+	return c
+}
+
+// PortoRegion is the approximate bounding box of the Porto taxi dataset
+// (the metro area — the real archive's trips span well beyond the city
+// core, which is what makes ε_p = 0.1 produce multiple spatial partitions
+// in Figures 7–8).
+var PortoRegion = geo.NewRect(-8.75, 41.00, -8.35, 41.35)
+
+// GeoLifeRegion is the approximate span of GeoLife's Beijing-centered data;
+// intentionally much larger than PortoRegion.
+var GeoLifeRegion = geo.NewRect(115.2, 39.0, 117.6, 41.0)
+
+// degPerTick converts a speed in km/h to degrees per 15 s tick using the
+// paper's flat 111 km/° conversion.
+func degPerTick(kmh float64) float64 { return kmh / 3600 * 15 / 111 }
+
+// walker produces one smooth random-walk trajectory inside region:
+// a heading that drifts slowly (urban street curvature), occasional sharp
+// turns (junctions), speed following an Ornstein–Uhlenbeck-like pull toward
+// a cruise value. Reflection at the region boundary keeps trips inside.
+type walker struct {
+	rng       *rand.Rand
+	region    geo.Rect
+	pos       geo.Point
+	heading   float64
+	speed     float64 // degrees per tick
+	cruise    float64
+	turnProb  float64
+	driftStd  float64
+	jitterStd float64 // GPS noise, degrees
+}
+
+func (w *walker) step() geo.Point {
+	// Speed reverts to cruise with noise; clamp at ≥ 0.
+	w.speed += 0.3*(w.cruise-w.speed) + w.rng.NormFloat64()*w.cruise*0.15
+	if w.speed < 0 {
+		w.speed = 0
+	}
+	// Heading: slow drift plus occasional 90°-ish junction turns.
+	w.heading += w.rng.NormFloat64() * w.driftStd
+	if w.rng.Float64() < w.turnProb {
+		turn := math.Pi / 2
+		if w.rng.Intn(2) == 0 {
+			turn = -turn
+		}
+		w.heading += turn + w.rng.NormFloat64()*0.1
+	}
+	w.pos.X += math.Cos(w.heading) * w.speed
+	w.pos.Y += math.Sin(w.heading) * w.speed
+	// Reflect at the boundary.
+	if w.pos.X < w.region.MinX {
+		w.pos.X = 2*w.region.MinX - w.pos.X
+		w.heading = math.Pi - w.heading
+	}
+	if w.pos.X > w.region.MaxX {
+		w.pos.X = 2*w.region.MaxX - w.pos.X
+		w.heading = math.Pi - w.heading
+	}
+	if w.pos.Y < w.region.MinY {
+		w.pos.Y = 2*w.region.MinY - w.pos.Y
+		w.heading = -w.heading
+	}
+	if w.pos.Y > w.region.MaxY {
+		w.pos.Y = 2*w.region.MaxY - w.pos.Y
+		w.heading = -w.heading
+	}
+	// Clamp in case of extreme reflections near corners.
+	w.pos.X = math.Max(w.region.MinX, math.Min(w.region.MaxX, w.pos.X))
+	w.pos.Y = math.Max(w.region.MinY, math.Min(w.region.MaxY, w.pos.Y))
+	return geo.Point{
+		X: w.pos.X + w.rng.NormFloat64()*w.jitterStd,
+		Y: w.pos.Y + w.rng.NormFloat64()*w.jitterStd,
+	}
+}
+
+// Porto generates a Porto-like taxi dataset.
+func Porto(cfg Config) *traj.Dataset {
+	cfg = cfg.withDefaults(Config{NumTrajectories: 500, MinLen: 30, MaxLen: 200})
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x506f72746f)) // "Porto"
+	trajs := make([]*traj.Trajectory, 0, cfg.NumTrajectories)
+	// Hotspots emulate taxi ranks / popular origins spread over the metro
+	// area.
+	hotspots := make([]geo.Point, 12)
+	for i := range hotspots {
+		hotspots[i] = geo.Point{
+			X: PortoRegion.MinX + rng.Float64()*PortoRegion.Width(),
+			Y: PortoRegion.MinY + rng.Float64()*PortoRegion.Height(),
+		}
+	}
+	for i := 0; i < cfg.NumTrajectories; i++ {
+		n := cfg.MinLen + rng.Intn(cfg.MaxLen-cfg.MinLen+1)
+		start := 0
+		if cfg.Horizon > 0 {
+			start = rng.Intn(cfg.Horizon)
+		}
+		origin := hotspots[rng.Intn(len(hotspots))]
+		w := &walker{
+			rng:    rng,
+			region: PortoRegion,
+			pos: geo.Point{
+				X: origin.X + rng.NormFloat64()*0.004,
+				Y: origin.Y + rng.NormFloat64()*0.004,
+			},
+			heading:   rng.Float64() * 2 * math.Pi,
+			cruise:    degPerTick(25 + rng.Float64()*30), // 25–55 km/h taxi
+			turnProb:  0.06,
+			driftStd:  0.12,
+			jitterStd: geo.MetersToDegrees(3), // ~3 m GPS noise
+		}
+		w.speed = w.cruise
+		pts := make([]geo.Point, n)
+		for j := range pts {
+			pts[j] = w.step()
+		}
+		trajs = append(trajs, &traj.Trajectory{Start: start, Points: pts})
+	}
+	return traj.NewDataset(trajs)
+}
+
+// geoLifeMode describes a GeoLife transport mode.
+type geoLifeMode struct {
+	kmh      float64
+	driftStd float64
+	turnProb float64
+}
+
+var geoLifeModes = []geoLifeMode{
+	{kmh: 5, driftStd: 0.4, turnProb: 0.10},   // walk
+	{kmh: 15, driftStd: 0.2, turnProb: 0.06},  // bike
+	{kmh: 45, driftStd: 0.1, turnProb: 0.04},  // car
+	{kmh: 120, driftStd: 0.02, turnProb: 0.0}, // train: fast and straight
+}
+
+// GeoLife generates a GeoLife-like dataset: fewer, far longer trajectories
+// over a much larger region with mode switches.
+func GeoLife(cfg Config) *traj.Dataset {
+	cfg = cfg.withDefaults(Config{NumTrajectories: 40, MinLen: 300, MaxLen: 3000})
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x47656f4c696665)) // "GeoLife"
+	trajs := make([]*traj.Trajectory, 0, cfg.NumTrajectories)
+	for i := 0; i < cfg.NumTrajectories; i++ {
+		n := cfg.MinLen + rng.Intn(cfg.MaxLen-cfg.MinLen+1)
+		start := 0
+		if cfg.Horizon > 0 {
+			start = rng.Intn(cfg.Horizon)
+		}
+		// Most users live near the center; some start far out so the full
+		// span is exercised.
+		cx, cy := 116.35, 39.95
+		if rng.Float64() < 0.25 {
+			cx = GeoLifeRegion.MinX + rng.Float64()*GeoLifeRegion.Width()
+			cy = GeoLifeRegion.MinY + rng.Float64()*GeoLifeRegion.Height()
+		}
+		mode := geoLifeModes[rng.Intn(len(geoLifeModes))]
+		w := &walker{
+			rng:    rng,
+			region: GeoLifeRegion,
+			pos: geo.Point{
+				X: math.Max(GeoLifeRegion.MinX, math.Min(GeoLifeRegion.MaxX, cx+rng.NormFloat64()*0.1)),
+				Y: math.Max(GeoLifeRegion.MinY, math.Min(GeoLifeRegion.MaxY, cy+rng.NormFloat64()*0.1)),
+			},
+			heading:   rng.Float64() * 2 * math.Pi,
+			cruise:    degPerTick(mode.kmh),
+			turnProb:  mode.turnProb,
+			driftStd:  mode.driftStd,
+			jitterStd: geo.MetersToDegrees(5),
+		}
+		w.speed = w.cruise
+		pts := make([]geo.Point, n)
+		for j := range pts {
+			// Mode switches: every ~200 ticks on average.
+			if rng.Float64() < 1.0/200 {
+				mode = geoLifeModes[rng.Intn(len(geoLifeModes))]
+				w.cruise = degPerTick(mode.kmh)
+				w.turnProb = mode.turnProb
+				w.driftStd = mode.driftStd
+			}
+			pts[j] = w.step()
+		}
+		trajs = append(trajs, &traj.Trajectory{Start: start, Points: pts})
+	}
+	return traj.NewDataset(trajs)
+}
+
+// SubPorto holds the REST evaluation dataset: a reference pool and a
+// compression target set, both drawn from the same base-plus-variants
+// population (§6.1).
+type SubPorto struct {
+	// Reference is the pool REST builds its reference set from.
+	Reference *traj.Dataset
+	// Compress is the set to be compressed (2,000 of 100,000 in the paper,
+	// scaled by Config here).
+	Compress *traj.Dataset
+}
+
+// NewSubPorto generates numBase base trajectories, derives 4 variants of
+// each (down-sampling + noise per [23]), then randomly selects compressN
+// trajectories as the compression set; the rest form the reference pool.
+func NewSubPorto(numBase, compressN int, seed int64) *SubPorto {
+	if numBase < 1 {
+		numBase = 50
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x737562506f72746f))
+	base := Porto(Config{NumTrajectories: numBase, MinLen: 60, MaxLen: 180, Seed: seed})
+	var pool []*traj.Trajectory
+	for _, tr := range base.All() {
+		pool = append(pool, &traj.Trajectory{Start: tr.Start, Points: append([]geo.Point(nil), tr.Points...)})
+		for v := 0; v < 4; v++ {
+			pool = append(pool, variant(rng, tr))
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if compressN < 1 || compressN >= len(pool) {
+		compressN = len(pool) / 50
+		if compressN < 1 {
+			compressN = 1
+		}
+	}
+	return &SubPorto{
+		Compress:  traj.NewDataset(pool[:compressN]),
+		Reference: traj.NewDataset(pool[compressN:]),
+	}
+}
+
+// variant derives a similar trajectory from a base by down-sampling plus
+// noise — the procedure of Li et al. [23] the paper follows for the
+// sub-Porto construction. Down-sampling is a stochastic time warp: each
+// step the variant advances one base sample and, with probability
+// dropRate, skips another (a dropped point). The variant follows the
+// base's route, but its per-tick alignment with the base drifts as a
+// random walk, so reference-based matching (REST) finds finite runs
+// rather than trivially matching whole trajectories.
+func variant(rng *rand.Rand, tr *traj.Trajectory) *traj.Trajectory {
+	src := tr.Points
+	noise := geo.MetersToDegrees(10 + rng.Float64()*30)
+	dropRate := 0.2 + rng.Float64()*0.2
+	phase := rng.Float64() * 3 // fractional sample offset
+	// interp evaluates the base path at fractional index u (clamped).
+	interp := func(u float64) geo.Point {
+		if u <= 0 {
+			return src[0]
+		}
+		if u >= float64(len(src)-1) {
+			return src[len(src)-1]
+		}
+		i := int(u)
+		f := u - float64(i)
+		return geo.Point{
+			X: src[i].X + f*(src[i+1].X-src[i].X),
+			Y: src[i].Y + f*(src[i+1].Y-src[i].Y),
+		}
+	}
+	// A down-sampled trajectory is shorter than its base: emit until the
+	// warped index runs off the base's end.
+	out := make([]geo.Point, 0, len(src))
+	u := phase
+	for u < float64(len(src)-1) {
+		p := interp(u)
+		out = append(out, geo.Point{
+			X: p.X + rng.NormFloat64()*noise,
+			Y: p.Y + rng.NormFloat64()*noise,
+		})
+		u++
+		if rng.Float64() < dropRate {
+			u++ // a dropped base sample: the variant skips past it
+		}
+	}
+	if len(out) < 2 { // degenerate base; keep the endpoints
+		out = append([]geo.Point(nil), src[0], src[len(src)-1])
+	}
+	return &traj.Trajectory{Start: tr.Start, Points: out}
+}

@@ -1,0 +1,344 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/store"
+	"ppqtraj/internal/traj"
+)
+
+func idsSeq(n int) []traj.ID {
+	ids := make([]traj.ID, n)
+	for i := range ids {
+		ids[i] = traj.ID(i)
+	}
+	return ids
+}
+
+func clusterPoints(rng *rand.Rand, centers []geo.Point, per int, spread float64) []geo.Point {
+	var out []geo.Point
+	for _, c := range centers {
+		for i := 0; i < per; i++ {
+			out = append(out, geo.Pt(c.X+rng.NormFloat64()*spread, c.Y+rng.NormFloat64()*spread))
+		}
+	}
+	return out
+}
+
+func TestBuildPICoversAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := clusterPoints(rng, []geo.Point{geo.Pt(0, 0), geo.Pt(10, 10)}, 50, 0.5)
+	pi := BuildPI(idsSeq(len(pts)), pts, 0, 2, 0.25, 2)
+	for i, p := range pts {
+		if !pi.Covers(p) {
+			t.Fatalf("point %d %v not covered", i, p)
+		}
+	}
+}
+
+func TestPIRegionsDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Overlapping clusters force the remove_overlap path.
+	pts := clusterPoints(rng, []geo.Point{geo.Pt(0, 0), geo.Pt(1.5, 1.5), geo.Pt(3, 0)}, 60, 1)
+	pi := BuildPI(idsSeq(len(pts)), pts, 0, 2, 0.25, 3)
+	for i := range pi.Regions {
+		for j := i + 1; j < len(pi.Regions); j++ {
+			if pi.Regions[i].Rect.Intersects(pi.Regions[j].Rect) {
+				t.Fatalf("regions %d and %d overlap: %v vs %v",
+					i, j, pi.Regions[i].Rect, pi.Regions[j].Rect)
+			}
+		}
+	}
+}
+
+func TestPILookupFindsInsertedIDs(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(0.01, 0.01), geo.Pt(5, 5)}
+	pi := BuildPI(idsSeq(3), pts, 7, 10, 0.1, 4)
+	ids, cell, ok := pi.Lookup(geo.Pt(0.005, 0.005), 7)
+	if !ok {
+		t.Fatal("query point should be covered")
+	}
+	if !cell.Contains(geo.Pt(0.005, 0.005)) {
+		t.Fatal("returned cell does not contain the query point")
+	}
+	// Both nearby points share the 0.1-sized cell at the region corner.
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v, want the two nearby points", ids)
+	}
+	// Wrong tick: nothing indexed.
+	ids, _, _ = pi.Lookup(geo.Pt(0.005, 0.005), 8)
+	if len(ids) != 0 {
+		t.Fatalf("tick 8 should be empty, got %v", ids)
+	}
+}
+
+func TestPISealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := clusterPoints(rng, []geo.Point{geo.Pt(0, 0)}, 200, 0.3)
+	pi := BuildPI(idsSeq(len(pts)), pts, 0, 5, 0.05, 6)
+	// Record pre-seal lookups, seal, compare.
+	type probe struct {
+		p   geo.Point
+		ids []traj.ID
+	}
+	var probes []probe
+	for i := 0; i < 20; i++ {
+		p := pts[rng.Intn(len(pts))]
+		ids, _, _ := pi.Lookup(p, 0)
+		probes = append(probes, probe{p, ids})
+	}
+	if err := pi.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range probes {
+		got, _, _ := pi.Lookup(pr.p, 0)
+		if len(got) != len(pr.ids) {
+			t.Fatalf("seal changed lookup result: %v vs %v", got, pr.ids)
+		}
+		seen := map[traj.ID]bool{}
+		for _, id := range got {
+			seen[id] = true
+		}
+		for _, id := range pr.ids {
+			if !seen[id] {
+				t.Fatalf("id %d lost after seal", id)
+			}
+		}
+	}
+}
+
+func TestPILookupAreaDedups(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(0.3, 0), geo.Pt(0.6, 0)}
+	pi := BuildPI(idsSeq(3), pts, 0, 10, 0.25, 7)
+	got := pi.LookupArea(geo.NewRect(-1, -1, 1, 1), 0, nil)
+	if len(got) != 3 {
+		t.Fatalf("LookupArea = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("ids not sorted/deduped")
+		}
+	}
+}
+
+func TestPISizeShrinksAfterSeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	// Many IDs in few cells: compression must help.
+	pts := make([]geo.Point, 2000)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*0.09, rng.Float64()*0.09)
+	}
+	pi := BuildPI(idsSeq(len(pts)), pts, 0, 1, 0.1, 9)
+	raw := pi.SizeBytes()
+	if err := pi.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	sealed := pi.SizeBytes()
+	if sealed >= raw {
+		t.Fatalf("sealed size %d should be below raw %d", sealed, raw)
+	}
+}
+
+func TestTPIPanicsOnBadOptions(t *testing.T) {
+	for name, opts := range map[string]Options{
+		"no gc":   {EpsS: 1},
+		"no epsS": {GC: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			NewTPI(opts)
+		}()
+	}
+}
+
+func TestTPIPeriodsTileTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tpi := NewTPI(Options{EpsS: 3, GC: 0.25, EpsC: 0.5, EpsD: 0.5, Seed: 11})
+	n := 40
+	pts := clusterPoints(rng, []geo.Point{geo.Pt(0, 0), geo.Pt(10, 10)}, n/2, 0.5)
+	for tick := 0; tick < 30; tick++ {
+		// Drift; at tick 15 everything jumps (forces a re-build).
+		for i := range pts {
+			pts[i] = geo.Pt(pts[i].X+rng.NormFloat64()*0.05, pts[i].Y+rng.NormFloat64()*0.05)
+		}
+		if tick == 15 {
+			for i := range pts {
+				pts[i] = geo.Pt(pts[i].X+100, pts[i].Y+100)
+			}
+		}
+		tpi.Append(idsSeq(n), pts, tick)
+	}
+	if tpi.NumPeriods() < 2 {
+		t.Fatalf("the jump should have forced a re-build; periods = %d", tpi.NumPeriods())
+	}
+	// Periods tile [0, 29] without gaps or overlap.
+	expect := 0
+	for _, p := range tpi.Periods {
+		if p.Start != expect {
+			t.Fatalf("period starts at %d, want %d", p.Start, expect)
+		}
+		if p.End < p.Start {
+			t.Fatalf("bad period %+v", p)
+		}
+		expect = p.End + 1
+	}
+	if expect != 30 {
+		t.Fatalf("periods end at %d, want 30", expect)
+	}
+}
+
+func TestTPIInsertionForUncovered(t *testing.T) {
+	tpi := NewTPI(Options{EpsS: 5, GC: 0.5, EpsC: 0.9, EpsD: 0.99, Seed: 12})
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(0.5, 0.5)}
+	tpi.Append(idsSeq(2), pts, 0)
+	// New trajectory appears far outside the covered area; ADR won't
+	// trigger (others stay), so this must be an Insertion, not a rebuild.
+	pts2 := []geo.Point{geo.Pt(0.05, 0.05), geo.Pt(0.55, 0.55), geo.Pt(50, 50)}
+	tpi.Append(idsSeq(3), pts2, 1)
+	if tpi.NumPeriods() != 1 {
+		t.Fatalf("should still be one period, got %d", tpi.NumPeriods())
+	}
+	if tpi.Stats().Insertions != 1 {
+		t.Fatalf("Insertions = %d, want 1", tpi.Stats().Insertions)
+	}
+	ids, _, ok := tpi.Lookup(geo.Pt(50, 50), 1)
+	if !ok || len(ids) != 1 || ids[0] != 2 {
+		t.Fatalf("inserted region lookup = %v ok=%v", ids, ok)
+	}
+}
+
+func TestTPIRebuildOnDensityDrop(t *testing.T) {
+	// Two dense areas at t=0; at t=1 one empties → ADR = 0.5 region
+	// dropping... build with εd low enough to trigger.
+	tpi := NewTPI(Options{EpsS: 2, GC: 0.25, EpsC: 0.5, EpsD: 0.3, Seed: 13})
+	rng := rand.New(rand.NewSource(14))
+	a := clusterPoints(rng, []geo.Point{geo.Pt(0, 0)}, 20, 0.3)
+	b := clusterPoints(rng, []geo.Point{geo.Pt(20, 20)}, 20, 0.3)
+	tpi.Append(idsSeq(40), append(append([]geo.Point{}, a...), b...), 0)
+	// All 40 move to cluster a's area: cluster b's regions drop to ~0.
+	all := clusterPoints(rng, []geo.Point{geo.Pt(0, 0)}, 40, 0.3)
+	tpi.Append(idsSeq(40), all, 1)
+	if tpi.Stats().Rebuilds < 2 {
+		t.Fatalf("density collapse should force a re-build; rebuilds = %d", tpi.Stats().Rebuilds)
+	}
+	if tpi.PeriodOf(1).Start != 1 {
+		t.Fatal("tick 1 should start a fresh period")
+	}
+}
+
+func TestTPIHigherEpsDFewerPeriods(t *testing.T) {
+	// Tables 7/8 shape: higher tolerance ⇒ fewer rebuilds/periods.
+	run := func(epsD float64) int {
+		rng := rand.New(rand.NewSource(15))
+		tpi := NewTPI(Options{EpsS: 3, GC: 0.25, EpsC: 0.5, EpsD: epsD, Seed: 16})
+		pts := clusterPoints(rng, []geo.Point{geo.Pt(0, 0), geo.Pt(5, 5), geo.Pt(-5, 5)}, 20, 0.5)
+		for tick := 0; tick < 40; tick++ {
+			for i := range pts {
+				pts[i] = geo.Pt(pts[i].X+rng.NormFloat64()*0.4, pts[i].Y+rng.NormFloat64()*0.4)
+			}
+			tpi.Append(idsSeq(len(pts)), pts, tick)
+		}
+		return tpi.NumPeriods()
+	}
+	strict, loose := run(0.05), run(0.9)
+	if loose > strict {
+		t.Fatalf("higher ε_d should not increase periods: strict=%d loose=%d", strict, loose)
+	}
+}
+
+func TestTPILookupOutsidePeriods(t *testing.T) {
+	tpi := NewTPI(Options{EpsS: 1, GC: 0.25, EpsC: 0.5, EpsD: 0.5, Seed: 17})
+	tpi.Append(idsSeq(1), []geo.Point{geo.Pt(0, 0)}, 5)
+	if _, _, ok := tpi.Lookup(geo.Pt(0, 0), 99); ok {
+		t.Fatal("lookup outside any period should fail")
+	}
+	if _, ok := tpi.CellRect(geo.Pt(0, 0), 99); ok {
+		t.Fatal("CellRect outside any period should fail")
+	}
+	if got := tpi.LookupArea(geo.NewRect(-1, -1, 1, 1), 99, nil); got != nil {
+		t.Fatalf("LookupArea outside period = %v", got)
+	}
+}
+
+func TestTPIAppendPanicsOnTickRegression(t *testing.T) {
+	tpi := NewTPI(Options{EpsS: 1, GC: 0.25, Seed: 18})
+	tpi.Append(idsSeq(1), []geo.Point{geo.Pt(0, 0)}, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tpi.Append(idsSeq(1), []geo.Point{geo.Pt(0, 0)}, 3)
+}
+
+func TestAssignPagesAndIOAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	tpi := NewTPI(Options{EpsS: 5, GC: 0.1, EpsC: 0.5, EpsD: 0.5, Seed: 20})
+	pts := clusterPoints(rng, []geo.Point{geo.Pt(0, 0)}, 500, 1)
+	for tick := 0; tick < 5; tick++ {
+		tpi.Append(idsSeq(len(pts)), pts, tick)
+	}
+	if err := tpi.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	ps := store.New(4096) // small pages to force multi-page layout
+	tpi.AssignPages(ps)
+	if ps.NumPages() < 2 {
+		t.Fatalf("expected multi-page layout, got %d pages", ps.NumPages())
+	}
+	rt := ps.BeginRead()
+	got := tpi.LookupArea(geo.NewRect(-0.2, -0.2, 0.2, 0.2), 2, rt)
+	if len(got) == 0 {
+		t.Fatal("query should find points")
+	}
+	if rt.PagesTouched() == 0 {
+		t.Fatal("disk query should touch pages")
+	}
+	if rt.PagesTouched() >= ps.NumPages() {
+		t.Fatal("query should not scan the whole store")
+	}
+}
+
+// TestLookupOracle cross-checks PI lookups against brute force over many
+// random configurations.
+func TestLookupOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + rng.Intn(150)
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+		}
+		pi := BuildPI(idsSeq(n), pts, 0, 2+rng.Float64()*4, 0.2+rng.Float64()*0.3, int64(trial))
+		if err := pi.Seal(); err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 30; probe++ {
+			q := pts[rng.Intn(n)]
+			ids, cell, ok := pi.Lookup(q, 0)
+			if !ok {
+				t.Fatalf("indexed point %v not covered", q)
+			}
+			want := map[traj.ID]bool{}
+			for i, p := range pts {
+				if cell.Contains(p) {
+					want[traj.ID(i)] = true
+				}
+			}
+			if len(ids) != len(want) {
+				t.Fatalf("trial %d: got %d ids, want %d", trial, len(ids), len(want))
+			}
+			for _, id := range ids {
+				if !want[id] {
+					t.Fatalf("unexpected id %d", id)
+				}
+			}
+		}
+	}
+}

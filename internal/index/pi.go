@@ -1,0 +1,421 @@
+// Package index implements the paper's data organization for online
+// querying (§5.1): the partition-based index PI (Algorithm 3) — bounded
+// spatial partitions covered by minimum rectangles, made disjoint with
+// rectangle decomposition, each gridded at cell size g_c with delta+Huffman
+// compressed trajectory-ID posting lists per (cell, tick) — and the
+// temporal partition-based index TPI (Algorithm 4), which reuses a PI
+// across a period of timestamps, monitoring Trajectory Region Density
+// (Definition 5.1) to decide between cheap Insertions and full Re-builds.
+package index
+
+import (
+	"math"
+	"sort"
+
+	"ppqtraj/internal/cluster"
+	"ppqtraj/internal/codec"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/store"
+	"ppqtraj/internal/traj"
+)
+
+// cellKey addresses a grid cell within a region.
+type cellKey struct{ X, Y int32 }
+
+// cellData is one cell's contents: per-tick trajectory IDs. IDs accumulate
+// uncompressed during the build and are sealed into compressed posting
+// lists by Seal.
+type cellData struct {
+	raw    map[int][]traj.ID          // tick → IDs (building)
+	sealed map[int]*codec.PostingList // tick → compressed postings
+	pages  store.PageRange            // disk placement (after AssignPages)
+	placed bool
+}
+
+// Region is one indexed subregion R_{i,gc}: a rectangle gridded at g_c.
+type Region struct {
+	Rect      geo.Rect
+	gc        float64
+	cells     map[cellKey]*cellData
+	baseTick  int         // tick the region was created at
+	baseCount int         // N_{R,ts}: points indexed at creation (TRD baseline)
+	perTick   map[int]int // N_{R,t} for every tick
+}
+
+func newRegion(r geo.Rect, gc float64, tick int) *Region {
+	return &Region{
+		Rect:     r,
+		gc:       gc,
+		cells:    make(map[cellKey]*cellData),
+		baseTick: tick,
+		perTick:  make(map[int]int),
+	}
+}
+
+// cellOf maps a point inside the region to its cell key (cells are
+// anchored at the region's min corner).
+func (r *Region) cellOf(p geo.Point) cellKey {
+	return cellKey{
+		X: int32(math.Floor((p.X - r.Rect.MinX) / r.gc)),
+		Y: int32(math.Floor((p.Y - r.Rect.MinY) / r.gc)),
+	}
+}
+
+// CellRect returns the rectangle of the cell containing p, clipped to the
+// region (regions partition space, so a cell never owns points beyond its
+// region's boundary).
+func (r *Region) CellRect(p geo.Point) geo.Rect {
+	k := r.cellOf(p)
+	cell := geo.Rect{
+		MinX: r.Rect.MinX + float64(k.X)*r.gc,
+		MinY: r.Rect.MinY + float64(k.Y)*r.gc,
+		MaxX: r.Rect.MinX + float64(k.X+1)*r.gc,
+		MaxY: r.Rect.MinY + float64(k.Y+1)*r.gc,
+	}
+	return cell.Intersect(r.Rect)
+}
+
+func (r *Region) insert(id traj.ID, p geo.Point, tick int) {
+	k := r.cellOf(p)
+	c := r.cells[k]
+	if c == nil {
+		c = &cellData{raw: make(map[int][]traj.ID)}
+		r.cells[k] = c
+	}
+	c.raw[tick] = append(c.raw[tick], id)
+	r.perTick[tick]++
+	if tick == r.baseTick {
+		r.baseCount++
+	}
+}
+
+// count returns N_{R,t}.
+func (r *Region) count(tick int) int { return r.perTick[tick] }
+
+// PI is the partition-based index of Algorithm 3 for one time period.
+type PI struct {
+	Regions []*Region
+	gc      float64
+	epsS    float64
+	seed    int64
+	coder   *codec.PostingCoder // shared posting coder (built by Seal)
+	sealed  bool
+}
+
+// BuildPI runs Algorithm 3 on one timestamp's points: bounded partitioning
+// with ε_s, minimum covering rectangles, overlap removal, grid indexing.
+func BuildPI(ids []traj.ID, points []geo.Point, tick int, epsS, gc float64, seed int64) *PI {
+	pi := &PI{gc: gc, epsS: epsS, seed: seed}
+	pi.extend(ids, points, tick)
+	return pi
+}
+
+// extend adds new regions covering the given points (used both by the
+// initial build and by TPI "Insertion"). Region rectangles are made
+// disjoint from all existing ones via rectangle subtraction
+// (remove_overlap, [Gourley & Green]).
+func (pi *PI) extend(ids []traj.ID, points []geo.Point, tick int) {
+	if len(points) == 0 {
+		return
+	}
+	// Line 1: q_s partitions under ε_s (Equation 7 with ε_s).
+	res, _ := cluster.BoundedPartition(partitionFeatures(points), cluster.BoundedOptions{
+		Epsilon: pi.epsS,
+		Seed:    pi.seed,
+		MaxIter: 15,
+	})
+	groups := make([][]int, res.K())
+	for i, c := range res.Assign {
+		groups[c] = append(groups[c], i)
+	}
+	// A tiny inflation keeps max-edge points inside under the half-open
+	// convention.
+	const inflate = 1e-9
+	existing := make([]geo.Rect, 0, len(pi.Regions))
+	for _, r := range pi.Regions {
+		existing = append(existing, r.Rect)
+	}
+	firstNew := len(pi.Regions)
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		pts := make([]geo.Point, len(g))
+		for i, idx := range g {
+			pts[i] = points[idx]
+		}
+		// Line 5: minimum covering rectangle.
+		mbr := geo.BoundingRect(pts, inflate)
+		// Lines 6–8: remove overlap with already-indexed rectangles and
+		// decompose the remainder into rectangles.
+		pieces := mbr.SubtractAll(existing)
+		for _, piece := range pieces {
+			pi.Regions = append(pi.Regions, newRegion(piece, pi.gc, tick))
+			existing = append(existing, piece)
+		}
+	}
+	// Insert the points into whichever region now covers them. Points
+	// whose location falls in a pre-existing region (their group's MBR
+	// overlapped it) are inserted there — the space is already indexed.
+	for i, p := range points {
+		if r := pi.regionOf(p); r != nil {
+			r.insert(ids[i], p, tick)
+		}
+	}
+	// Prune freshly-created regions that received no points: rectangle
+	// subtraction produces slivers on the far side of existing regions,
+	// and keeping empty ones would dilute the ADR denominator
+	// (Equation 12) and bloat the directory.
+	kept := pi.Regions[:firstNew]
+	for _, r := range pi.Regions[firstNew:] {
+		if r.baseCount > 0 {
+			kept = append(kept, r)
+		}
+	}
+	pi.Regions = kept
+	pi.sealed = false
+}
+
+func partitionFeatures(points []geo.Point) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		out[i] = []float64{p.X, p.Y}
+	}
+	return out
+}
+
+// regionOf returns the region covering p (regions are disjoint).
+func (pi *PI) regionOf(p geo.Point) *Region {
+	for _, r := range pi.Regions {
+		if r.Rect.Contains(p) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Covers reports whether p lies in some region.
+func (pi *PI) Covers(p geo.Point) bool { return pi.regionOf(p) != nil }
+
+// Insert adds covered points at the given tick into existing regions.
+// It returns the indices of the points that were NOT covered (the T_uc
+// of Algorithm 4).
+func (pi *PI) Insert(ids []traj.ID, points []geo.Point, tick int) (uncovered []int) {
+	for i, p := range points {
+		if r := pi.regionOf(p); r != nil {
+			r.insert(ids[i], p, tick)
+		} else {
+			uncovered = append(uncovered, i)
+		}
+	}
+	if len(points) > 0 {
+		pi.sealed = false
+	}
+	return uncovered
+}
+
+// Extend builds new regions for uncovered points ("Insertion" in
+// Algorithm 4) and inserts them.
+func (pi *PI) Extend(ids []traj.ID, points []geo.Point, tick int) {
+	pi.extend(ids, points, tick)
+}
+
+// Seal compresses every cell's per-tick ID lists with the shared
+// delta+Huffman coder. Sealing is idempotent and re-runs after new
+// insertions.
+func (pi *PI) Seal() error {
+	if pi.sealed {
+		return nil
+	}
+	var lists [][]uint32
+	for _, r := range pi.Regions {
+		for _, c := range r.cells {
+			for _, ids := range c.raw {
+				lists = append(lists, idsToU32(ids))
+			}
+		}
+	}
+	coder, err := codec.NewPostingCoder(lists)
+	if err != nil {
+		return err
+	}
+	pi.coder = coder
+	for _, r := range pi.Regions {
+		for _, c := range r.cells {
+			c.sealed = make(map[int]*codec.PostingList, len(c.raw))
+			for tick, ids := range c.raw {
+				p, err := coder.Encode(idsToU32(ids))
+				if err != nil {
+					return err
+				}
+				c.sealed[tick] = p
+			}
+		}
+	}
+	pi.sealed = true
+	return nil
+}
+
+func idsToU32(ids []traj.ID) []uint32 {
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = uint32(id)
+	}
+	return out
+}
+
+// Lookup returns the trajectory IDs indexed in the cell containing p at
+// the given tick, plus the cell rectangle. ok is false when p is not
+// covered by any region.
+func (pi *PI) Lookup(p geo.Point, tick int) (ids []traj.ID, cell geo.Rect, ok bool) {
+	r := pi.regionOf(p)
+	if r == nil {
+		return nil, geo.Rect{}, false
+	}
+	cell = r.CellRect(p)
+	c := r.cells[r.cellOf(p)]
+	if c == nil {
+		return nil, cell, true
+	}
+	return pi.decodeCell(c, tick), cell, true
+}
+
+func (pi *PI) decodeCell(c *cellData, tick int) []traj.ID {
+	if pi.sealed {
+		pl := c.sealed[tick]
+		if pl == nil {
+			return nil
+		}
+		u32, err := pi.coder.Decode(pl)
+		if err != nil {
+			return nil
+		}
+		out := make([]traj.ID, len(u32))
+		for i, v := range u32 {
+			out[i] = traj.ID(v)
+		}
+		return out
+	}
+	return append([]traj.ID(nil), c.raw[tick]...)
+}
+
+// LookupArea returns all IDs at the given tick whose indexed position
+// falls in a cell intersecting the query rectangle — the local-search
+// probe of §5.2. The returned cells slice lists the page ranges touched
+// when a ReadTracker is supplied (disk mode).
+func (pi *PI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.ID {
+	var out []traj.ID
+	for _, r := range pi.Regions {
+		if !r.Rect.Intersects(area) {
+			continue
+		}
+		// Cell range intersecting the area within this region.
+		x0 := int32(math.Floor((math.Max(area.MinX, r.Rect.MinX) - r.Rect.MinX) / r.gc))
+		y0 := int32(math.Floor((math.Max(area.MinY, r.Rect.MinY) - r.Rect.MinY) / r.gc))
+		x1 := int32(math.Floor((math.Min(area.MaxX, r.Rect.MaxX) - r.Rect.MinX) / r.gc))
+		y1 := int32(math.Floor((math.Min(area.MaxY, r.Rect.MaxY) - r.Rect.MinY) / r.gc))
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				c := r.cells[cellKey{x, y}]
+				if c == nil {
+					continue
+				}
+				if rt != nil && c.placed {
+					rt.Read(c.pages)
+				}
+				out = append(out, pi.decodeCell(c, tick)...)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupIDs(out)
+}
+
+func dedupIDs(ids []traj.ID) []traj.ID {
+	if len(ids) < 2 {
+		return ids
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// SizeBytes estimates the serialized index size: region rectangles, cell
+// directory entries, compressed postings, and the shared Huffman table.
+// The PI must be sealed first for the compressed sizes to be exact.
+func (pi *PI) SizeBytes() int {
+	bits := 0
+	if pi.coder != nil {
+		bits += pi.coder.TableBits()
+	}
+	for _, r := range pi.Regions {
+		bits += 4 * 64 // rectangle
+		for _, c := range r.cells {
+			bits += 64 // cell key + directory entry
+			if pi.sealed {
+				for _, pl := range c.sealed {
+					bits += 32 + pl.Bits // tick tag + postings
+				}
+			} else {
+				for _, ids := range c.raw {
+					bits += 32 + 32*len(ids)
+				}
+			}
+		}
+	}
+	return (bits + 7) / 8
+}
+
+// NumCells returns the number of non-empty cells.
+func (pi *PI) NumCells() int {
+	n := 0
+	for _, r := range pi.Regions {
+		n += len(r.cells)
+	}
+	return n
+}
+
+// AssignPages lays the sealed index out on the page store: the region
+// directory first, then every cell's postings in deterministic order.
+// Queries afterwards charge I/Os through LookupArea's ReadTracker.
+func (pi *PI) AssignPages(ps *store.PageStore) {
+	ps.AlignToPage()
+	// Directory blob: rectangles + cell keys.
+	dir := 0
+	for _, r := range pi.Regions {
+		dir += 32 + len(r.cells)*16
+	}
+	dirRange := ps.Alloc(dir)
+	for _, r := range pi.Regions {
+		keys := make([]cellKey, 0, len(r.cells))
+		for k := range r.cells {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].X != keys[j].X {
+				return keys[i].X < keys[j].X
+			}
+			return keys[i].Y < keys[j].Y
+		})
+		for _, k := range keys {
+			c := r.cells[k]
+			sz := 0
+			if pi.sealed {
+				for _, pl := range c.sealed {
+					sz += 8 + (pl.Bits+7)/8
+				}
+			} else {
+				for _, ids := range c.raw {
+					sz += 8 + 4*len(ids)
+				}
+			}
+			c.pages = ps.Alloc(sz)
+			c.placed = true
+		}
+	}
+	_ = dirRange
+}

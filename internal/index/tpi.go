@@ -1,0 +1,225 @@
+package index
+
+import (
+	"time"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/store"
+	"ppqtraj/internal/traj"
+)
+
+// Options configures TPI construction (Algorithm 4).
+type Options struct {
+	// EpsS is ε_s, the spatial partition threshold for PI construction.
+	EpsS float64
+	// GC is g_c, the grid cell size of each region.
+	GC float64
+	// EpsC is ε_c, the per-region TRD dropping-rate threshold
+	// (Equation 14).
+	EpsC float64
+	// EpsD is ε_d, the ADR threshold that triggers a Re-build
+	// (Algorithm 4 line 6).
+	EpsD float64
+	// Seed makes PI clustering deterministic.
+	Seed int64
+}
+
+// Period is one time interval [Start, End] indexed by a single PI.
+type Period struct {
+	Start, End int
+	PI         *PI
+}
+
+// Stats reports TPI build work (Tables 7 and 8).
+type Stats struct {
+	Rebuilds   int // "Re-build" events (also = number of periods - adjustments)
+	Insertions int // "Insertion" events (new regions added mid-period)
+	BuildTime  time.Duration
+}
+
+// TPI is the temporal partition-based index: a sequence of periods, each
+// owning one PI (Algorithm 4).
+type TPI struct {
+	opts     Options
+	Periods  []Period
+	stats    Stats
+	lastTick int
+}
+
+// NewTPI creates an empty TPI.
+func NewTPI(opts Options) *TPI {
+	if opts.GC <= 0 {
+		panic("index: TPI requires GC > 0")
+	}
+	if opts.EpsS <= 0 {
+		panic("index: TPI requires EpsS > 0")
+	}
+	return &TPI{opts: opts, lastTick: -1}
+}
+
+// Stats returns the build counters.
+func (t *TPI) Stats() Stats { return t.stats }
+
+// NumPeriods returns the number of time periods.
+func (t *TPI) NumPeriods() int { return len(t.Periods) }
+
+// current returns the open period (the last one).
+func (t *TPI) current() *Period {
+	if len(t.Periods) == 0 {
+		return nil
+	}
+	return &t.Periods[len(t.Periods)-1]
+}
+
+// adr computes the Average Dropping Rate of TRD between the current
+// period's baseline and tick te (Equations 12–14), given the per-region
+// counts of covered points at te.
+func (t *TPI) adr(pi *PI, coveredCount map[*Region]int) float64 {
+	n := len(pi.Regions)
+	if n == 0 {
+		return 0
+	}
+	drops := 0
+	for _, r := range pi.Regions {
+		base := r.baseCount
+		if base == 0 {
+			continue // region had no baseline occupancy; cannot drop
+		}
+		h1 := (float64(coveredCount[r]) - float64(base)) / float64(base)
+		if h1 < 0 && -h1 > t.opts.EpsC {
+			drops++
+		}
+	}
+	return float64(drops) / float64(n)
+}
+
+// Append feeds one timestamp of (already reconstructed or raw) points
+// into the index — Algorithm 4's loop body. Ticks must arrive in strictly
+// increasing order.
+func (t *TPI) Append(ids []traj.ID, points []geo.Point, tick int) {
+	start := time.Now()
+	defer func() { t.stats.BuildTime += time.Since(start) }()
+	if len(ids) != len(points) {
+		panic("index: ids/points length mismatch")
+	}
+	if tick <= t.lastTick {
+		panic("index: ticks must be strictly increasing")
+	}
+	t.lastTick = tick
+
+	cur := t.current()
+	if cur == nil {
+		pi := BuildPI(ids, points, tick, t.opts.EpsS, t.opts.GC, t.opts.Seed)
+		t.Periods = append(t.Periods, Period{Start: tick, End: tick, PI: pi})
+		t.stats.Rebuilds++
+		return
+	}
+
+	// Split into covered / uncovered (Algorithm 4 line 5) and count
+	// covered points per region for the ADR check.
+	coveredCount := make(map[*Region]int)
+	var uncovered []int
+	for i, p := range points {
+		if r := cur.PI.regionOf(p); r != nil {
+			coveredCount[r]++
+		} else {
+			uncovered = append(uncovered, i)
+		}
+	}
+
+	if t.adr(cur.PI, coveredCount) > t.opts.EpsD {
+		// Re-build (lines 6–9): close the period and start fresh.
+		pi := BuildPI(ids, points, tick, t.opts.EpsS, t.opts.GC, t.opts.Seed)
+		t.Periods = append(t.Periods, Period{Start: tick, End: tick, PI: pi})
+		t.stats.Rebuilds++
+		return
+	}
+
+	// Reuse: insert covered points, extend for uncovered (lines 10–11).
+	rest := cur.PI.Insert(ids, points, tick)
+	if len(rest) > 0 {
+		subIDs := make([]traj.ID, len(rest))
+		subPts := make([]geo.Point, len(rest))
+		for i, idx := range rest {
+			subIDs[i] = ids[idx]
+			subPts[i] = points[idx]
+		}
+		cur.PI.Extend(subIDs, subPts, tick)
+		t.stats.Insertions++
+	}
+	cur.End = tick
+}
+
+// Seal compresses the posting lists of every period.
+func (t *TPI) Seal() error {
+	for i := range t.Periods {
+		if err := t.Periods[i].PI.Seal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PeriodOf returns the period containing the tick, or nil.
+func (t *TPI) PeriodOf(tick int) *Period {
+	// Periods are ordered and non-overlapping; binary search would do, but
+	// period counts are small.
+	for i := range t.Periods {
+		p := &t.Periods[i]
+		if tick >= p.Start && tick <= p.End {
+			return p
+		}
+	}
+	return nil
+}
+
+// Lookup returns the IDs in the g_c cell containing p at the given tick,
+// with the cell rectangle.
+func (t *TPI) Lookup(p geo.Point, tick int) (ids []traj.ID, cell geo.Rect, ok bool) {
+	period := t.PeriodOf(tick)
+	if period == nil {
+		return nil, geo.Rect{}, false
+	}
+	return period.PI.Lookup(p, tick)
+}
+
+// LookupArea performs the local-search probe over the period containing
+// tick (see §5.2); rt, when non-nil, charges disk I/Os.
+func (t *TPI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.ID {
+	period := t.PeriodOf(tick)
+	if period == nil {
+		return nil
+	}
+	return period.PI.LookupArea(area, tick, rt)
+}
+
+// CellRect returns the g_c cell rectangle that p maps to at the given
+// tick — the STRQ query granularity (Definition 5.2). ok is false when p
+// is not covered by any region of the period's PI.
+func (t *TPI) CellRect(p geo.Point, tick int) (geo.Rect, bool) {
+	period := t.PeriodOf(tick)
+	if period == nil {
+		return geo.Rect{}, false
+	}
+	r := period.PI.regionOf(p)
+	if r == nil {
+		return geo.Rect{}, false
+	}
+	return r.CellRect(p), true
+}
+
+// SizeBytes sums the serialized sizes of all periods' PIs.
+func (t *TPI) SizeBytes() int {
+	n := 0
+	for i := range t.Periods {
+		n += t.Periods[i].PI.SizeBytes()
+	}
+	return n
+}
+
+// AssignPages lays out every period on the page store in time order.
+func (t *TPI) AssignPages(ps *store.PageStore) {
+	for i := range t.Periods {
+		t.Periods[i].PI.AssignPages(ps)
+	}
+}

@@ -1,0 +1,267 @@
+// Package mat implements the small dense linear algebra kernel that
+// PPQ-trajectory's predictive quantizer needs: least-squares solves for the
+// prediction coefficients P_j[t] (Equation 1) and Yule-Walker fits for the
+// per-trajectory lag-k autocorrelation features used by the
+// autocorrelation-based partitioner (Equation 8).
+//
+// The systems involved are tiny (k×k with k typically 2–5), so the package
+// favors clarity and numerical robustness (partial pivoting, ridge
+// fallback) over asymptotic tricks.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no usable solution even
+// after regularization.
+var ErrSingular = errors.New("mat: singular system")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense allocates a Rows×Cols zero matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("mat: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MulVec returns m · x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// SolveLinear solves the square system A·x = b in place using Gaussian
+// elimination with partial pivoting. A and b are overwritten. It returns
+// ErrSingular when a pivot collapses below tolerance.
+func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mat: SolveLinear requires a square system")
+	}
+	const tol = 1e-12
+	for col := 0; col < n; col++ {
+		// Partial pivot: pick the row with the largest magnitude in col.
+		pivot := col
+		maxAbs := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > maxAbs {
+				maxAbs, pivot = v, r
+			}
+		}
+		if maxAbs < tol {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				a.Data[col*n+j], a.Data[pivot*n+j] = a.Data[pivot*n+j], a.Data[col*n+j]
+			}
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := a.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Data[r*n+j] -= f * a.Data[col*n+j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * x[j]
+		}
+		x[i] = s / a.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A·x − b‖² via the normal equations
+// AᵀA·x = Aᵀb, falling back to a small ridge term when AᵀA is singular
+// (which happens for degenerate windows, e.g. a stationary trajectory).
+// A has one row per observation and one column per coefficient.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		panic(fmt.Sprintf("mat: LeastSquares rows %d vs b %d", a.Rows, len(b)))
+	}
+	n := a.Cols
+	if a.Rows < n {
+		return nil, fmt.Errorf("mat: underdetermined system (%d rows, %d cols)", a.Rows, n)
+	}
+	ata := NewDense(n, n)
+	atb := make([]float64, n)
+	for r := 0; r < a.Rows; r++ {
+		row := a.Data[r*n : (r+1)*n]
+		for i := 0; i < n; i++ {
+			atb[i] += row[i] * b[r]
+			for j := i; j < n; j++ {
+				ata.Data[i*n+j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ { // mirror the upper triangle
+		for j := 0; j < i; j++ {
+			ata.Data[i*n+j] = ata.Data[j*n+i]
+		}
+	}
+	// Try the plain normal equations first; add ridge on failure.
+	for _, ridge := range []float64{0, 1e-9, 1e-6, 1e-3} {
+		sys := NewDense(n, n)
+		copy(sys.Data, ata.Data)
+		rhs := make([]float64, n)
+		copy(rhs, atb)
+		if ridge > 0 {
+			// Scale the ridge with the trace so it is dimensionless.
+			tr := 0.0
+			for i := 0; i < n; i++ {
+				tr += ata.At(i, i)
+			}
+			lambda := ridge * (tr/float64(n) + 1)
+			for i := 0; i < n; i++ {
+				sys.Data[i*n+i] += lambda
+			}
+		}
+		if x, err := SolveLinear(sys, rhs); err == nil {
+			ok := true
+			for _, v := range x {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return x, nil
+			}
+		}
+	}
+	return nil, ErrSingular
+}
+
+// Autocovariance returns the sample autocovariances γ₀..γ_k of series x
+// (biased estimator, the standard choice for Yule-Walker).
+func Autocovariance(x []float64, k int) []float64 {
+	n := len(x)
+	out := make([]float64, k+1)
+	if n == 0 {
+		return out
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	for lag := 0; lag <= k && lag < n; lag++ {
+		var s float64
+		for t := lag; t < n; t++ {
+			s += (x[t] - mean) * (x[t-lag] - mean)
+		}
+		out[lag] = s / float64(n)
+	}
+	return out
+}
+
+// YuleWalker fits an AR(k) model to series x and returns the k
+// autoregressive coefficients. These are the {a_i^t} features the
+// autocorrelation-based partitioner clusters on (§3.2.1). When the series
+// is too short or degenerate (constant), it returns the zero vector, which
+// places such trajectories in a common "no signal" region of feature space.
+func YuleWalker(x []float64, k int) []float64 {
+	coeffs := make([]float64, k)
+	if len(x) < k+2 {
+		return coeffs
+	}
+	gamma := Autocovariance(x, k)
+	if gamma[0] < 1e-15 { // constant series
+		return coeffs
+	}
+	// Toeplitz system R·a = r with R[i][j] = γ(|i−j|), r[i] = γ(i+1).
+	sys := NewDense(k, k)
+	rhs := make([]float64, k)
+	for i := 0; i < k; i++ {
+		rhs[i] = gamma[i+1]
+		for j := 0; j < k; j++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			sys.Set(i, j, gamma[d])
+		}
+	}
+	// Ridge for near-singular Toeplitz matrices (strongly correlated lags).
+	for i := 0; i < k; i++ {
+		sys.Data[i*k+i] += 1e-9 * gamma[0]
+	}
+	a, err := SolveLinear(sys, rhs)
+	if err != nil {
+		return coeffs
+	}
+	copy(coeffs, a)
+	return coeffs
+}
+
+// Mean returns the arithmetic mean of x (0 for empty input).
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// EuclideanDist returns ‖a − b‖₂ for equal-length vectors.
+func EuclideanDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: EuclideanDist length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

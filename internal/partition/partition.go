@@ -1,0 +1,381 @@
+// Package partition implements PPQ's grouped-modeling partitioner
+// (§3.2): assigning each live trajectory at each timestamp to a partition
+// by spatial proximity (Equation 7) or lag-k autocorrelation similarity
+// (Equation 8), so that one prediction function f_j can model each group.
+//
+// The partitioner is incremental across time (§3.2.2): points first keep
+// the partition of their previous timestamp; partitions that violate the
+// ε_p bound are re-split with the bounded clustering loop (Lemma 1);
+// nearby partitions are merged — at most once each per step — to avoid
+// fragmentation (Lemma 2 complexity O(q′m′N′l + q′q)).
+package partition
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"ppqtraj/internal/cluster"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// Mode selects the similarity driving Equations 7/8.
+type Mode int
+
+const (
+	// Spatial partitions on point positions (PPQ-S, Equation 7).
+	Spatial Mode = iota
+	// Autocorr partitions on lag-k autocorrelation features (PPQ-A,
+	// Equation 8).
+	Autocorr
+	// None disables partitioning: a single global partition (E-PQ).
+	None
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Spatial:
+		return "spatial"
+	case Autocorr:
+		return "autocorr"
+	default:
+		return "none"
+	}
+}
+
+// Options configures a Partitioner.
+type Options struct {
+	Mode Mode
+	// EpsP is ε_p, the partition radius threshold of Equations 7/8.
+	EpsP float64
+	// Step is the per-round partition-count increment of the bounded
+	// clustering loop (the "a" of Lemma 1). Defaults to 1.
+	Step int
+	// MaxIter bounds Lloyd iterations per clustering round.
+	MaxIter int
+	// MaxPartitions caps q as a safety valve (0 = no cap).
+	MaxPartitions int
+	// Seed makes partitioning deterministic.
+	Seed int64
+}
+
+// Stats accumulates the work counters reported by the Figure 7/8
+// experiments.
+type Stats struct {
+	Steps       int           // timestamps processed
+	Resplits    int           // partitions re-split for violating ε_p
+	Merges      int           // partition merges performed
+	NewParts    int           // partitions created
+	Elapsed     time.Duration // total partitioning time (Figure 7)
+	FromScratch int           // points partitioned without carry-over
+	CarriedOver int           // points that kept their previous partition
+}
+
+// Result is one timestamp's partitioning: Groups[g] lists indices into the
+// input slice belonging to partition g; Labels[g] is that partition's
+// stable identity across timestamps.
+type Result struct {
+	Groups [][]int
+	Labels []int
+	Q      int // number of partitions (Figure 8's q)
+}
+
+type part struct {
+	centroid []float64
+	members  []int // indices into the current step's input
+}
+
+// Partitioner carries partition state across timestamps.
+type Partitioner struct {
+	opts   Options
+	assign map[traj.ID]int // trajectory → partition label (previous step)
+	next   int             // next fresh partition label
+	stats  Stats
+}
+
+// New creates a Partitioner.
+func New(opts Options) *Partitioner {
+	if opts.Step < 1 {
+		opts.Step = 1
+	}
+	if opts.MaxIter < 1 {
+		opts.MaxIter = 15
+	}
+	return &Partitioner{opts: opts, assign: make(map[traj.ID]int)}
+}
+
+// Stats returns accumulated work counters.
+func (p *Partitioner) Stats() Stats { return p.stats }
+
+// QLive returns the number of partitions currently holding at least one
+// trajectory (meaningful after a Step call).
+func (p *Partitioner) QLive() int {
+	labels := map[int]bool{}
+	for _, l := range p.assign {
+		labels[l] = true
+	}
+	return len(labels)
+}
+
+func centroidOf(feats [][]float64, members []int) []float64 {
+	if len(members) == 0 {
+		return nil
+	}
+	dim := len(feats[members[0]])
+	c := make([]float64, dim)
+	for _, i := range members {
+		for d, v := range feats[i] {
+			c[d] += v
+		}
+	}
+	inv := 1 / float64(len(members))
+	for d := range c {
+		c[d] *= inv
+	}
+	return c
+}
+
+func maxRadius(feats [][]float64, members []int, centroid []float64) float64 {
+	max := 0.0
+	for _, i := range members {
+		var s float64
+		for d, v := range feats[i] {
+			dd := v - centroid[d]
+			s += dd * dd
+		}
+		if s > max {
+			max = s
+		}
+	}
+	// max holds the squared distance; return the distance.
+	return math.Sqrt(max)
+}
+
+// Step partitions one timestamp's trajectories. ids and feats are
+// parallel; feats[i] is the similarity feature of ids[i] (2-D position for
+// Spatial, k-dim AR coefficients for Autocorr). It returns the grouping
+// and updates the carried state.
+func (p *Partitioner) Step(ids []traj.ID, feats [][]float64) *Result {
+	start := time.Now()
+	defer func() { p.stats.Elapsed += time.Since(start) }()
+	p.stats.Steps++
+
+	if len(ids) == 0 {
+		p.assign = make(map[traj.ID]int)
+		return &Result{}
+	}
+	if p.opts.Mode == None {
+		// Single global partition with a stable label.
+		group := make([]int, len(ids))
+		for i := range group {
+			group[i] = i
+		}
+		newAssign := make(map[traj.ID]int, len(ids))
+		for _, id := range ids {
+			newAssign[id] = 0
+		}
+		p.assign = newAssign
+		return &Result{Groups: [][]int{group}, Labels: []int{0}, Q: 1}
+	}
+
+	// Phase 1: carry-forward. Points keep their previous partition; new
+	// points join the nearest existing centroid if within ε_p, else go to
+	// the fresh pool.
+	parts := map[int]*part{}
+	var fresh []int
+	// Previous centroids are recomputed lazily from this step's features,
+	// so first bucket by previous label.
+	for i, id := range ids {
+		if label, ok := p.assign[id]; ok {
+			pt := parts[label]
+			if pt == nil {
+				pt = &part{}
+				parts[label] = pt
+			}
+			pt.members = append(pt.members, i)
+			p.stats.CarriedOver++
+		} else {
+			fresh = append(fresh, i)
+			p.stats.FromScratch++
+		}
+	}
+	for _, pt := range parts {
+		pt.centroid = centroidOf(feats, pt.members)
+	}
+	// New points: nearest existing centroid within ε_p, else fresh pool.
+	if len(parts) > 0 && len(fresh) > 0 {
+		labels := sortedLabels(parts)
+		stillFresh := fresh[:0]
+		for _, i := range fresh {
+			bestLabel, bestD := -1, p.opts.EpsP
+			for _, l := range labels {
+				if d := distVec(feats[i], parts[l].centroid); d <= bestD {
+					bestLabel, bestD = l, d
+				}
+			}
+			if bestLabel >= 0 {
+				parts[bestLabel].members = append(parts[bestLabel].members, i)
+			} else {
+				stillFresh = append(stillFresh, i)
+			}
+		}
+		fresh = stillFresh
+	}
+
+	// Phase 2: re-split partitions violating ε_p (Equation 7/8).
+	for _, l := range sortedLabels(parts) {
+		pt := parts[l]
+		pt.centroid = centroidOf(feats, pt.members)
+		if maxRadius(feats, pt.members, pt.centroid) <= p.opts.EpsP {
+			continue
+		}
+		p.stats.Resplits++
+		sub := p.boundedSplit(feats, pt.members)
+		delete(parts, l)
+		for _, members := range sub {
+			nl := p.next
+			p.next++
+			p.stats.NewParts++
+			parts[nl] = &part{centroid: centroidOf(feats, members), members: members}
+		}
+	}
+
+	// Phase 3: fresh pool gets its own bounded partitioning.
+	if len(fresh) > 0 {
+		for _, members := range p.boundedSplit(feats, fresh) {
+			nl := p.next
+			p.next++
+			p.stats.NewParts++
+			parts[nl] = &part{centroid: centroidOf(feats, members), members: members}
+		}
+	}
+
+	// Phase 4: merge close partitions (centroid distance ≤ ε_p), each
+	// partition participating in at most one merge per step (§3.2.2).
+	labels := sortedLabels(parts)
+	merged := map[int]bool{}
+	for ai := 0; ai < len(labels); ai++ {
+		a := labels[ai]
+		if merged[a] || parts[a] == nil {
+			continue
+		}
+		for bi := ai + 1; bi < len(labels); bi++ {
+			b := labels[bi]
+			if merged[b] || parts[b] == nil {
+				continue
+			}
+			if distVec(parts[a].centroid, parts[b].centroid) <= p.opts.EpsP {
+				// Merge only when the union still satisfies the ε_p radius
+				// bound, so Equations 7/8 stay invariants of every step.
+				union := append(append([]int(nil), parts[a].members...), parts[b].members...)
+				uc := centroidOf(feats, union)
+				if maxRadius(feats, union, uc) > p.opts.EpsP {
+					continue
+				}
+				parts[a].members = union
+				parts[a].centroid = uc
+				delete(parts, b)
+				merged[a], merged[b] = true, true
+				p.stats.Merges++
+				break
+			}
+		}
+	}
+
+	// Safety valve: when MaxPartitions is set, merge globally-nearest
+	// partition pairs until the cap holds. This can violate the ε_p bound
+	// (deliberately — it trades partition purity for bounded coefficient
+	// storage when feature noise exceeds ε_p).
+	if p.opts.MaxPartitions > 0 {
+		for len(parts) > p.opts.MaxPartitions {
+			labels := sortedLabels(parts)
+			bi, bj, best := -1, -1, math.Inf(1)
+			for i := 0; i < len(labels); i++ {
+				for j := i + 1; j < len(labels); j++ {
+					if d := distVec(parts[labels[i]].centroid, parts[labels[j]].centroid); d < best {
+						bi, bj, best = i, j, d
+					}
+				}
+			}
+			a, b := parts[labels[bi]], parts[labels[bj]]
+			a.members = append(a.members, b.members...)
+			a.centroid = centroidOf(feats, a.members)
+			delete(parts, labels[bj])
+			p.stats.Merges++
+		}
+	}
+
+	// Build the result and the next assignment map.
+	labels = sortedLabels(parts)
+	res := &Result{Q: len(labels)}
+	newAssign := make(map[traj.ID]int, len(ids))
+	for _, l := range labels {
+		pt := parts[l]
+		sort.Ints(pt.members)
+		res.Groups = append(res.Groups, pt.members)
+		res.Labels = append(res.Labels, l)
+		for _, i := range pt.members {
+			newAssign[ids[i]] = l
+		}
+	}
+	p.assign = newAssign
+	return res
+}
+
+// boundedSplit partitions the given members with the bounded clustering
+// loop and returns member groups (indices into the step's input).
+func (p *Partitioner) boundedSplit(feats [][]float64, members []int) [][]int {
+	data := make([][]float64, len(members))
+	for i, m := range members {
+		data[i] = feats[m]
+	}
+	res, _ := cluster.BoundedPartition(data, cluster.BoundedOptions{
+		Epsilon: p.opts.EpsP,
+		Step:    p.opts.Step,
+		MaxIter: p.opts.MaxIter,
+		MaxK:    p.opts.MaxPartitions,
+		Seed:    p.opts.Seed,
+	})
+	groups := make([][]int, res.K())
+	for i, c := range res.Assign {
+		groups[c] = append(groups[c], members[i])
+	}
+	// Clusters can come back empty only if K() exceeds assignments; filter.
+	out := groups[:0]
+	for _, g := range groups {
+		if len(g) > 0 {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func sortedLabels(parts map[int]*part) []int {
+	labels := make([]int, 0, len(parts))
+	for l := range parts {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	return labels
+}
+
+func distVec(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SpatialFeatures converts points to the 2-D feature vectors used by
+// Spatial mode.
+func SpatialFeatures(points []geo.Point) [][]float64 {
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		out[i] = []float64{p.X, p.Y}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package quant
+
+import (
+	"math"
+	"sort"
+
+	"ppqtraj/internal/cluster"
+	"ppqtraj/internal/geo"
+)
+
+// Product implements the Product Quantization baseline [Jégou et al. 19]
+// for 2-D trajectory points: the vector is split into its two scalar
+// subspaces (x and y), each quantized against an independent scalar
+// codebook; a point's code is the pair of sub-codeword indexes.
+//
+// It supports the paper's two comparison modes: a fixed codeword budget
+// (the budget is split evenly between the subspaces, so a size-V codebook
+// stores V scalar centroids in total) and an error-bounded mode where each
+// subspace is covered within ε/√2 so the combined deviation stays ≤ ε.
+type Product struct {
+	XWords, YWords []float64
+}
+
+// scalarKMeans clusters 1-D values into v centroids.
+func scalarKMeans(vals []float64, v, maxIter int, seed int64) ([]float64, []int) {
+	data := make([][]float64, len(vals))
+	for i, x := range vals {
+		data[i] = []float64{x}
+	}
+	res := cluster.KMeans(data, v, maxIter, seed)
+	cents := make([]float64, len(res.Centroids))
+	for i, c := range res.Centroids {
+		cents[i] = c[0]
+	}
+	return cents, res.Assign
+}
+
+// scalarCover returns the minimal 1-D codebook covering vals within bound:
+// the classic greedy interval cover (sort, place a centroid at min+bound,
+// skip everything it covers, repeat), which is optimal in one dimension.
+func scalarCover(vals []float64, bound float64) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	var cents []float64
+	i := 0
+	for i < len(s) {
+		c := s[i] + bound
+		cents = append(cents, c)
+		for i < len(s) && s[i] <= c+bound {
+			i++
+		}
+	}
+	return cents
+}
+
+// nearestScalar returns the index of the centroid closest to v. cents need
+// not be sorted.
+func nearestScalar(cents []float64, v float64) int {
+	best, bestD := 0, math.Inf(1)
+	for i, c := range cents {
+		if d := math.Abs(c - v); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// ProductFixed trains a product quantizer on points with a total budget of
+// v stored centroids (v/2 per subspace, minimum 1 each) and returns the
+// quantizer plus each point's (xCode, yCode).
+func ProductFixed(points []geo.Point, v, maxIter int, seed int64) (*Product, [][2]int) {
+	half := v / 2
+	if half < 1 {
+		half = 1
+	}
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	xc, xa := scalarKMeans(xs, half, maxIter, seed)
+	yc, ya := scalarKMeans(ys, half, maxIter, seed+1)
+	pq := &Product{XWords: xc, YWords: yc}
+	codes := make([][2]int, len(points))
+	for i := range points {
+		codes[i] = [2]int{xa[i], ya[i]}
+	}
+	return pq, codes
+}
+
+// ProductBounded trains a product quantizer whose reconstruction error is
+// at most eps for every input point (each axis covered within eps/√2).
+func ProductBounded(points []geo.Point, eps float64) (*Product, [][2]int) {
+	bound := eps / math.Sqrt2
+	xs := make([]float64, len(points))
+	ys := make([]float64, len(points))
+	for i, p := range points {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	pq := &Product{XWords: scalarCover(xs, bound), YWords: scalarCover(ys, bound)}
+	codes := make([][2]int, len(points))
+	for i, p := range points {
+		codes[i] = [2]int{nearestScalar(pq.XWords, p.X), nearestScalar(pq.YWords, p.Y)}
+	}
+	return pq, codes
+}
+
+// Decode reconstructs the point for a code pair.
+func (p *Product) Decode(code [2]int) geo.Point {
+	return geo.Point{X: p.XWords[code[0]], Y: p.YWords[code[1]]}
+}
+
+// NumWords returns the stored centroid count (the codebook size the paper
+// compares: Table 6 counts stored codewords).
+func (p *Product) NumWords() int { return len(p.XWords) + len(p.YWords) }
+
+// Bytes returns the codebook storage (one float64 per scalar centroid).
+func (p *Product) Bytes() int { return p.NumWords() * 8 }

@@ -1,0 +1,96 @@
+package quant
+
+import (
+	"ppqtraj/internal/geo"
+)
+
+// Residual implements the Residual Quantization baseline [Chen et al. 8]:
+// a cascade of vector-quantization stages where stage s quantizes the
+// residual left by stages 1..s−1. A point's code is one codeword index per
+// stage; its reconstruction is the sum of the selected codewords.
+type Residual struct {
+	Stages []*Codebook
+}
+
+// ResidualFixed trains an RQ with a total budget of v stored codewords
+// split across two stages (⌈v/2⌉ coarse + ⌊v/2⌋ refinement), matching the
+// equal-storage comparisons of Tables 2–4. It returns per-point stage
+// codes.
+func ResidualFixed(points []geo.Point, v, maxIter int, seed int64) (*Residual, [][]int) {
+	v1 := (v + 1) / 2
+	v2 := v - v1
+	if v2 < 1 {
+		v2 = 1
+	}
+	stage1 := FixedKMeans(points, v1, maxIter, seed)
+	resid := make([]geo.Point, len(points))
+	for i, p := range points {
+		resid[i] = p.Sub(stage1.Book.Word(stage1.Codes[i]))
+	}
+	stage2 := FixedKMeans(resid, v2, maxIter, seed+1)
+	rq := &Residual{Stages: []*Codebook{stage1.Book, stage2.Book}}
+	codes := make([][]int, len(points))
+	for i := range points {
+		codes[i] = []int{stage1.Codes[i], stage2.Codes[i]}
+	}
+	return rq, codes
+}
+
+// ResidualBounded trains an RQ that keeps every point's reconstruction
+// within eps by appending stages until the bound holds. Each stage is an
+// error-bounded incremental cover of the current residuals with a bound
+// that shrinks geometrically, so a few stages suffice; the final stage
+// enforces eps exactly.
+func ResidualBounded(points []geo.Point, eps float64, maxStages int) (*Residual, [][]int) {
+	if maxStages < 1 {
+		maxStages = 3
+	}
+	rq := &Residual{}
+	codes := make([][]int, len(points))
+	resid := append([]geo.Point(nil), points...)
+	// Shrinking per-stage bounds: cover residuals coarsely first, then
+	// refine. The last stage uses eps itself which guarantees the bound.
+	for s := 0; s < maxStages; s++ {
+		bound := eps
+		if s < maxStages-1 {
+			// Coarse stages: spread the work, e.g. 8×, 2× the final bound.
+			shift := uint(2 * (maxStages - 1 - s))
+			bound = eps * float64(uint64(1)<<shift)
+		}
+		inc := NewIncrementalClustered(bound)
+		idxs := inc.Quantize(resid)
+		rq.Stages = append(rq.Stages, inc.Book)
+		for i := range resid {
+			codes[i] = append(codes[i], idxs[i])
+			resid[i] = resid[i].Sub(inc.Book.Word(idxs[i]))
+		}
+	}
+	return rq, codes
+}
+
+// Decode reconstructs a point from its stage codes.
+func (r *Residual) Decode(code []int) geo.Point {
+	var p geo.Point
+	for s, idx := range code {
+		p = p.Add(r.Stages[s].Word(idx))
+	}
+	return p
+}
+
+// NumWords returns the total stored codewords across stages.
+func (r *Residual) NumWords() int {
+	n := 0
+	for _, s := range r.Stages {
+		n += s.Len()
+	}
+	return n
+}
+
+// Bytes returns the codebook storage across stages.
+func (r *Residual) Bytes() int {
+	n := 0
+	for _, s := range r.Stages {
+		n += s.Bytes()
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+// Package query implements spatio-temporal query processing over the
+// quantized summary (§5.2): STRQ (Definition 5.2) and TPQ
+// (Definition 5.3), the CQC-driven local-search strategy that makes
+// recall 1, and the exact mode that verifies candidates against raw
+// trajectories to drive precision to 1 (the "ratio of trajectories
+// visited" measure of Table 4).
+package query
+
+import (
+	"math"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/store"
+	"ppqtraj/internal/traj"
+)
+
+// Source is the summary-side contract the engine queries against. It is
+// satisfied by core.Summary (PPQ/E-PQ/Q-trajectory) and by
+// baseline.FlatSummary (Product/Residual Quantization, TrajStore), so the
+// paper's "we extended these methods with our indexing approach" fairness
+// rule falls out naturally.
+type Source interface {
+	// ReconstructedPoint returns the reconstruction of trajectory id at
+	// the given tick.
+	ReconstructedPoint(id traj.ID, tick int) (geo.Point, bool)
+	// ReconstructPath returns the reconstructions for ticks [from, from+l),
+	// clipped to the trajectory's range.
+	ReconstructPath(id traj.ID, from, l int) []geo.Point
+	// SortedTicks lists every tick with data, ascending.
+	SortedTicks() []int
+	// TrajIDs lists all trajectory IDs, ascending.
+	TrajIDs() []traj.ID
+	// MaxDeviation bounds ‖original − reconstruction‖ — the local-search
+	// margin (Lemma 3's (√2/2)·g_s for CQC summaries, ε₁ otherwise).
+	MaxDeviation() float64
+}
+
+// Engine answers queries from a summary plus its TPI. Raw is optional: it
+// is only consulted in exact mode, and every consultation is counted —
+// this is the second-step access cost the paper measures.
+type Engine struct {
+	Sum Source
+	Idx *index.TPI
+	Raw *traj.Dataset
+
+	// MarginCap, when > 0, bounds the local-search radius. Summaries with
+	// unbounded deviation (e.g. fixed-budget baselines on wide-span data)
+	// would otherwise force the probe to scan enormous cell ranges; with a
+	// cap, such methods trade recall for feasibility — exactly the regime
+	// the paper marks "×" in Table 2.
+	MarginCap float64
+
+	// RawAccesses counts trajectories fetched from raw storage for exact
+	// verification (cumulative across queries).
+	RawAccesses int
+}
+
+// BuildEngine indexes the summary's reconstructed points into a fresh TPI
+// (the paper indexes T̂ or T̂′ interchangeably; we index the CQC-refined
+// reconstructions when available) and returns an Engine.
+func BuildEngine(sum Source, opts index.Options, raw *traj.Dataset) (*Engine, error) {
+	tpi := index.NewTPI(opts)
+	ids := sum.TrajIDs()
+	for _, tick := range sum.SortedTicks() {
+		var colIDs []traj.ID
+		var pts []geo.Point
+		for _, id := range ids {
+			if p, ok := sum.ReconstructedPoint(id, tick); ok {
+				colIDs = append(colIDs, id)
+				pts = append(pts, p)
+			}
+		}
+		if len(colIDs) > 0 {
+			tpi.Append(colIDs, pts, tick)
+		}
+	}
+	if err := tpi.Seal(); err != nil {
+		return nil, err
+	}
+	return &Engine{Sum: sum, Idx: tpi, Raw: raw}, nil
+}
+
+// Margin returns the local-search radius — the summary's deviation bound,
+// clipped to MarginCap when set.
+func (e *Engine) Margin() float64 {
+	m := e.Sum.MaxDeviation()
+	if e.MarginCap > 0 && m > e.MarginCap {
+		return e.MarginCap
+	}
+	return m
+}
+
+// STRQResult reports one STRQ evaluation.
+type STRQResult struct {
+	// IDs is the answer: in approximate mode the filtered candidate list,
+	// in exact mode the verified list (precision 1).
+	IDs []traj.ID
+	// Candidates is the candidate-list size after local search, before
+	// verification.
+	Candidates int
+	// Cell is the g_c cell the query point mapped to.
+	Cell geo.Rect
+	// Covered is false when the query point lies outside every indexed
+	// region (the result is then empty).
+	Covered bool
+	// Visited counts raw trajectories accessed by this query (exact mode).
+	Visited int
+}
+
+// distToRect is the Euclidean distance from p to the closed rectangle r
+// (zero when p is inside).
+func distToRect(p geo.Point, r geo.Rect) float64 {
+	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// STRQ answers "which trajectories were in the g_c cell of p at tick t".
+// With exact=false it returns the local-search candidate list filtered by
+// reconstructed positions (recall 1 by Lemma 3; precision < 1 possible).
+// With exact=true each candidate's raw trajectory is consulted and the
+// result has precision and recall 1; the accesses are counted in Visited.
+// rt, when non-nil, charges page I/Os for the index probes (Table 9).
+func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) *STRQResult {
+	res := &STRQResult{}
+	cell, ok := e.Idx.CellRect(p, tick)
+	if !ok {
+		return res
+	}
+	res.Covered = true
+	res.Cell = cell
+	m := e.Margin()
+	// Local search (§5.2): scan every cell within the Lemma 3 margin of
+	// the query cell, so a true-resident whose reconstruction drifted into
+	// a neighboring cell is still found.
+	area := cell.Expand(m)
+	cand := e.Idx.LookupArea(area, tick, rt)
+	// Keep candidates whose reconstruction could correspond to a true
+	// position inside the cell: dist(recon, cell) ≤ margin.
+	kept := cand[:0]
+	for _, id := range cand {
+		rp, ok := e.Sum.ReconstructedPoint(id, tick)
+		if !ok {
+			continue
+		}
+		if distToRect(rp, cell) <= m+1e-12 {
+			kept = append(kept, id)
+		}
+	}
+	res.Candidates = len(kept)
+	if !exact {
+		res.IDs = append([]traj.ID(nil), kept...)
+		return res
+	}
+	if e.Raw == nil {
+		panic("query: exact STRQ requires raw dataset access")
+	}
+	for _, id := range kept {
+		res.Visited++
+		e.RawAccesses++
+		if tp, ok := e.Raw.Get(id).At(tick); ok && cell.Contains(tp) {
+			res.IDs = append(res.IDs, id)
+		}
+	}
+	return res
+}
+
+// TPQResult is one trajectory-path-query answer: the reconstructed
+// sub-trajectories over [t, t+l) for every STRQ match.
+type TPQResult struct {
+	STRQ  *STRQResult
+	Paths map[traj.ID][]geo.Point
+}
+
+// TPQ answers Definition 5.3: run STRQ at (p, tick), then reproduce the
+// next l positions of every matched trajectory directly from the indexed
+// summary — no raw access, no full reconstruction.
+func (e *Engine) TPQ(p geo.Point, tick, l int, exact bool, rt *store.ReadTracker) *TPQResult {
+	s := e.STRQ(p, tick, exact, rt)
+	out := &TPQResult{STRQ: s, Paths: make(map[traj.ID][]geo.Point, len(s.IDs))}
+	for _, id := range s.IDs {
+		out.Paths[id] = e.Sum.ReconstructPath(id, tick, l)
+	}
+	return out
+}
+
+// PathMAE returns the mean absolute deviation between a trajectory's
+// reconstructed path over [tick, tick+l) and its raw points — the Table 3
+// measure. ok is false when the trajectory has no points in the range.
+func (e *Engine) PathMAE(id traj.ID, tick, l int) (float64, bool) {
+	if e.Raw == nil {
+		return 0, false
+	}
+	rec := e.Sum.ReconstructPath(id, tick, l)
+	if len(rec) == 0 {
+		return 0, false
+	}
+	tr := e.Raw.Get(id)
+	lo := tick
+	if lo < tr.Start {
+		lo = tr.Start
+	}
+	var sum float64
+	n := 0
+	for i, rp := range rec {
+		if op, ok := tr.At(lo + i); ok {
+			sum += rp.Dist(op)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// GroundTruth returns the trajectories whose *raw* position at tick lies
+// in the given cell — the oracle for precision/recall measurement.
+func GroundTruth(d *traj.Dataset, cell geo.Rect, tick int) []traj.ID {
+	var out []traj.ID
+	for _, tr := range d.All() {
+		if p, ok := tr.At(tick); ok && cell.Contains(p) {
+			out = append(out, tr.ID)
+		}
+	}
+	return out
+}
+
+// PrecisionRecall compares got against want (both ID sets).
+func PrecisionRecall(got, want []traj.ID) (precision, recall float64) {
+	if len(got) == 0 && len(want) == 0 {
+		return 1, 1
+	}
+	wantSet := make(map[traj.ID]bool, len(want))
+	for _, id := range want {
+		wantSet[id] = true
+	}
+	hit := 0
+	for _, id := range got {
+		if wantSet[id] {
+			hit++
+		}
+	}
+	if len(got) > 0 {
+		precision = float64(hit) / float64(len(got))
+	} else {
+		precision = 1
+	}
+	if len(want) > 0 {
+		recall = float64(hit) / float64(len(want))
+	} else {
+		recall = 1
+	}
+	return precision, recall
+}

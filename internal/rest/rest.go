@@ -1,0 +1,242 @@
+// Package rest implements the REST baseline [Zhao et al., KDD 2018]: a
+// reference-based spatio-temporal trajectory compression. A reference set
+// of trajectories is indexed offline; a target trajectory is expressed as
+// a sequence of matches against reference sub-trajectories (within a
+// spatial deviation tolerance) plus raw points where no reference
+// sub-trajectory matches.
+//
+// As the paper notes (§6.1, §6.4), REST needs highly repetitive data: the
+// compression ratio depends on how well targets match the offline
+// reference set, and unmatched regions fall back to raw storage. The
+// sub-Porto construction (gen.NewSubPorto) provides such a dataset.
+package rest
+
+import (
+	"math"
+	"time"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// Options configures reference building and matching.
+type Options struct {
+	// Tolerance is the maximum spatial deviation of a matched point
+	// (coordinate units) — the spatial deviation knob of Figure 9c.
+	Tolerance float64
+	// MinMatchLen is the shortest reference run worth emitting as a match
+	// segment; shorter runs are stored raw. Defaults to 3.
+	MinMatchLen int
+	// MaxCandidates caps the reference locations tried per anchor point.
+	// Defaults to 32.
+	MaxCandidates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinMatchLen <= 0 {
+		o.MinMatchLen = 3
+	}
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 32
+	}
+	return o
+}
+
+// loc addresses one reference point.
+type loc struct {
+	ref int32
+	off int32
+}
+
+// Reference is the offline-built reference set with a spatial hash for
+// match-candidate lookup.
+type Reference struct {
+	opts  Options
+	trajs [][]geo.Point
+	grid  map[[2]int32][]loc
+	cell  float64
+	// BuildTime records the offline reference construction cost.
+	BuildTime time.Duration
+}
+
+// BuildReference indexes the reference dataset.
+func BuildReference(d *traj.Dataset, opts Options) *Reference {
+	opts = opts.withDefaults()
+	start := time.Now()
+	r := &Reference{
+		opts: opts,
+		grid: make(map[[2]int32][]loc),
+		cell: math.Max(opts.Tolerance, 1e-9),
+	}
+	for _, tr := range d.All() {
+		idx := int32(len(r.trajs))
+		r.trajs = append(r.trajs, tr.Points)
+		for off, p := range tr.Points {
+			k := r.cellOf(p)
+			r.grid[k] = append(r.grid[k], loc{ref: idx, off: int32(off)})
+		}
+	}
+	r.BuildTime = time.Since(start)
+	return r
+}
+
+func (r *Reference) cellOf(p geo.Point) [2]int32 {
+	return [2]int32{int32(math.Floor(p.X / r.cell)), int32(math.Floor(p.Y / r.cell))}
+}
+
+// candidates returns reference locations whose point is within Tolerance
+// of p (3×3 neighborhood probe), capped at MaxCandidates.
+func (r *Reference) candidates(p geo.Point) []loc {
+	var out []loc
+	k := r.cellOf(p)
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for _, l := range r.grid[[2]int32{k[0] + dx, k[1] + dy}] {
+				if r.trajs[l.ref][l.off].Dist(p) <= r.opts.Tolerance {
+					out = append(out, l)
+					if len(out) >= r.opts.MaxCandidates {
+						return out
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Segment is one op of a compressed trajectory: either a reference match
+// (Len > 0) or a run of raw points (Raw non-nil).
+type Segment struct {
+	Ref int32
+	Off int32
+	Len int32
+	Raw []geo.Point
+}
+
+// Compressed is a REST-compressed trajectory.
+type Compressed struct {
+	Start    int
+	Segments []Segment
+	// NumPoints is the original sample count.
+	NumPoints int
+}
+
+// SizeBits returns the storage cost: 96 bits per match segment (ref 24 +
+// offset 24 + length 16 + 32 bits of temporal alignment — REST is a
+// spatio-temporal compressor and must store how the matched reference
+// sub-trajectory maps onto the target's timeline), 128 bits per raw point
+// plus an 8-bit run header.
+func (c *Compressed) SizeBits() int {
+	bits := 32 // start tick
+	for _, s := range c.Segments {
+		if s.Raw != nil {
+			bits += 8 + 128*len(s.Raw)
+		} else {
+			bits += 96
+		}
+	}
+	return bits
+}
+
+// Compress encodes one trajectory against the reference set using greedy
+// longest-match: at each position, try every candidate anchor and extend
+// while consecutive points stay within Tolerance; emit the longest run if
+// it reaches MinMatchLen, otherwise store the point raw.
+func (r *Reference) Compress(tr *traj.Trajectory) *Compressed {
+	out := &Compressed{Start: tr.Start, NumPoints: tr.Len()}
+	pts := tr.Points
+	i := 0
+	var rawRun []geo.Point
+	flushRaw := func() {
+		if len(rawRun) > 0 {
+			out.Segments = append(out.Segments, Segment{Raw: rawRun})
+			rawRun = nil
+		}
+	}
+	for i < len(pts) {
+		var best Segment
+		for _, cand := range r.candidates(pts[i]) {
+			ref := r.trajs[cand.ref]
+			n := 0
+			for i+n < len(pts) && int(cand.off)+n < len(ref) &&
+				ref[int(cand.off)+n].Dist(pts[i+n]) <= r.opts.Tolerance {
+				n++
+			}
+			if n > int(best.Len) {
+				best = Segment{Ref: cand.ref, Off: cand.off, Len: int32(n)}
+			}
+		}
+		if int(best.Len) >= r.opts.MinMatchLen {
+			flushRaw()
+			out.Segments = append(out.Segments, best)
+			i += int(best.Len)
+		} else {
+			rawRun = append(rawRun, pts[i])
+			i++
+		}
+	}
+	flushRaw()
+	return out
+}
+
+// Reconstruct decodes a compressed trajectory back to points.
+func (r *Reference) Reconstruct(c *Compressed) []geo.Point {
+	out := make([]geo.Point, 0, c.NumPoints)
+	for _, s := range c.Segments {
+		if s.Raw != nil {
+			out = append(out, s.Raw...)
+			continue
+		}
+		ref := r.trajs[s.Ref]
+		out = append(out, ref[s.Off:int(s.Off)+int(s.Len)]...)
+	}
+	return out
+}
+
+// Result aggregates a dataset-level compression run.
+type Result struct {
+	RawBytes        int
+	CompressedBytes int
+	MAE             float64 // coordinate units
+	MatchedFraction float64 // fraction of points covered by reference matches
+	CompressTime    time.Duration
+}
+
+// CompressionRatio returns RawBytes / CompressedBytes.
+func (r *Result) CompressionRatio() float64 {
+	if r.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.RawBytes) / float64(r.CompressedBytes)
+}
+
+// CompressDataset compresses every trajectory of d and reports aggregate
+// statistics (Figure 9c's measurement).
+func (r *Reference) CompressDataset(d *traj.Dataset) *Result {
+	start := time.Now()
+	res := &Result{RawBytes: d.RawBytes()}
+	var sumErr float64
+	matched, total := 0, 0
+	bits := 0
+	for _, tr := range d.All() {
+		c := r.Compress(tr)
+		bits += c.SizeBits()
+		rec := r.Reconstruct(c)
+		for i, p := range tr.Points {
+			sumErr += p.Dist(rec[i])
+		}
+		for _, s := range c.Segments {
+			if s.Raw == nil {
+				matched += int(s.Len)
+			}
+		}
+		total += tr.Len()
+	}
+	res.CompressedBytes = (bits + 7) / 8
+	if total > 0 {
+		res.MAE = sumErr / float64(total)
+		res.MatchedFraction = float64(matched) / float64(total)
+	}
+	res.CompressTime = time.Since(start)
+	return res
+}

@@ -1,0 +1,146 @@
+package rest
+
+import (
+	"testing"
+
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+func TestCompressIdenticalTrajectoryIsOneSegment(t *testing.T) {
+	pts := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0), geo.Pt(3, 0), geo.Pt(4, 0)}
+	ref := BuildReference(traj.NewDataset([]*traj.Trajectory{{Points: pts}}),
+		Options{Tolerance: 0.01})
+	c := ref.Compress(&traj.Trajectory{Points: pts})
+	if len(c.Segments) != 1 || c.Segments[0].Raw != nil || c.Segments[0].Len != 5 {
+		t.Fatalf("segments = %+v", c.Segments)
+	}
+	rec := ref.Reconstruct(c)
+	for i := range pts {
+		if rec[i] != pts[i] {
+			t.Fatalf("reconstruction mismatch at %d", i)
+		}
+	}
+}
+
+func TestCompressNoMatchIsRaw(t *testing.T) {
+	ref := BuildReference(traj.NewDataset([]*traj.Trajectory{
+		{Points: []geo.Point{geo.Pt(100, 100), geo.Pt(101, 100)}},
+	}), Options{Tolerance: 0.01})
+	target := &traj.Trajectory{Points: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 1)}}
+	c := ref.Compress(target)
+	if len(c.Segments) != 1 || c.Segments[0].Raw == nil || len(c.Segments[0].Raw) != 2 {
+		t.Fatalf("segments = %+v", c.Segments)
+	}
+	rec := ref.Reconstruct(c)
+	for i, p := range target.Points {
+		if rec[i] != p {
+			t.Fatal("raw points must reconstruct exactly")
+		}
+	}
+}
+
+func TestCompressMixedSegments(t *testing.T) {
+	refPts := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0), geo.Pt(2, 0), geo.Pt(3, 0)}
+	ref := BuildReference(traj.NewDataset([]*traj.Trajectory{{Points: refPts}}),
+		Options{Tolerance: 0.05, MinMatchLen: 3})
+	// Matches the reference for 4 points, then diverges for 2.
+	target := &traj.Trajectory{Points: []geo.Point{
+		geo.Pt(0.01, 0), geo.Pt(1.01, 0), geo.Pt(2.01, 0), geo.Pt(3.01, 0),
+		geo.Pt(50, 50), geo.Pt(51, 51),
+	}}
+	c := ref.Compress(target)
+	if len(c.Segments) != 2 {
+		t.Fatalf("segments = %+v", c.Segments)
+	}
+	if c.Segments[0].Raw != nil || c.Segments[0].Len != 4 {
+		t.Fatalf("first segment should be a length-4 match: %+v", c.Segments[0])
+	}
+	if c.Segments[1].Raw == nil || len(c.Segments[1].Raw) != 2 {
+		t.Fatalf("second segment should be 2 raw points: %+v", c.Segments[1])
+	}
+	// Matched points deviate by ≤ tolerance; raw exactly.
+	rec := ref.Reconstruct(c)
+	if len(rec) != 6 {
+		t.Fatalf("reconstruct length %d", len(rec))
+	}
+	for i := 0; i < 4; i++ {
+		if rec[i].Dist(target.Points[i]) > 0.05 {
+			t.Fatalf("matched point %d deviates too much", i)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if rec[i] != target.Points[i] {
+			t.Fatal("raw tail must be exact")
+		}
+	}
+}
+
+func TestShortMatchFallsBackToRaw(t *testing.T) {
+	refPts := []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}
+	ref := BuildReference(traj.NewDataset([]*traj.Trajectory{{Points: refPts}}),
+		Options{Tolerance: 0.05, MinMatchLen: 3})
+	target := &traj.Trajectory{Points: []geo.Point{geo.Pt(0, 0), geo.Pt(1, 0)}}
+	c := ref.Compress(target)
+	// A 2-point match is below MinMatchLen: stored raw.
+	if len(c.Segments) != 1 || c.Segments[0].Raw == nil {
+		t.Fatalf("segments = %+v", c.Segments)
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	c := &Compressed{Segments: []Segment{
+		{Ref: 0, Off: 0, Len: 10},
+		{Raw: []geo.Point{{}, {}}},
+	}}
+	want := 32 + 96 + 8 + 256
+	if got := c.SizeBits(); got != want {
+		t.Fatalf("SizeBits = %d, want %d", got, want)
+	}
+}
+
+func TestCompressDatasetOnSubPorto(t *testing.T) {
+	sp := gen.NewSubPorto(25, 8, 11)
+	tol := geo.MetersToDegrees(200)
+	ref := BuildReference(sp.Reference, Options{Tolerance: tol})
+	res := ref.CompressDataset(sp.Compress)
+	if res.CompressionRatio() <= 1 {
+		t.Fatalf("REST should compress sub-Porto (ratio %v)", res.CompressionRatio())
+	}
+	if res.MatchedFraction <= 0.3 {
+		t.Fatalf("matched fraction %v too low — sub-Porto should be repetitive", res.MatchedFraction)
+	}
+	if geo.DegreesToMeters(res.MAE) > 200 {
+		t.Fatalf("MAE %v m exceeds tolerance", geo.DegreesToMeters(res.MAE))
+	}
+	if res.CompressTime <= 0 || ref.BuildTime <= 0 {
+		t.Fatal("timings missing")
+	}
+}
+
+func TestRESTRatioImprovesWithTolerance(t *testing.T) {
+	// Figure 9c shape: looser spatial deviation ⇒ better matching ⇒
+	// higher compression ratio (non-strict: plateaus once fully matched).
+	sp := gen.NewSubPorto(20, 6, 12)
+	ratio := func(m float64) float64 {
+		ref := BuildReference(sp.Reference, Options{Tolerance: geo.MetersToDegrees(m)})
+		return ref.CompressDataset(sp.Compress).CompressionRatio()
+	}
+	tight, loose := ratio(100), ratio(1000)
+	if loose < tight*0.8 {
+		t.Fatalf("looser tolerance should not collapse ratio: %v vs %v", loose, tight)
+	}
+}
+
+func TestRESTFailsOnNonRepetitiveData(t *testing.T) {
+	// The paper's point about REST: without a repeating reference set the
+	// ratio collapses toward raw storage.
+	refSet := gen.Porto(gen.Config{NumTrajectories: 10, MinLen: 40, MaxLen: 60, Seed: 20})
+	targets := gen.Porto(gen.Config{NumTrajectories: 10, MinLen: 40, MaxLen: 60, Seed: 999})
+	ref := BuildReference(refSet, Options{Tolerance: geo.MetersToDegrees(200)})
+	res := ref.CompressDataset(targets)
+	if res.MatchedFraction > 0.8 {
+		t.Fatalf("independent trajectories should not match well (%v)", res.MatchedFraction)
+	}
+}

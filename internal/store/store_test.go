@@ -1,0 +1,111 @@
+package store
+
+import "testing"
+
+func TestAllocSinglePage(t *testing.T) {
+	s := New(1024)
+	r := s.Alloc(100)
+	if r.First != 0 || r.Last != 0 || r.Pages() != 1 {
+		t.Fatalf("range = %+v", r)
+	}
+	r = s.Alloc(100)
+	if r.First != 0 || r.Last != 0 {
+		t.Fatalf("second small alloc should stay on page 0: %+v", r)
+	}
+	if s.NumPages() != 1 {
+		t.Fatalf("NumPages = %d", s.NumPages())
+	}
+}
+
+func TestAllocSpansPages(t *testing.T) {
+	s := New(1024)
+	r := s.Alloc(3000)
+	if r.First != 0 || r.Last != 2 || r.Pages() != 3 {
+		t.Fatalf("range = %+v", r)
+	}
+	if s.NumPages() != 3 {
+		t.Fatalf("NumPages = %d", s.NumPages())
+	}
+	if s.Writes() != 3 {
+		t.Fatalf("Writes = %d", s.Writes())
+	}
+}
+
+func TestAllocZero(t *testing.T) {
+	s := New(1024)
+	r := s.Alloc(0)
+	if r.Pages() != 1 {
+		t.Fatalf("zero alloc range = %+v", r)
+	}
+	if s.BytesUsed() != 0 {
+		t.Fatal("zero alloc must not consume bytes")
+	}
+}
+
+func TestAllocNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0).Alloc(-1)
+}
+
+func TestAlignToPage(t *testing.T) {
+	s := New(1024)
+	s.Alloc(10)
+	s.AlignToPage()
+	r := s.Alloc(10)
+	if r.First != 1 {
+		t.Fatalf("after align, alloc should start on page 1: %+v", r)
+	}
+	// Aligning when already aligned is a no-op.
+	s.AlignToPage()
+	s.AlignToPage()
+	r = s.Alloc(10)
+	if r.First != 2 {
+		t.Fatalf("range = %+v", r)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	s := New(0)
+	if s.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d", s.PageSize())
+	}
+}
+
+func TestReadTrackerDedup(t *testing.T) {
+	s := New(1024)
+	a := s.Alloc(1024) // page 0
+	b := s.Alloc(2048) // pages 1-2
+	tr := s.BeginRead()
+	tr.Read(a)
+	tr.Read(a) // duplicate within the same operation: free
+	tr.Read(b)
+	if s.Reads() != 3 {
+		t.Fatalf("Reads = %d, want 3", s.Reads())
+	}
+	if tr.PagesTouched() != 3 {
+		t.Fatalf("PagesTouched = %d", tr.PagesTouched())
+	}
+	// A new operation pays again.
+	tr2 := s.BeginRead()
+	tr2.Read(a)
+	if s.Reads() != 4 {
+		t.Fatalf("Reads = %d, want 4", s.Reads())
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	s := New(1024)
+	s.Alloc(5000)
+	s.BeginRead().Read(PageRange{0, 2})
+	s.ResetCounters()
+	if s.Reads() != 0 || s.Writes() != 0 {
+		t.Fatal("counters not reset")
+	}
+	if s.NumPages() == 0 {
+		t.Fatal("allocation state must survive reset")
+	}
+}

@@ -1,0 +1,351 @@
+// Package ppqtraj is a Go implementation of PPQ-Trajectory
+// (Wang & Ferhatosmanoglu, PVLDB 14(2), 2020): spatio-temporal
+// quantization for querying large, dynamic trajectory repositories.
+//
+// The library ingests trajectory streams one timestamp at a time and
+// maintains an error-bounded, queryable summary:
+//
+//   - a partition-wise predictive quantizer (PPQ) groups trajectories by
+//     spatial proximity or motion autocorrelation, predicts each point
+//     from its k previous reconstructions, and quantizes the prediction
+//     errors against an incrementally grown codebook where every error is
+//     within ε₁ of its codeword;
+//   - coordinate quadtree coding (CQC) stores a few extra bits per point
+//     that tighten the reconstruction error to (√2/2)·g_s;
+//   - a temporal partition-based index (TPI) organizes the reconstructed
+//     points into time periods of reusable spatial indexes, answering
+//     spatio-temporal range queries (STRQ) and trajectory path queries
+//     (TPQ) directly over the summary, with recall 1 and — in exact
+//     mode — precision 1.
+//
+// # Quick start
+//
+//	data := ppqtraj.SyntheticPorto(200, 42)        // or build your own Dataset
+//	sum := ppqtraj.BuildSummary(data, ppqtraj.DefaultConfig())
+//	eng, _ := ppqtraj.NewEngine(sum, ppqtraj.DefaultIndexConfig(), data)
+//	res := eng.RangeQuery(ppqtraj.Pt(-8.61, 41.15), 10)
+//
+// See the examples/ directory for complete programs.
+package ppqtraj
+
+import (
+	"fmt"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/query"
+	"ppqtraj/internal/traj"
+)
+
+// Point is a planar position; for geographic data X is longitude and Y is
+// latitude.
+type Point = geo.Point
+
+// Pt is shorthand for Point{X: x, Y: y}.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// Rect is an axis-aligned rectangle (min-closed, max-open).
+type Rect = geo.Rect
+
+// ID identifies a trajectory within a Dataset.
+type ID = traj.ID
+
+// Trajectory is a sequence of positions at consecutive ticks starting at
+// Start.
+type Trajectory = traj.Trajectory
+
+// Dataset is an immutable trajectory collection with per-timestamp access.
+type Dataset = traj.Dataset
+
+// NewDataset builds a dataset from trajectories, assigning IDs in input
+// order.
+func NewDataset(trajs []*Trajectory) *Dataset { return traj.NewDataset(trajs) }
+
+// MetersToDegrees converts ground meters to coordinate degrees with the
+// paper's flat 111 km/° conversion; DegreesToMeters is its inverse.
+func MetersToDegrees(m float64) float64 { return geo.MetersToDegrees(m) }
+
+// DegreesToMeters converts coordinate degrees to ground meters.
+func DegreesToMeters(d float64) float64 { return geo.DegreesToMeters(d) }
+
+// PartitionMode selects how PPQ groups trajectories for shared prediction
+// models.
+type PartitionMode int
+
+const (
+	// Spatial groups by position (PPQ-S, Equation 7).
+	Spatial PartitionMode = iota
+	// Autocorr groups by lag-k autocorrelation similarity (PPQ-A,
+	// Equation 8).
+	Autocorr
+	// NoPartition uses one global prediction model (E-PQ).
+	NoPartition
+)
+
+func (m PartitionMode) internal() partition.Mode {
+	switch m {
+	case Autocorr:
+		return partition.Autocorr
+	case NoPartition:
+		return partition.None
+	default:
+		return partition.Spatial
+	}
+}
+
+// Config controls summary construction. Zero fields take the paper's
+// defaults (§6.1); DefaultConfig spells them out.
+type Config struct {
+	// Lags is the AR order k of the prediction model (default 3).
+	Lags int
+	// EpsilonMeters is ε₁^M, the codebook error bound in meters
+	// (default 111 m ≈ 0.001°).
+	EpsilonMeters float64
+	// Mode selects the partitioning similarity (default Spatial).
+	Mode PartitionMode
+	// PartitionThreshold is ε_p in coordinate units for Spatial mode or in
+	// AR-coefficient units for Autocorr (defaults 0.1 and 0.01).
+	PartitionThreshold float64
+	// DisableCQC turns off coordinate quadtree coding (the paper's
+	// "-basic" variants).
+	DisableCQC bool
+	// CQCCellMeters is g_s, the CQC grid cell size in meters (default 50).
+	CQCCellMeters float64
+	// Seed makes the build deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's default parameters: k = 3,
+// ε₁ ≈ 111 m, spatial partitioning with ε_p = 0.1, CQC with g_s = 50 m.
+func DefaultConfig() Config {
+	return Config{
+		Lags:               3,
+		EpsilonMeters:      111,
+		Mode:               Spatial,
+		PartitionThreshold: 0.1,
+		CQCCellMeters:      50,
+	}
+}
+
+func (c Config) internal() core.Options {
+	if c.Lags == 0 {
+		c.Lags = 3
+	}
+	if c.EpsilonMeters == 0 {
+		c.EpsilonMeters = 111
+	}
+	if c.PartitionThreshold == 0 {
+		if c.Mode == Autocorr {
+			// Calibrated for this library's differenced Yule-Walker
+			// features, whose dispersion is ≈20× the paper's coefficient
+			// scale (see DESIGN.md §2): 0.2 here corresponds to the
+			// paper's ε_p = 0.01.
+			c.PartitionThreshold = 0.2
+		} else {
+			c.PartitionThreshold = 0.1
+		}
+	}
+	if c.CQCCellMeters == 0 {
+		c.CQCCellMeters = 50
+	}
+	return core.Options{
+		K:        c.Lags,
+		Epsilon1: geo.MetersToDegrees(c.EpsilonMeters),
+		EpsilonP: c.PartitionThreshold,
+		Mode:     c.Mode.internal(),
+		UseCQC:   !c.DisableCQC,
+		GS:       geo.MetersToDegrees(c.CQCCellMeters),
+		Seed:     c.Seed,
+	}
+}
+
+// Summary is the compressed, queryable representation of a dataset.
+type Summary struct {
+	s *core.Summary
+}
+
+// BuildSummary runs the full stream of d through the PPQ builder.
+func BuildSummary(d *Dataset, cfg Config) *Summary {
+	return &Summary{s: core.Build(d, cfg.internal())}
+}
+
+// StreamBuilder ingests columns of live trajectory positions one
+// timestamp at a time — the online entry point for dynamic data.
+type StreamBuilder struct {
+	b *core.Builder
+}
+
+// NewStreamBuilder creates an online builder.
+func NewStreamBuilder(cfg Config) *StreamBuilder {
+	return &StreamBuilder{b: core.NewBuilder(cfg.internal())}
+}
+
+// Append ingests the positions of the given trajectories at a tick.
+// Ticks must be strictly increasing across calls.
+func (sb *StreamBuilder) Append(tick int, ids []ID, positions []Point) error {
+	if len(ids) != len(positions) {
+		return fmt.Errorf("ppqtraj: %d ids but %d positions", len(ids), len(positions))
+	}
+	sb.b.Append(&traj.Column{Tick: tick, IDs: ids, Points: positions})
+	return nil
+}
+
+// Summary returns the live summary (not a copy; further Appends extend
+// it).
+func (sb *StreamBuilder) Summary() *Summary { return &Summary{s: sb.b.Summary()} }
+
+// MAEMeters is the mean reconstruction deviation in meters.
+func (s *Summary) MAEMeters() float64 { return s.s.MAEMeters() }
+
+// MaxDeviationMeters is the worst-case reconstruction deviation in
+// meters — (√2/2)·g_s with CQC, ε₁ without.
+func (s *Summary) MaxDeviationMeters() float64 {
+	return geo.DegreesToMeters(s.s.MaxDeviation())
+}
+
+// SizeBytes is the summary's storage footprint.
+func (s *Summary) SizeBytes() int { return s.s.SizeBytes() }
+
+// NumCodewords is the codebook size |C|.
+func (s *Summary) NumCodewords() int { return s.s.NumCodewords() }
+
+// NumPoints is the number of summarized samples.
+func (s *Summary) NumPoints() int { return s.s.NumPoints }
+
+// CompressionRatio is rawBytes / SizeBytes for the given raw size
+// (use Dataset.RawBytes()).
+func (s *Summary) CompressionRatio(rawBytes int) float64 {
+	return s.s.CompressionRatio(rawBytes)
+}
+
+// Reconstruct returns the reconstruction of trajectory id at a tick.
+func (s *Summary) Reconstruct(id ID, tick int) (Point, bool) {
+	return s.s.ReconstructedPoint(id, tick)
+}
+
+// ReconstructPath returns the reconstructions for ticks [from, from+l),
+// clipped to the trajectory's range.
+func (s *Summary) ReconstructPath(id ID, from, l int) []Point {
+	return s.s.ReconstructPath(id, from, l)
+}
+
+// IndexConfig controls the temporal partition-based index.
+type IndexConfig struct {
+	// CellMeters is g_c, the query grid cell size in meters (default 100).
+	CellMeters float64
+	// PartitionThreshold is ε_s for the index's spatial partitioning
+	// (default 0.1).
+	PartitionThreshold float64
+	// DropRate is ε_c, the per-region density dropping-rate threshold
+	// (default 0.5).
+	DropRate float64
+	// RebuildThreshold is ε_d, the ADR threshold that forces an index
+	// re-build (default 0.5).
+	RebuildThreshold float64
+	// Seed makes index construction deterministic.
+	Seed int64
+}
+
+// DefaultIndexConfig returns the paper's defaults: g_c = 100 m,
+// ε_s = 0.1, ε_c = ε_d = 0.5.
+func DefaultIndexConfig() IndexConfig {
+	return IndexConfig{CellMeters: 100, PartitionThreshold: 0.1, DropRate: 0.5, RebuildThreshold: 0.5}
+}
+
+func (c IndexConfig) internal() index.Options {
+	if c.CellMeters == 0 {
+		c.CellMeters = 100
+	}
+	if c.PartitionThreshold == 0 {
+		c.PartitionThreshold = 0.1
+	}
+	if c.DropRate == 0 {
+		c.DropRate = 0.5
+	}
+	if c.RebuildThreshold == 0 {
+		c.RebuildThreshold = 0.5
+	}
+	return index.Options{
+		EpsS: c.PartitionThreshold,
+		GC:   geo.MetersToDegrees(c.CellMeters),
+		EpsC: c.DropRate,
+		EpsD: c.RebuildThreshold,
+		Seed: c.Seed,
+	}
+}
+
+// Engine answers spatio-temporal queries over a summary.
+type Engine struct {
+	e *query.Engine
+}
+
+// NewEngine indexes the summary's reconstructions into a TPI. raw may be
+// nil; it is needed only for ExactRangeQuery.
+func NewEngine(s *Summary, cfg IndexConfig, raw *Dataset) (*Engine, error) {
+	e, err := query.BuildEngine(s.s, cfg.internal(), raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{e: e}, nil
+}
+
+// RangeResult is a spatio-temporal range query answer.
+type RangeResult struct {
+	// IDs are the matching trajectories.
+	IDs []ID
+	// Cell is the grid cell the query point mapped to.
+	Cell Rect
+	// Covered is false when the query point is outside the indexed space.
+	Covered bool
+	// Visited counts raw-trajectory accesses (exact mode only).
+	Visited int
+}
+
+// RangeQuery answers STRQ approximately: which trajectories were in the
+// grid cell of p at the given tick. Recall is 1 (the local-search
+// guarantee); precision can be < 1.
+func (e *Engine) RangeQuery(p Point, tick int) *RangeResult {
+	r := e.e.STRQ(p, tick, false, nil)
+	return &RangeResult{IDs: r.IDs, Cell: r.Cell, Covered: r.Covered}
+}
+
+// ExactRangeQuery answers STRQ exactly (precision and recall 1) by
+// verifying candidates against the raw dataset; Visited reports the
+// verification accesses.
+func (e *Engine) ExactRangeQuery(p Point, tick int) *RangeResult {
+	r := e.e.STRQ(p, tick, true, nil)
+	return &RangeResult{IDs: r.IDs, Cell: r.Cell, Covered: r.Covered, Visited: r.Visited}
+}
+
+// PathResult is a trajectory path query answer: the next-l reconstructions
+// of every range match.
+type PathResult struct {
+	Range *RangeResult
+	Paths map[ID][]Point
+}
+
+// PathQuery answers TPQ: run RangeQuery at (p, tick) and reproduce each
+// match's positions over [tick, tick+l) from the summary.
+func (e *Engine) PathQuery(p Point, tick, l int) *PathResult {
+	r := e.e.TPQ(p, tick, l, false, nil)
+	return &PathResult{
+		Range: &RangeResult{IDs: r.STRQ.IDs, Cell: r.STRQ.Cell, Covered: r.STRQ.Covered},
+		Paths: r.Paths,
+	}
+}
+
+// SyntheticPorto generates a Porto-like taxi dataset with n trajectories
+// (deterministic in seed) — useful for demos and benchmarks when the real
+// archive is unavailable.
+func SyntheticPorto(n int, seed int64) *Dataset {
+	return gen.Porto(gen.Config{NumTrajectories: n, MinLen: 30, MaxLen: 200, Seed: seed})
+}
+
+// SyntheticGeoLife generates a GeoLife-like dataset: few, very long
+// trajectories spanning a wide region.
+func SyntheticGeoLife(n int, seed int64) *Dataset {
+	return gen.GeoLife(gen.Config{NumTrajectories: n, MinLen: 300, MaxLen: 3000, Seed: seed})
+}

@@ -1,0 +1,129 @@
+package ppqtraj
+
+import (
+	"testing"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	data := SyntheticPorto(25, 42)
+	sum := BuildSummary(data, DefaultConfig())
+	if sum.NumPoints() != data.NumPoints() {
+		t.Fatalf("NumPoints = %d, want %d", sum.NumPoints(), data.NumPoints())
+	}
+	if sum.MAEMeters() <= 0 || sum.MAEMeters() > sum.MaxDeviationMeters() {
+		t.Fatalf("MAE %v m outside (0, %v]", sum.MAEMeters(), sum.MaxDeviationMeters())
+	}
+	if sum.CompressionRatio(data.RawBytes()) <= 1 {
+		t.Fatal("summary should compress")
+	}
+	eng, err := NewEngine(sum, DefaultIndexConfig(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := data.Get(0)
+	qp, _ := tr.At(tr.Start + 3)
+	res := eng.RangeQuery(qp, tr.Start+3)
+	if !res.Covered {
+		t.Fatal("query over an indexed point should be covered")
+	}
+	found := false
+	for _, id := range res.IDs {
+		if id == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recall-1 guarantee: the querying trajectory itself must match")
+	}
+	exact := eng.ExactRangeQuery(qp, tr.Start+3)
+	if exact.Visited == 0 {
+		t.Fatal("exact query should visit candidates")
+	}
+	paths := eng.PathQuery(qp, tr.Start+3, 10)
+	if len(paths.Paths) == 0 {
+		t.Fatal("path query should return paths")
+	}
+}
+
+func TestStreamBuilderOnline(t *testing.T) {
+	sb := NewStreamBuilder(DefaultConfig())
+	for tick := 0; tick < 20; tick++ {
+		ids := []ID{0, 1}
+		pos := []Point{
+			Pt(-8.6+float64(tick)*0.0001, 41.15),
+			Pt(-8.61, 41.16+float64(tick)*0.0001),
+		}
+		if err := sb.Append(tick, ids, pos); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := sb.Summary()
+	if sum.NumPoints() != 40 {
+		t.Fatalf("NumPoints = %d", sum.NumPoints())
+	}
+	if _, ok := sum.Reconstruct(0, 10); !ok {
+		t.Fatal("reconstruction missing")
+	}
+	if got := sum.ReconstructPath(1, 5, 5); len(got) != 5 {
+		t.Fatalf("path length = %d", len(got))
+	}
+}
+
+func TestStreamBuilderLengthMismatch(t *testing.T) {
+	sb := NewStreamBuilder(DefaultConfig())
+	if err := sb.Append(0, []ID{1}, nil); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestConfigDefaultsFilledIn(t *testing.T) {
+	// A zero Config must behave like DefaultConfig.
+	data := SyntheticPorto(10, 7)
+	zero := BuildSummary(data, Config{})
+	def := BuildSummary(data, DefaultConfig())
+	if zero.NumCodewords() != def.NumCodewords() {
+		t.Fatalf("zero config diverged: %d vs %d codewords",
+			zero.NumCodewords(), def.NumCodewords())
+	}
+	if zero.MAEMeters() != def.MAEMeters() {
+		t.Fatal("zero config MAE diverged")
+	}
+}
+
+func TestAutocorrModePublic(t *testing.T) {
+	data := SyntheticPorto(15, 8)
+	cfg := DefaultConfig()
+	cfg.Mode = Autocorr
+	cfg.PartitionThreshold = 0.01
+	sum := BuildSummary(data, cfg)
+	if sum.MAEMeters() <= 0 || sum.MAEMeters() > sum.MaxDeviationMeters() {
+		t.Fatalf("autocorr MAE %v implausible", sum.MAEMeters())
+	}
+}
+
+func TestDisableCQCPublic(t *testing.T) {
+	data := SyntheticPorto(15, 9)
+	cfg := DefaultConfig()
+	cfg.DisableCQC = true
+	sum := BuildSummary(data, cfg)
+	// Without CQC the bound is ε₁ = 111 m.
+	if sum.MaxDeviationMeters() < 100 {
+		t.Fatalf("non-CQC deviation bound should be ε₁: %v", sum.MaxDeviationMeters())
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if DegreesToMeters(MetersToDegrees(500)) != 500 {
+		t.Fatal("conversion round trip failed")
+	}
+}
+
+func TestSyntheticGeoLifePublic(t *testing.T) {
+	d := SyntheticGeoLife(3, 3)
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.NumPoints() < 900 {
+		t.Fatal("GeoLife trajectories should be long")
+	}
+}

@@ -6,9 +6,14 @@
 //
 //	ppqbench -experiment table2            # one experiment
 //	ppqbench -experiment all -scale full   # the full recorded run
+//	ppqbench -experiment perf -json BENCH_PPQ.json -label my-change
 //
 // Experiments: table2 table3 table4 table56 table7 table8 table9
-// figure7 figure8 figure9 all.
+// figure7 figure8 figure9 perf all. The perf experiment measures the
+// three hot paths (per-tick build, engine construction, STRQ) on the
+// standard SyntheticPorto(2000, 42) workload and, with -json, appends
+// the numbers to a machine-readable history so PRs track the perf
+// trajectory.
 package main
 
 import (
@@ -21,9 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, all)")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
 	queries := flag.Int("queries", 0, "override query count (0 = scale default)")
+	jsonPath := flag.String("json", "", "perf only: append the run to this JSON history file")
+	label := flag.String("label", "dev", "perf only: label recorded with the run")
 	flag.Parse()
 
 	s := bench.Small
@@ -54,10 +61,22 @@ func main() {
 	run("figure7", func() { bench.Figure7(s, w) })
 	run("figure8", func() { bench.Figure8(s, w) })
 	run("figure9", func() { bench.Figure9(s, w, bench.Table56(s, nil)) })
+	if *exp == "perf" {
+		start := time.Now()
+		if *jsonPath != "" {
+			if err := bench.AppendPerf(*jsonPath, *label, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.Perf(*label, w)
+		}
+		fmt.Fprintf(w, "[perf completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9":
+		"table9", "figure7", "figure8", "figure9", "perf":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -1,0 +1,3 @@
+module ppqtraj
+
+go 1.24

@@ -110,6 +110,54 @@ func (f *FlatSummary) ReconstructPath(id traj.ID, from, l int) []geo.Point {
 // SortedTicks implements query.Source.
 func (f *FlatSummary) SortedTicks() []int { return f.ticks }
 
+// StreamColumns implements query.Source: every reconstructed column in
+// ascending tick order, IDs ascending within a column, in
+// O(points + tick span) via one counting sort over the tick axis (each
+// trajectory's reconstructions cover a contiguous tick range). The slices
+// passed to fn are valid only during the call.
+func (f *FlatSummary) StreamColumns(fn func(tick int, ids []traj.ID, pts []geo.Point) error) error {
+	if len(f.ticks) == 0 {
+		return nil
+	}
+	minT := f.ticks[0]
+	span := f.ticks[len(f.ticks)-1] - minT + 1
+	offsets := make([]int, span+1)
+	ids := f.TrajIDs()
+	for _, id := range ids {
+		s := f.start[id]
+		for t := s; t < s+len(f.recon[id]); t++ {
+			offsets[t-minT+1]++
+		}
+	}
+	for t := 1; t <= span; t++ {
+		offsets[t] += offsets[t-1]
+	}
+	fill := make([]int, span)
+	idBuf := make([]traj.ID, f.NumPoints)
+	ptBuf := make([]geo.Point, f.NumPoints)
+	for _, id := range ids { // ascending IDs → each column comes out sorted
+		s := f.start[id]
+		pts := f.recon[id]
+		for j, p := range pts {
+			c := s + j - minT
+			slot := offsets[c] + fill[c]
+			fill[c]++
+			idBuf[slot] = id
+			ptBuf[slot] = p
+		}
+	}
+	for c := 0; c < span; c++ {
+		lo, hi := offsets[c], offsets[c+1]
+		if lo == hi {
+			continue
+		}
+		if err := fn(minT+c, idBuf[lo:hi], ptBuf[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // TrajIDs implements query.Source.
 func (f *FlatSummary) TrajIDs() []traj.ID {
 	out := make([]traj.ID, 0, len(f.recon))

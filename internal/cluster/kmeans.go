@@ -13,6 +13,10 @@ package cluster
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"ppqtraj/internal/par"
 )
 
 // Result describes a clustering: one centroid per cluster and, for every
@@ -34,7 +38,19 @@ func (r *Result) Sizes() []int {
 	return sizes
 }
 
+// dist2 is split so the dominant 2-D case (spatial features) inlines; the
+// arithmetic matches the generic loop exactly (d₀² then +d₁²), so the 2-D
+// path changes nothing but speed.
 func dist2(a, b []float64) float64 {
+	if len(a) == 2 && len(b) == 2 {
+		dx := a[0] - b[0]
+		dy := a[1] - b[1]
+		return dx*dx + dy*dy
+	}
+	return dist2ND(a, b)
+}
+
+func dist2ND(a, b []float64) float64 {
 	var s float64
 	for i := range a {
 		d := a[i] - b[i]
@@ -43,15 +59,39 @@ func dist2(a, b []float64) float64 {
 	return s
 }
 
+// kmScratch pools the per-call working buffers of KMeans (everything that
+// does not escape into the Result). Only buffers live here — pooling
+// cannot affect results.
+type kmScratch struct {
+	counts []int
+	sumBuf []float64
+	sums   [][]float64
+	cx, cy []float64
+	d2     []float64
+}
+
+var kmPool = sync.Pool{New: func() any { return new(kmScratch) }}
+
+func (s *kmScratch) floats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	b := (*buf)[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
 // seedPlusPlus picks k initial centroids with the k-means++ rule: the first
 // uniformly, each next with probability proportional to the squared
 // distance from the nearest already-chosen centroid.
-func seedPlusPlus(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+func seedPlusPlus(data [][]float64, k int, rng *rand.Rand, sc *kmScratch) [][]float64 {
 	n := len(data)
 	centroids := make([][]float64, 0, k)
 	first := append([]float64(nil), data[rng.Intn(n)]...)
 	centroids = append(centroids, first)
-	d2 := make([]float64, n)
+	d2 := sc.floats(&sc.d2, n)
 	for i, v := range data {
 		d2[i] = dist2(v, first)
 	}
@@ -106,17 +146,113 @@ func KMeans(data [][]float64, k, maxIter int, seed int64) *Result {
 	if maxIter < 1 {
 		maxIter = 1
 	}
-	rng := rand.New(rand.NewSource(seed))
-	centroids := seedPlusPlus(data, k, rng)
-	assign := make([]int, n)
 	dim := len(data[0])
-	sums := make([][]float64, k)
-	counts := make([]int, k)
-	for i := range sums {
-		sums[i] = make([]float64, dim)
+	if k == 1 {
+		// One cluster converges to the mean regardless of seeding — skip
+		// the (comparatively expensive) rng warm-up and Lloyd loop. Every
+		// bounded-partition sweep starts here, so this round is pure
+		// overhead otherwise.
+		centroid := make([]float64, dim)
+		for _, v := range data {
+			for j, x := range v {
+				centroid[j] += x
+			}
+		}
+		inv := 1 / float64(n)
+		for j := range centroid {
+			centroid[j] *= inv
+		}
+		return &Result{Centroids: [][]float64{centroid}, Assign: make([]int, n)}
 	}
-	for iter := 0; iter < maxIter; iter++ {
+	var centroids [][]float64
+	func() {
+		sc := kmPool.Get().(*kmScratch)
+		defer kmPool.Put(sc)
+		rng := rand.New(rand.NewSource(seed))
+		centroids = seedPlusPlus(data, k, rng, sc)
+	}()
+	return kmeansFrom(data, centroids, maxIter)
+}
+
+// kmeansFrom runs Lloyd's iterations from the given initial centroids
+// (which it owns and mutates). It is the deterministic core shared by the
+// seeded KMeans and the bounded-partition sweep.
+func kmeansFrom(data [][]float64, centroids [][]float64, maxIter int) *Result {
+	n := len(data)
+	if n == 0 {
+		return &Result{}
+	}
+	if maxIter < 1 {
+		maxIter = 1
+	}
+	k := len(centroids)
+	dim := len(data[0])
+	if k == 1 {
+		// One cluster converges to the mean regardless of the seed point.
+		centroid := centroids[0]
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for _, v := range data {
+			for j, x := range v {
+				centroid[j] += x
+			}
+		}
+		inv := 1 / float64(n)
+		for j := range centroid {
+			centroid[j] *= inv
+		}
+		return &Result{Centroids: centroids, Assign: make([]int, n)}
+	}
+	sc := kmPool.Get().(*kmScratch)
+	defer kmPool.Put(sc)
+	assign := make([]int, n)
+	sumBuf := sc.floats(&sc.sumBuf, k*dim)
+	if cap(sc.sums) < k {
+		sc.sums = make([][]float64, k)
+	}
+	sums := sc.sums[:k]
+	for i := range sums {
+		sums[i] = sumBuf[i*dim : (i+1)*dim]
+	}
+	if cap(sc.counts) < k {
+		sc.counts = make([]int, k)
+	}
+	counts := sc.counts[:k]
+	// 2-D data (spatial features, the dominant workload) assigns against
+	// flat centroid-coordinate arrays: same arithmetic and tie order as
+	// the generic scan, minus the per-centroid slice indirection. The
+	// per-point argmin writes are independent, so the scan fans out on
+	// the worker pool for large inputs — bit-identical results under any
+	// chunking.
+	var cx, cy []float64
+	if dim == 2 {
+		cx = sc.floats(&sc.cx, k)
+		cy = sc.floats(&sc.cy, k)
+	}
+	assignAll := func() bool {
 		changed := false
+		if dim == 2 {
+			for c, cent := range centroids {
+				cx[c], cy[c] = cent[0], cent[1]
+			}
+			var flag atomic.Bool
+			par.For(par.Workers(0), n, 2048, func(_, lo, hi int) {
+				ch := false
+				for i := lo; i < hi; i++ {
+					v := data[i]
+					best := nearest2D(v[0], v[1], cx, cy)
+					if assign[i] != best {
+						ch = true
+						assign[i] = best
+					}
+				}
+				if ch {
+					flag.Store(true)
+				}
+			})
+			return flag.Load()
+		}
 		for i, v := range data {
 			best, bestD := 0, math.Inf(1)
 			for c, cent := range centroids {
@@ -124,15 +260,21 @@ func KMeans(data [][]float64, k, maxIter int, seed int64) *Result {
 					best, bestD = c, d
 				}
 			}
-			if assign[i] != best || iter == 0 {
-				changed = changed || assign[i] != best
+			if assign[i] != best {
+				changed = true
 				assign[i] = best
 			}
 		}
+		return changed
+	}
+	converged := false
+	for iter := 0; iter < maxIter; iter++ {
+		changed := assignAll()
 		if iter == 0 {
 			changed = true
 		}
 		if !changed {
+			converged = true
 			break
 		}
 		for c := range sums {
@@ -167,17 +309,28 @@ func KMeans(data [][]float64, k, maxIter int, seed int64) *Result {
 			}
 		}
 	}
-	// Final assignment against the final centroids.
-	for i, v := range data {
-		best, bestD := 0, math.Inf(1)
-		for c, cent := range centroids {
-			if d := dist2(v, cent); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		assign[i] = best
+	// Final assignment against the final centroids. A convergence break
+	// means the last assignment already matches the current centroids
+	// (they were not updated afterwards), so recomputing it would be a
+	// no-op; only a maxIter exit needs the extra pass.
+	if !converged {
+		assignAll()
 	}
 	return &Result{Centroids: centroids, Assign: assign}
+}
+
+// nearest2D returns the index of the nearest (cx, cy) centroid to
+// (px, py): first strict minimum, matching the generic scan.
+func nearest2D(px, py float64, cx, cy []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c := range cx {
+		dx := px - cx[c]
+		dy := py - cy[c]
+		if d := dx*dx + dy*dy; d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
 }
 
 // MaxRadius returns, per cluster, the maximum distance from a member to
@@ -243,14 +396,34 @@ func BoundedPartition(data [][]float64, opts BoundedOptions) (*Result, BoundedSt
 	if opts.MaxK > 0 && opts.MaxK < maxK {
 		maxK = opts.MaxK
 	}
+	// The radius constraint is a k-center objective, so rounds seed with
+	// the farthest-first (Gonzalez) prefix rather than k-means++: centers
+	// land in every isolated cluster first, which is exactly what the
+	// bound needs, and the first round usually passes. The same greedy
+	// sequence yields a pigeonhole lower bound on the feasible k — points
+	// pairwise more than 2ε apart cannot share a cluster of radius ≤ ε —
+	// so the sweep can skip all rounds below it: they were guaranteed to
+	// be rejected. The whole loop is deterministic with no rng.
+	g := newGonzalez(data)
 	k := 1
+	if m := g.minFeasibleK(opts.Epsilon, maxK); m > 1 {
+		for k < m {
+			k += opts.Step
+		}
+		if k > maxK {
+			k = maxK
+		}
+	}
+	eps2 := opts.Epsilon * opts.Epsilon
 	for {
 		stats.Rounds++
-		res := KMeans(data, k, opts.MaxIter, opts.Seed+int64(k))
+		res := kmeansFrom(data, g.seeds(k), opts.MaxIter)
 		stats.Iterations += opts.MaxIter
+		// Radius check with early exit on the first violating member
+		// (squared distances; no per-round radii allocation).
 		ok := true
-		for _, rad := range res.MaxRadius(data) {
-			if rad > opts.Epsilon {
+		for i, v := range data {
+			if dist2(v, res.Centroids[res.Assign[i]]) > eps2 {
 				ok = false
 				break
 			}
@@ -264,4 +437,83 @@ func BoundedPartition(data [][]float64, opts BoundedOptions) (*Result, BoundedSt
 			k = maxK
 		}
 	}
+}
+
+// gonzalez incrementally computes the farthest-first traversal of data:
+// picks[0] = data[0], each next pick the point farthest from all previous
+// picks. Selection distances are non-increasing, which gives both the
+// k-center seeds (the first k picks) and the pairwise-separation lower
+// bound. O(n) per pick.
+type gonzalez struct {
+	data  [][]float64
+	mind  []float64 // squared distance to the nearest pick so far
+	picks []int
+	dists []float64 // squared selection distance of each pick (pick 0: +Inf)
+}
+
+func newGonzalez(data [][]float64) *gonzalez {
+	g := &gonzalez{
+		data:  data,
+		mind:  make([]float64, len(data)),
+		picks: []int{0},
+		dists: []float64{math.Inf(1)},
+	}
+	for i, v := range data {
+		g.mind[i] = dist2(v, data[0])
+	}
+	return g
+}
+
+// extend grows the traversal to k picks (clamped to len(data)).
+func (g *gonzalez) extend(k int) {
+	for len(g.picks) < k && len(g.picks) < len(g.data) {
+		far, farD := 0, -1.0
+		for i, d := range g.mind {
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		g.picks = append(g.picks, far)
+		g.dists = append(g.dists, farD)
+		fv := g.data[far]
+		for i, v := range g.data {
+			if d := dist2(v, fv); d < g.mind[i] {
+				g.mind[i] = d
+			}
+		}
+	}
+}
+
+// seeds returns k fresh centroid vectors at the first k picks (Lloyd
+// mutates them, so each round gets copies).
+func (g *gonzalez) seeds(k int) [][]float64 {
+	g.extend(k)
+	if k > len(g.picks) {
+		k = len(g.picks)
+	}
+	out := make([][]float64, k)
+	for i := 0; i < k; i++ {
+		out[i] = append([]float64(nil), g.data[g.picks[i]]...)
+	}
+	return out
+}
+
+// minFeasibleK lower-bounds the cluster count needed to satisfy the ε
+// radius bound: the longest farthest-first prefix whose picks are
+// pairwise more than 2ε apart (any k below it must put two of them in
+// one cluster, forcing a radius above ε), capped at cap.
+func (g *gonzalez) minFeasibleK(eps float64, cap int) int {
+	if len(g.data) < 2 || eps <= 0 || cap < 2 {
+		return 1
+	}
+	thresh := 4 * eps * eps // (2ε)², against squared selection distances
+	m := 1
+	for m < cap {
+		g.extend(m + 1)
+		if len(g.picks) <= m || g.dists[m] <= thresh {
+			break
+		}
+		m++
+	}
+	return m
 }

@@ -35,13 +35,28 @@ func (w *BitWriter) WriteBit(b uint) {
 }
 
 // WriteBits appends the low n bits of v, most significant first. n must be
-// in [0, 64].
+// in [0, 64]. Bits land in byte-sized chunks, not one by one.
 func (w *BitWriter) WriteBits(v uint64, n int) {
 	if n < 0 || n > 64 {
 		panic(fmt.Sprintf("codec: WriteBits n=%d", n))
 	}
-	for i := n - 1; i >= 0; i-- {
-		w.WriteBit(uint(v>>uint(i)) & 1)
+	// Top up the partial byte.
+	for n > 0 && w.nbit > 0 {
+		n--
+		w.nbit--
+		if v>>uint(n)&1 != 0 {
+			w.buf[len(w.buf)-1] |= 1 << uint(w.nbit)
+		}
+	}
+	// Whole bytes.
+	for n >= 8 {
+		n -= 8
+		w.buf = append(w.buf, byte(v>>uint(n)))
+	}
+	// Remainder opens a fresh partial byte.
+	if n > 0 {
+		w.buf = append(w.buf, byte(v<<uint(8-n)))
+		w.nbit = 8 - n
 	}
 }
 

@@ -1,53 +1,41 @@
 package codec
 
 import (
-	"container/heap"
+	"cmp"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // ErrBadHuffmanCode is returned when a bit stream does not decode to a
 // known symbol.
 var ErrBadHuffmanCode = errors.New("codec: invalid huffman code")
 
-// huffNode is a node of the Huffman construction heap.
-type huffNode struct {
-	weight      uint64
-	symbol      uint32 // valid for leaves
-	leaf        bool
-	left, right *huffNode
-	order       int // tie-break for determinism
-}
-
-type huffHeap []*huffNode
-
-func (h huffHeap) Len() int { return len(h) }
-func (h huffHeap) Less(i, j int) bool {
-	if h[i].weight != h[j].weight {
-		return h[i].weight < h[j].weight
-	}
-	return h[i].order < h[j].order
-}
-func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
-func (h *huffHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Huffman is a canonical Huffman coder over uint32 symbols. Build it from
 // symbol frequencies, then Encode/Decode streams of symbols.
+//
+// Encoding and decoding run on dense arrays, not maps: canonical codes of
+// one length are consecutive, so a decoder only needs per-length
+// (first code, count, symbol offset) triples, and small symbols (the
+// posting coder's gap alphabet) get a direct symbol→code table. The maps
+// remain as the fallback for sparse/large symbols.
 type Huffman struct {
 	lens    map[uint32]int    // symbol → code length
 	codes   map[uint32]uint64 // symbol → canonical code
-	decode  map[uint64]uint32 // (length<<32 | code) → symbol (small alphabets)
 	maxLen  int
-	symbols []uint32 // canonical order, for serialization
+	symbols []uint32 // canonical order, for serialization and decoding
+
+	dCount  [65]uint32 // codes per length
+	dFirst  [65]uint64 // first canonical code of each length
+	dOffset [65]int32  // index into symbols of each length's first code
+
+	fastLen  []uint8 // symbol → code length for small symbols (0 = absent)
+	fastCode []uint64
 }
+
+// fastSymbolBound caps the dense encode table (covers the posting gap
+// alphabet with room to spare; larger symbols fall back to the maps).
+const fastSymbolBound = 1 << 16
 
 // NewHuffman builds a coder from frequency counts. Symbols with zero
 // frequency are ignored. At least one symbol must have positive frequency.
@@ -61,41 +49,96 @@ func NewHuffman(freq map[uint32]uint64) (*Huffman, error) {
 	if len(syms) == 0 {
 		return nil, errors.New("codec: huffman needs at least one symbol")
 	}
-	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	slices.Sort(syms)
 
 	lens := make(map[uint32]int, len(syms))
 	if len(syms) == 1 {
 		// Degenerate alphabet: one symbol, one bit.
 		lens[syms[0]] = 1
 	} else {
-		h := make(huffHeap, 0, len(syms))
+		// Order symbols by (frequency, symbol) — a deterministic total
+		// order — and compute optimal code lengths with the in-place
+		// Moffat–Katajainen algorithm: two O(n) sweeps over the weight
+		// array instead of a heap of tree nodes.
+		type symFreq struct {
+			sym uint32
+			f   uint64
+		}
+		sf := make([]symFreq, len(syms))
 		for i, s := range syms {
-			h = append(h, &huffNode{weight: freq[s], symbol: s, leaf: true, order: i})
+			sf[i] = symFreq{sym: s, f: freq[s]}
 		}
-		heap.Init(&h)
-		order := len(syms)
-		for h.Len() > 1 {
-			a := heap.Pop(&h).(*huffNode)
-			b := heap.Pop(&h).(*huffNode)
-			heap.Push(&h, &huffNode{weight: a.weight + b.weight, left: a, right: b, order: order})
-			order++
-		}
-		root := h[0]
-		var walk func(n *huffNode, depth int)
-		walk = func(n *huffNode, depth int) {
-			if n.leaf {
-				if depth == 0 {
-					depth = 1
-				}
-				lens[n.symbol] = depth
-				return
+		slices.SortFunc(sf, func(a, b symFreq) int {
+			if a.f != b.f {
+				return cmp.Compare(a.f, b.f)
 			}
-			walk(n.left, depth+1)
-			walk(n.right, depth+1)
+			return cmp.Compare(a.sym, b.sym)
+		})
+		a := make([]uint64, len(sf))
+		for i := range sf {
+			a[i] = sf[i].f
 		}
-		walk(root, 0)
+		minimumRedundancy(a)
+		for i := range sf {
+			l := int(a[i])
+			if l == 0 {
+				l = 1
+			}
+			lens[sf[i].sym] = l
+		}
 	}
 	return newCanonical(lens)
+}
+
+// minimumRedundancy computes optimal prefix-code lengths in place from
+// weights sorted ascending (Moffat & Katajainen, "In-place calculation of
+// minimum-redundancy codes", 1995): a[i] becomes the code length of the
+// i-th lightest symbol. Requires len(a) ≥ 2.
+func minimumRedundancy(a []uint64) {
+	n := len(a)
+	// Phase 1: pairwise combination, storing parent indices in place.
+	a[0] += a[1]
+	root, leaf := 0, 2
+	for next := 1; next < n-1; next++ {
+		if leaf >= n || a[root] < a[leaf] {
+			a[next] = a[root]
+			a[root] = uint64(next)
+			root++
+		} else {
+			a[next] = a[leaf]
+			leaf++
+		}
+		if leaf >= n || (root < next && a[root] < a[leaf]) {
+			a[next] += a[root]
+			a[root] = uint64(next)
+			root++
+		} else {
+			a[next] += a[leaf]
+			leaf++
+		}
+	}
+	// Phase 2: internal-node depths from parent pointers.
+	a[n-2] = 0
+	for next := n - 3; next >= 0; next-- {
+		a[next] = a[a[next]] + 1
+	}
+	// Phase 3: leaf depths from internal depth counts.
+	avail, used, depth := 1, 0, 0
+	rootIdx, next := n-2, n-1
+	for avail > 0 {
+		for rootIdx >= 0 && int(a[rootIdx]) == depth {
+			used++
+			rootIdx--
+		}
+		for avail > used {
+			a[next] = uint64(depth)
+			next--
+			avail--
+		}
+		avail = 2 * used
+		depth++
+		used = 0
+	}
 }
 
 // newCanonical assigns canonical codes given code lengths.
@@ -115,25 +158,42 @@ func newCanonical(lens map[uint32]int) (*Huffman, error) {
 			maxLen = l
 		}
 	}
-	sort.Slice(sl, func(i, j int) bool {
-		if sl[i].l != sl[j].l {
-			return sl[i].l < sl[j].l
+	slices.SortFunc(sl, func(a, b symLen) int {
+		if a.l != b.l {
+			return cmp.Compare(a.l, b.l)
 		}
-		return sl[i].sym < sl[j].sym
+		return cmp.Compare(a.sym, b.sym)
 	})
 	h := &Huffman{
 		lens:   lens,
 		codes:  make(map[uint32]uint64, len(lens)),
-		decode: make(map[uint64]uint32, len(lens)),
 		maxLen: maxLen,
+	}
+	maxFast := -1
+	for _, e := range sl {
+		if int(e.sym) < fastSymbolBound && int(e.sym) > maxFast {
+			maxFast = int(e.sym)
+		}
+	}
+	if maxFast >= 0 {
+		h.fastLen = make([]uint8, maxFast+1)
+		h.fastCode = make([]uint64, maxFast+1)
 	}
 	var code uint64
 	prevLen := 0
-	for _, e := range sl {
+	for i, e := range sl {
 		code <<= uint(e.l - prevLen)
 		prevLen = e.l
 		h.codes[e.sym] = code
-		h.decode[uint64(e.l)<<32|code] = e.sym
+		if h.dCount[e.l] == 0 {
+			h.dFirst[e.l] = code
+			h.dOffset[e.l] = int32(i)
+		}
+		h.dCount[e.l]++
+		if int(e.sym) < fastSymbolBound {
+			h.fastLen[e.sym] = uint8(e.l)
+			h.fastCode[e.sym] = code
+		}
 		h.symbols = append(h.symbols, e.sym)
 		code++
 	}
@@ -148,6 +208,13 @@ func (h *Huffman) MaxLen() int { return h.maxLen }
 
 // EncodeSymbol appends the code for s to w.
 func (h *Huffman) EncodeSymbol(w *BitWriter, s uint32) error {
+	if int64(s) < int64(len(h.fastLen)) {
+		if l := h.fastLen[s]; l > 0 {
+			w.WriteBits(h.fastCode[s], int(l))
+			return nil
+		}
+		return fmt.Errorf("codec: symbol %d not in huffman alphabet", s)
+	}
 	l, ok := h.lens[s]
 	if !ok {
 		return fmt.Errorf("codec: symbol %d not in huffman alphabet", s)
@@ -156,7 +223,9 @@ func (h *Huffman) EncodeSymbol(w *BitWriter, s uint32) error {
 	return nil
 }
 
-// DecodeSymbol reads one symbol from r.
+// DecodeSymbol reads one symbol from r, walking the canonical per-length
+// ranges (codes of one length are consecutive, so membership is a single
+// range check per length — no table lookups).
 func (h *Huffman) DecodeSymbol(r *BitReader) (uint32, error) {
 	var code uint64
 	for l := 1; l <= h.maxLen; l++ {
@@ -165,8 +234,8 @@ func (h *Huffman) DecodeSymbol(r *BitReader) (uint32, error) {
 			return 0, err
 		}
 		code = code<<1 | uint64(bit)
-		if s, ok := h.decode[uint64(l)<<32|code]; ok {
-			return s, nil
+		if c := h.dCount[l]; c > 0 && code >= h.dFirst[l] && code-h.dFirst[l] < uint64(c) {
+			return h.symbols[h.dOffset[l]+int32(code-h.dFirst[l])], nil
 		}
 	}
 	return 0, ErrBadHuffmanCode

@@ -2,7 +2,7 @@ package codec
 
 import (
 	"errors"
-	"sort"
+	"slices"
 )
 
 // PostingList compresses a sorted list of trajectory IDs with delta
@@ -28,7 +28,68 @@ const GapAlphabet = 1 << 12
 // PostingCoder owns the Huffman table shared by all posting lists of one
 // index (one table per PI, amortizing the table cost across cells).
 type PostingCoder struct {
-	huff *Huffman
+	huff    *Huffman
+	w       BitWriter // Encode scratch
+	scratch []uint32  // sort scratch for unsorted input
+}
+
+// PostingFreq accumulates the gap-symbol frequencies of posting lists —
+// the training pass of a PostingCoder, kept allocation-free: a dense
+// counter per alphabet gap plus the escape count, no per-list copies.
+type PostingFreq struct {
+	counts  [GapAlphabet]uint64
+	escapes uint64
+	scratch []uint32
+}
+
+// Add counts the gap symbols of one posting list (sorted or not; unsorted
+// lists are sorted into an internal scratch copy).
+func (f *PostingFreq) Add(ids []uint32) {
+	if len(ids) == 0 {
+		return
+	}
+	s := ids
+	if !slices.IsSorted(ids) {
+		f.scratch = append(f.scratch[:0], ids...)
+		slices.Sort(f.scratch)
+		s = f.scratch
+	}
+	prev := uint32(0)
+	for i, id := range s {
+		g := id
+		if i > 0 {
+			g = id - prev
+		}
+		prev = id
+		if g < GapAlphabet {
+			f.counts[g]++
+		} else {
+			f.escapes++
+		}
+	}
+}
+
+// NewPostingCoderFromFreq builds the shared Huffman coder from
+// accumulated frequencies.
+func NewPostingCoderFromFreq(f *PostingFreq) (*PostingCoder, error) {
+	freq := make(map[uint32]uint64)
+	for g, n := range f.counts {
+		if n > 0 {
+			freq[uint32(g)] = n
+		}
+	}
+	if f.escapes > 0 {
+		freq[escapeSymbol] = f.escapes
+	}
+	if len(freq) == 0 {
+		// An index with only empty cells still needs a functioning coder.
+		freq[0] = 1
+	}
+	h, err := NewHuffman(freq)
+	if err != nil {
+		return nil, err
+	}
+	return &PostingCoder{huff: h}, nil
 }
 
 // gaps converts a sorted ID list to first-value-plus-gaps form. The first
@@ -61,47 +122,66 @@ func symbolize(g uint32) uint32 {
 // posting lists that the index will store. lists need not be sorted; the
 // coder sorts copies internally (IDs within a cell are set-valued).
 func NewPostingCoder(lists [][]uint32) (*PostingCoder, error) {
-	freq := make(map[uint32]uint64)
+	var f PostingFreq
 	for _, ids := range lists {
-		if len(ids) == 0 {
-			continue
-		}
-		s := append([]uint32(nil), ids...)
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-		for _, g := range gaps(s) {
-			freq[symbolize(g)]++
-		}
+		f.Add(ids)
 	}
-	if len(freq) == 0 {
-		// An index with only empty cells still needs a functioning coder.
-		freq[0] = 1
-	}
-	h, err := NewHuffman(freq)
-	if err != nil {
-		return nil, err
-	}
-	return &PostingCoder{huff: h}, nil
+	return NewPostingCoderFromFreq(&f)
 }
 
 // TableBits returns the size of the shared Huffman table in bits.
 func (c *PostingCoder) TableBits() int { return c.huff.TableBits() }
 
-// Encode compresses ids (sorted ascending; duplicates are collapsed by the
-// caller's contract — an ID appears at most once per cell per timestamp).
+// Encode compresses ids (ascending order expected per the caller's
+// contract; already-sorted input — the common case, columns arrive
+// ID-sorted — is encoded in place with no copy, and unsorted input is
+// sorted into the coder's scratch).
 func (c *PostingCoder) Encode(ids []uint32) (*PostingList, error) {
-	s := append([]uint32(nil), ids...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	var w BitWriter
-	for _, g := range gaps(s) {
+	pl, _, err := c.AppendEncode(nil, ids)
+	if err != nil {
+		return nil, err
+	}
+	return &pl, nil
+}
+
+// AppendEncode is Encode with the encoded bytes appended to arena: the
+// returned list's Data aliases the returned arena, letting an index seal
+// hundreds of thousands of tiny cell postings into a handful of
+// allocations. Growing the arena may reallocate it; lists encoded
+// earlier keep their (still valid) view of the previous backing array.
+func (c *PostingCoder) AppendEncode(arena []byte, ids []uint32) (PostingList, []byte, error) {
+	s := ids
+	if !slices.IsSorted(ids) {
+		c.scratch = append(c.scratch[:0], ids...)
+		slices.Sort(c.scratch)
+		s = c.scratch
+	}
+	c.w.Reset()
+	prev := uint32(0)
+	fastLen, fastCode := c.huff.fastLen, c.huff.fastCode
+	for i, id := range s {
+		g := id
+		if i > 0 {
+			g = id - prev
+		}
+		prev = id
+		// In-alphabet gaps hit the dense code table directly (the common
+		// case by construction: the coder was trained on these lists).
+		if g < GapAlphabet && int(g) < len(fastLen) && fastLen[g] > 0 {
+			c.w.WriteBits(fastCode[g], int(fastLen[g]))
+			continue
+		}
 		sym := symbolize(g)
-		if err := c.huff.EncodeSymbol(&w, sym); err != nil {
-			return nil, err
+		if err := c.huff.EncodeSymbol(&c.w, sym); err != nil {
+			return PostingList{}, arena, err
 		}
 		if sym == escapeSymbol {
-			w.WriteBits(uint64(g), 32)
+			c.w.WriteBits(uint64(g), 32)
 		}
 	}
-	return &PostingList{N: len(s), Bits: w.Len(), Data: w.Bytes()}, nil
+	start := len(arena)
+	arena = append(arena, c.w.Bytes()...)
+	return PostingList{N: len(s), Bits: c.w.Len(), Data: arena[start:len(arena):len(arena)]}, arena, nil
 }
 
 // Decode reconstructs the sorted ID list.

@@ -30,6 +30,7 @@ import (
 	"ppqtraj/internal/codec"
 	"ppqtraj/internal/cqc"
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/par"
 	"ppqtraj/internal/partition"
 	"ppqtraj/internal/predict"
 	"ppqtraj/internal/quant"
@@ -74,6 +75,11 @@ type Options struct {
 	MaxPartitions int
 	// Seed makes the build deterministic.
 	Seed int64
+	// Workers bounds the Append worker pool (0 = runtime.NumCPU()).
+	// Parallel and sequential builds produce bit-identical summaries:
+	// work is split on fixed index ranges and merged in input order, so
+	// Workers only affects speed, never output. It is not serialized.
+	Workers int
 }
 
 // DefaultOptions returns the paper's §6.1 defaults for a given dataset
@@ -337,15 +343,80 @@ type trajState struct {
 	arFeature []float64   // EMA-smoothed autocorrelation feature
 }
 
+// buildWorker is the per-goroutine scratch of the parallel Append phases.
+// Each worker owns its fitting and feature workspaces, so the fan-out
+// phases allocate nothing in steady state.
+type buildWorker struct {
+	fitter    predict.Fitter
+	ar        predict.ARScratch
+	rawFeat   []float64
+	histories [][]geo.Point
+	targets   []geo.Point
+}
+
+// appendScratch holds the per-column buffers Append reuses across calls.
+type appendScratch struct {
+	states  []*trajState           // per column index, nil for new trajectories
+	trs     []*TrajSummary         // per column index, nil for new trajectories
+	feats   [][]float64            // per-point partitioning features
+	featBuf []float64              // backing array for feats
+	preds   []geo.Point            // per-point predictions
+	parts   []int32                // per-point partition labels
+	errs    []geo.Point            // per-point prediction errors
+	words   []int                  // per-point codeword indexes
+	entries []PointEntry           // per-point stored codes
+	finals  []geo.Point            // per-point final reconstructions
+	coeffs  []predict.Coefficients // per-group fitted coefficients
+}
+
+// resize readies every per-point buffer for a column of n points.
+func (sc *appendScratch) resize(n int) {
+	if cap(sc.states) < n {
+		sc.states = make([]*trajState, n)
+		sc.trs = make([]*TrajSummary, n)
+		sc.feats = make([][]float64, n)
+		sc.preds = make([]geo.Point, n)
+		sc.parts = make([]int32, n)
+		sc.errs = make([]geo.Point, n)
+		sc.words = make([]int, n)
+		sc.entries = make([]PointEntry, n)
+		sc.finals = make([]geo.Point, n)
+	}
+	sc.states = sc.states[:n]
+	sc.trs = sc.trs[:n]
+	sc.feats = sc.feats[:n]
+	sc.preds = sc.preds[:n]
+	sc.parts = sc.parts[:n]
+	sc.errs = sc.errs[:n]
+	sc.words = sc.words[:n]
+	sc.entries = sc.entries[:n]
+	sc.finals = sc.finals[:n]
+}
+
+// features readies the flat feature backing for n points of dim d and
+// points feats[i] at its slot.
+func (sc *appendScratch) features(n, d int) {
+	if cap(sc.featBuf) < n*d {
+		sc.featBuf = make([]float64, n*d)
+	}
+	sc.featBuf = sc.featBuf[:n*d]
+	for i := 0; i < n; i++ {
+		sc.feats[i] = sc.featBuf[i*d : (i+1)*d : (i+1)*d]
+	}
+}
+
 // Builder consumes a trajectory stream one timestamp at a time
 // (Algorithm 1's outer loop) and produces a Summary.
 type Builder struct {
-	opts  Options
-	part  *partition.Partitioner
-	inc   *quant.Incremental
-	coder *cqc.Coder
-	sum   *Summary
-	state map[traj.ID]*trajState
+	opts    Options
+	part    *partition.Partitioner
+	inc     *quant.Incremental
+	coder   *cqc.Coder
+	sum     *Summary
+	state   map[traj.ID]*trajState
+	nw      int
+	workers []buildWorker
+	scratch appendScratch
 }
 
 // NewBuilder creates a Builder. It panics on inconsistent options
@@ -372,7 +443,9 @@ func NewBuilder(opts Options) *Builder {
 			Ticks: make(map[int]*TickSummary),
 			Trajs: make(map[traj.ID]*TrajSummary),
 		},
+		nw: par.Workers(opts.Workers),
 	}
+	b.workers = make([]buildWorker, b.nw)
 	if opts.FixedWords <= 0 {
 		if opts.ClusterQuantizer {
 			b.inc = quant.NewIncrementalClustered(opts.Epsilon1)
@@ -395,8 +468,11 @@ func NewBuilder(opts Options) *Builder {
 	return b
 }
 
-// features computes the partitioning feature of each column member.
-func (b *Builder) features(col *traj.Column) [][]float64 {
+// features fills the scratch feature slots for every column member.
+// Each point's feature depends only on its own trajectory's state, so the
+// Autocorr fan-out is safe and order-independent.
+func (b *Builder) features(col *traj.Column) {
+	sc := &b.scratch
 	switch b.opts.Mode {
 	case partition.Autocorr:
 		// Per-trajectory Yule-Walker estimates over short windows are
@@ -404,41 +480,59 @@ func (b *Builder) features(col *traj.Column) [][]float64 {
 		// partitions do not churn tick to tick (churn would bloat both
 		// the membership coding and the coefficient storage).
 		const alpha = 0.1
-		out := make([][]float64, col.Len())
-		for i, id := range col.IDs {
-			st := b.state[id]
-			var window []geo.Point
-			if st != nil {
-				window = append(window, st.rawWindow...)
+		k := b.opts.K
+		sc.features(col.Len(), k)
+		par.For(b.nw, col.Len(), 16, func(w, lo, hi int) {
+			wk := &b.workers[w]
+			if cap(wk.rawFeat) < k {
+				wk.rawFeat = make([]float64, k)
 			}
-			window = append(window, col.Points[i])
-			raw := predict.AutocorrFeature(window, b.opts.K)
-			if st != nil && st.arFeature != nil {
-				sm := make([]float64, len(raw))
-				for d := range raw {
-					sm[d] = (1-alpha)*st.arFeature[d] + alpha*raw[d]
-				}
-				st.arFeature = sm
-				out[i] = sm
-			} else {
+			raw := wk.rawFeat[:k]
+			for i := lo; i < hi; i++ {
+				st := sc.states[i]
+				var window []geo.Point
 				if st != nil {
-					st.arFeature = raw
+					window = st.rawWindow
 				}
-				out[i] = raw
+				wk.ar.FeatureInto(raw, window, col.Points[i], k)
+				out := sc.feats[i]
+				if st != nil && st.arFeature != nil {
+					for d := range raw {
+						st.arFeature[d] = (1-alpha)*st.arFeature[d] + alpha*raw[d]
+					}
+					copy(out, st.arFeature)
+				} else {
+					if st != nil {
+						st.arFeature = append([]float64(nil), raw...)
+					}
+					copy(out, raw)
+				}
 			}
-		}
-		return out
+		})
 	default:
-		return partition.SpatialFeatures(col.Points)
+		sc.features(col.Len(), 2)
+		for i, p := range col.Points {
+			sc.feats[i][0] = p.X
+			sc.feats[i][1] = p.Y
+		}
 	}
 }
 
 // Append processes one timestamp column (Algorithm 1 lines 3–8 across all
 // partitions). Columns must arrive in strictly increasing tick order.
+//
+// The three fan-out phases — feature extraction, per-partition model
+// fitting/prediction, and CQC refinement — run on the builder's worker
+// pool over fixed index ranges and merge in input order, so a parallel
+// build is bit-identical to a sequential one (only the error quantization
+// is inherently sequential: codebook growth order matters). All per-point
+// buffers are builder-owned scratch; steady-state Append allocates only
+// what the summary itself retains.
 func (b *Builder) Append(col *traj.Column) {
 	start := time.Now()
 	defer func() { b.sum.BuildTime += time.Since(start) }()
-	if col.Len() == 0 {
+	n := col.Len()
+	if n == 0 {
 		return
 	}
 	for i, p := range col.Points {
@@ -447,106 +541,141 @@ func (b *Builder) Append(col *traj.Column) {
 				p, col.IDs[i], col.Tick))
 		}
 	}
+	sc := &b.scratch
+	sc.resize(n)
+	// One map pass resolves every per-trajectory pointer the later phases
+	// need; the hot loops then index the scratch slices instead of
+	// re-hashing IDs.
+	for i, id := range col.IDs {
+		sc.states[i] = b.state[id]
+		sc.trs[i] = b.sum.Trajs[id]
+	}
 
-	res := b.part.Step(col.IDs, b.features(col))
+	b.features(col)
+	res := b.part.Step(col.IDs, sc.feats)
 	b.sum.QHistory = append(b.sum.QHistory, res.Q)
 
 	k := b.opts.K
-	tickSum := &TickSummary{Tick: col.Tick, Coeffs: make(map[int]predict.Coefficients)}
+	tickSum := &TickSummary{Tick: col.Tick, Coeffs: make(map[int]predict.Coefficients, len(res.Groups))}
 	b.sum.Ticks[col.Tick] = tickSum
 
-	// Predictions and errors, per partition group.
-	preds := make([]geo.Point, col.Len())
-	parts := make([]int32, col.Len())
-	for g, members := range res.Groups {
-		label := res.Labels[g]
+	// Predictions per partition group: every group is independent (the fit
+	// reads only member histories, predictions write disjoint slots).
+	if cap(sc.coeffs) < len(res.Groups) {
+		sc.coeffs = make([]predict.Coefficients, len(res.Groups))
+	}
+	sc.coeffs = sc.coeffs[:len(res.Groups)]
+	par.For(b.nw, len(res.Groups), 1, func(w, glo, ghi int) {
+		wk := &b.workers[w]
+		for g := glo; g < ghi; g++ {
+			members := res.Groups[g]
+			var coeffs predict.Coefficients
+			if !b.opts.NoPrediction {
+				// Fit Equation 1 over the members with a full k-history.
+				wk.histories = wk.histories[:0]
+				wk.targets = wk.targets[:0]
+				for _, i := range members {
+					st := sc.states[i]
+					if st != nil && len(st.history) >= k {
+						wk.histories = append(wk.histories, st.history)
+						wk.targets = append(wk.targets, col.Points[i])
+					}
+				}
+				coeffs = wk.fitter.Fit(k, wk.histories, wk.targets)
+				sc.coeffs[g] = coeffs
+			}
+			label := int32(res.Labels[g])
+			for _, i := range members {
+				sc.parts[i] = label
+				if b.opts.NoPrediction {
+					sc.preds[i] = geo.Point{} // prediction stays the origin
+					continue
+				}
+				st := sc.states[i]
+				switch {
+				case st == nil || len(st.history) == 0:
+					sc.preds[i] = geo.Point{} // origin
+				case len(st.history) < k:
+					sc.preds[i] = st.history[len(st.history)-1]
+				default:
+					sc.preds[i] = predict.Predict(coeffs, st.history)
+				}
+			}
+		}
+	})
+	for g, label := range res.Labels {
 		if label > b.sum.maxLabel {
 			b.sum.maxLabel = label
 		}
-		var coeffs predict.Coefficients
 		if !b.opts.NoPrediction {
-			// Fit Equation 1 over the members with a full k-history.
-			var histories [][]geo.Point
-			var targets []geo.Point
-			for _, i := range members {
-				st := b.state[col.IDs[i]]
-				if st != nil && len(st.history) >= k {
-					histories = append(histories, st.history)
-					targets = append(targets, col.Points[i])
-				}
-			}
-			coeffs = predict.Fit(k, histories, targets)
-			tickSum.Coeffs[label] = coeffs
-		}
-		for _, i := range members {
-			parts[i] = int32(label)
-			if b.opts.NoPrediction {
-				continue // prediction stays the origin
-			}
-			st := b.state[col.IDs[i]]
-			switch {
-			case st == nil || len(st.history) == 0:
-				// origin
-			case len(st.history) < k:
-				preds[i] = st.history[len(st.history)-1]
-			default:
-				preds[i] = predict.Predict(coeffs, st.history)
-			}
+			tickSum.Coeffs[label] = sc.coeffs[g]
 		}
 	}
 
-	// Quantize the prediction errors (Algorithm 1 line 6).
-	errs := make([]geo.Point, col.Len())
-	for i := range errs {
-		errs[i] = col.Points[i].Sub(preds[i])
+	// Quantize the prediction errors (Algorithm 1 line 6). Codebook growth
+	// is order-dependent, so this phase stays sequential.
+	for i := range sc.errs {
+		sc.errs[i] = col.Points[i].Sub(sc.preds[i])
 	}
-	words := make([]int, col.Len())
 	var book *quant.Codebook
 	if b.opts.FixedWords > 0 {
-		fixed := quant.FixedKMeans(errs, b.opts.FixedWords, 20, b.opts.Seed+int64(col.Tick))
-		copy(words, fixed.Codes)
+		fixed := quant.FixedKMeans(sc.errs, b.opts.FixedWords, 20, b.opts.Seed+int64(col.Tick))
+		copy(sc.words, fixed.Codes)
 		book = fixed.Book
 		tickSum.Book = book
 	} else {
-		copy(words, b.inc.Quantize(errs))
+		b.inc.QuantizeInto(sc.words, sc.errs)
 		book = b.inc.Book
 	}
 
-	// Reconstruct, refine, record.
-	for i, id := range col.IDs {
-		recon := preds[i].Add(book.Word(words[i]))
-		final := recon
-		entry := PointEntry{Part: parts[i], Word: int32(words[i])}
-		if b.coder != nil {
-			entry.CQC = b.coder.Encode(col.Points[i], recon)
-			final = b.coder.Refine(recon, entry.CQC)
+	// Reconstruct and refine: per-point, stateless, parallel.
+	par.For(b.nw, n, 64, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			recon := sc.preds[i].Add(book.Word(sc.words[i]))
+			entry := PointEntry{Part: sc.parts[i], Word: int32(sc.words[i])}
+			final := recon
+			if b.coder != nil {
+				entry.CQC = b.coder.Encode(col.Points[i], recon)
+				final = b.coder.Refine(recon, entry.CQC)
+			}
+			sc.entries[i] = entry
+			sc.finals[i] = final
 		}
+	})
 
-		tr := b.sum.Trajs[id]
+	// Record: sequential merge in input order.
+	for i, id := range col.IDs {
+		final := sc.finals[i]
+		tr := sc.trs[i]
 		if tr == nil {
 			tr = &TrajSummary{Start: col.Tick}
 			b.sum.Trajs[id] = tr
 			b.sum.partChanges++ // initial label
-		} else if len(tr.Entries) > 0 && tr.Entries[len(tr.Entries)-1].Part != parts[i] {
+		} else if len(tr.Entries) > 0 && tr.Entries[len(tr.Entries)-1].Part != sc.parts[i] {
 			b.sum.partChanges++
 		}
-		tr.Entries = append(tr.Entries, entry)
+		tr.Entries = append(tr.Entries, sc.entries[i])
 		tr.Recon = append(tr.Recon, final)
 
-		st := b.state[id]
+		st := sc.states[i]
 		if st == nil {
-			st = &trajState{}
+			st = &trajState{history: make([]geo.Point, 0, k+1)}
 			b.state[id] = st
 		}
-		st.history = append(st.history, final)
-		if len(st.history) > k {
-			st.history = st.history[1:]
+		// Bounded windows shift by copy instead of re-slicing so their
+		// backing arrays never creep (re-slicing forces a reallocation
+		// every few appends).
+		if len(st.history) >= k {
+			copy(st.history, st.history[1:])
+			st.history = st.history[:len(st.history)-1]
 		}
+		st.history = append(st.history, final)
 		if b.opts.Mode == partition.Autocorr {
-			st.rawWindow = append(st.rawWindow, col.Points[i])
-			if len(st.rawWindow) > b.opts.AutocorrWindow {
-				st.rawWindow = st.rawWindow[1:]
+			if len(st.rawWindow) >= b.opts.AutocorrWindow {
+				copy(st.rawWindow, st.rawWindow[1:])
+				st.rawWindow = st.rawWindow[:b.opts.AutocorrWindow-1]
 			}
+			st.rawWindow = append(st.rawWindow, col.Points[i])
 		}
 
 		dev := col.Points[i].Dist(final)
@@ -585,6 +714,55 @@ func (s *Summary) SortedTicks() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// StreamColumns feeds every reconstructed column to fn in ascending tick
+// order, IDs ascending within a column — the query.Source contract. The
+// whole sweep costs O(points + tick span): trajectories occupy contiguous
+// tick ranges, so the columns are materialized with one counting sort
+// over the tick axis instead of probing every (tick, id) pair. The slices
+// passed to fn are valid only during the call.
+func (s *Summary) StreamColumns(fn func(tick int, ids []traj.ID, pts []geo.Point) error) error {
+	ticks := s.SortedTicks()
+	if len(ticks) == 0 {
+		return nil
+	}
+	minT := ticks[0]
+	span := ticks[len(ticks)-1] - minT + 1
+	offsets := make([]int, span+1)
+	ids := s.TrajIDs()
+	for _, id := range ids {
+		tr := s.Trajs[id]
+		for t := tr.Start; t < tr.End(); t++ {
+			offsets[t-minT+1]++
+		}
+	}
+	for t := 1; t <= span; t++ {
+		offsets[t] += offsets[t-1]
+	}
+	fill := make([]int, span)
+	idBuf := make([]traj.ID, s.NumPoints)
+	ptBuf := make([]geo.Point, s.NumPoints)
+	for _, id := range ids { // ascending IDs → each column comes out sorted
+		tr := s.Trajs[id]
+		for t := tr.Start; t < tr.End(); t++ {
+			c := t - minT
+			slot := offsets[c] + fill[c]
+			fill[c]++
+			idBuf[slot] = id
+			ptBuf[slot] = tr.Recon[t-tr.Start]
+		}
+	}
+	for c := 0; c < span; c++ {
+		lo, hi := offsets[c], offsets[c+1]
+		if lo == hi {
+			continue
+		}
+		if err := fn(minT+c, idBuf[lo:hi], ptBuf[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TrajIDs returns the summarized trajectory IDs in increasing order.

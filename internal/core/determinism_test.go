@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/traj"
+)
+
+// detOpts is a build configuration exercising every parallel phase:
+// feature extraction (Autocorr), per-partition fitting, and CQC coding.
+func detOpts(mode partition.Mode) Options {
+	epsP := 0.1
+	if mode == partition.Autocorr {
+		epsP = 0.2
+	}
+	o := DefaultOptions(mode, epsP)
+	o.Seed = 42
+	return o
+}
+
+func serializedBuild(t *testing.T, d *traj.Dataset, o Options) []byte {
+	t.Helper()
+	s := Build(d, o)
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelBuildBitIdentical is the determinism regression test of the
+// parallel Append pipeline: with Seed set, a build must serialize to
+// byte-identical summaries across GOMAXPROCS settings and worker counts.
+// Work is split on fixed index ranges and merged in input order, so
+// parallelism may only change speed, never output.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	d := gen.Porto(gen.Config{NumTrajectories: 60, MinLen: 40, MaxLen: 80, Seed: 9})
+	for _, mode := range []partition.Mode{partition.Spatial, partition.Autocorr} {
+		o := detOpts(mode)
+
+		prev := runtime.GOMAXPROCS(0)
+		defer runtime.GOMAXPROCS(prev)
+
+		var want []byte
+		for _, procs := range []int{1, 2, 8} {
+			runtime.GOMAXPROCS(procs)
+			got := serializedBuild(t, d, o)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("mode %v: summary bytes differ between GOMAXPROCS=1 and GOMAXPROCS=%d (len %d vs %d)",
+					mode, procs, len(want), len(got))
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+
+		// Explicit worker-count overrides must agree too (GOMAXPROCS can
+		// exceed physical cores in CI; Workers drives the split directly).
+		for _, w := range []int{1, 3, 7} {
+			ow := o
+			ow.Workers = w
+			if got := serializedBuild(t, d, ow); !bytes.Equal(want, got) {
+				t.Fatalf("mode %v: summary bytes differ with Workers=%d", mode, w)
+			}
+		}
+	}
+}

@@ -65,7 +65,18 @@ type Coder struct {
 	n     int     // grid is n×n cells, n odd so a center cell exists
 	m     int     // center cell index: (n−1)/2
 	depth int     // uniform tree depth; code length is 2·depth bits
+
+	// The tree shape is fixed by (ε₁, g_s) and grids are small, so both
+	// directions memoize as tables: cell → code and code bits → Refine
+	// offset. Encode/Refine run per point in the build hot loop; the
+	// tables turn the quadtree walks into array loads. Nil for grids too
+	// large to tabulate (the walk remains the fallback).
+	codeTab []Code
+	offTab  []geo.Point
 }
+
+// maxTableCodes bounds the memoization tables (4^depth entries).
+const maxTableCodes = 1 << 16
 
 // NewCoder builds the CQC template for the given error bound and grid
 // cell size. It panics when either parameter is non-positive.
@@ -82,7 +93,21 @@ func NewCoder(eps1, gs float64) *Coder {
 	for s := n; s > 1; s = (s + 1) / 2 {
 		d++
 	}
-	return &Coder{eps: eps1, gs: gs, n: n, m: half, depth: d}
+	c := &Coder{eps: eps1, gs: gs, n: n, m: half, depth: d}
+	if codes := 1 << uint(2*d); codes <= maxTableCodes {
+		c.codeTab = make([]Code, n*n)
+		for iy := 0; iy < n; iy++ {
+			for ix := 0; ix < n; ix++ {
+				c.codeTab[iy*n+ix] = c.encodeCellWalk(ix, iy)
+			}
+		}
+		c.offTab = make([]geo.Point, codes)
+		for bits := 0; bits < codes; bits++ {
+			ix, iy := c.DecodeCell(Code{Bits: uint64(bits), Len: uint8(2 * d)})
+			c.offTab[bits] = geo.Point{X: float64(ix-half) * gs, Y: float64(iy-half) * gs}
+		}
+	}
+	return c
 }
 
 // GridN returns the grid side length in cells.
@@ -171,6 +196,15 @@ func (c *Coder) EncodeCell(ix, iy int) Code {
 	if ix < 0 || ix >= c.n || iy < 0 || iy >= c.n {
 		panic(fmt.Sprintf("cqc: cell (%d,%d) outside %d×%d grid", ix, iy, c.n, c.n))
 	}
+	if c.codeTab != nil {
+		return c.codeTab[iy*c.n+ix]
+	}
+	return c.encodeCellWalk(ix, iy)
+}
+
+// encodeCellWalk is the quadtree walk behind EncodeCell (also used to
+// fill the memo table).
+func (c *Coder) encodeCellWalk(ix, iy int) Code {
 	r := rect{0, 0, c.n, c.n}
 	dirX, dirY := -1, +1 // root pads upper-left (paper's Figure 3a)
 	var code Code
@@ -251,6 +285,9 @@ func (c *Coder) Encode(orig, recon geo.Point) Code {
 // and its stored code cqc₂, return the CQC-refined reconstruction
 // (x̂′, ŷ′), which is within (√2/2)·g_s of the original point (Lemma 3).
 func (c *Coder) Refine(recon geo.Point, code Code) geo.Point {
+	if c.offTab != nil && int(code.Len) == 2*c.depth && code.Bits < uint64(len(c.offTab)) {
+		return recon.Sub(c.offTab[code.Bits])
+	}
 	ix, iy := c.DecodeCell(code)
 	// Displacement of the reconstructed point's cell center from the grid
 	// center (where the original point lives): g_s · (c_cqc2 − c_cqc1).

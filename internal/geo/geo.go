@@ -231,46 +231,54 @@ func BoundingRect(pts []Point, eps float64) Rect {
 // region that overlaps already-indexed regions is cut away and the
 // remainder is re-expressed as rectangles.
 func (r Rect) Subtract(s Rect) []Rect {
+	return r.appendSubtract(nil, s)
+}
+
+// appendSubtract appends r minus s (at most four disjoint rectangles)
+// to dst — the allocation-free core of Subtract/SubtractAll.
+func (r Rect) appendSubtract(dst []Rect, s Rect) []Rect {
 	if r.Empty() {
-		return nil
+		return dst
 	}
 	is := r.Intersect(s)
 	if is.Empty() {
-		return []Rect{r}
+		return append(dst, r)
 	}
-	var out []Rect
 	// Left slab.
 	if r.MinX < is.MinX {
-		out = append(out, Rect{MinX: r.MinX, MinY: r.MinY, MaxX: is.MinX, MaxY: r.MaxY})
+		dst = append(dst, Rect{MinX: r.MinX, MinY: r.MinY, MaxX: is.MinX, MaxY: r.MaxY})
 	}
 	// Right slab.
 	if is.MaxX < r.MaxX {
-		out = append(out, Rect{MinX: is.MaxX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY})
+		dst = append(dst, Rect{MinX: is.MaxX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY})
 	}
 	// Bottom slab (between the vertical slabs).
 	if r.MinY < is.MinY {
-		out = append(out, Rect{MinX: is.MinX, MinY: r.MinY, MaxX: is.MaxX, MaxY: is.MinY})
+		dst = append(dst, Rect{MinX: is.MinX, MinY: r.MinY, MaxX: is.MaxX, MaxY: is.MinY})
 	}
 	// Top slab.
 	if is.MaxY < r.MaxY {
-		out = append(out, Rect{MinX: is.MinX, MinY: is.MaxY, MaxX: is.MaxX, MaxY: r.MaxY})
+		dst = append(dst, Rect{MinX: is.MinX, MinY: is.MaxY, MaxX: is.MaxX, MaxY: r.MaxY})
 	}
-	return out
+	return dst
 }
 
 // SubtractAll returns r minus every rectangle in subs, as a set of disjoint
-// rectangles. The result may be empty when subs jointly cover r.
+// rectangles. The result may be empty when subs jointly cover r. Two
+// ping-pong buffers carry the intermediate pieces, so a call allocates at
+// most twice no matter how many rectangles are subtracted.
 func (r Rect) SubtractAll(subs []Rect) []Rect {
 	remain := []Rect{r}
+	var next []Rect
 	for _, s := range subs {
 		if len(remain) == 0 {
 			return nil
 		}
-		var next []Rect
+		next = next[:0]
 		for _, piece := range remain {
-			next = append(next, piece.Subtract(s)...)
+			next = piece.appendSubtract(next, s)
 		}
-		remain = next
+		remain, next = next, remain
 	}
 	return remain
 }

@@ -9,7 +9,9 @@
 package index
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"ppqtraj/internal/cluster"
@@ -22,33 +24,162 @@ import (
 // cellKey addresses a grid cell within a region.
 type cellKey struct{ X, Y int32 }
 
+// tickIDs is one tick's raw ID list within a cell. Ticks arrive in
+// ascending order (the TPI contract), so per-cell lists are kept as
+// tick-sorted slices: appending is a last-element check instead of a map
+// hash per point, lookups binary-search, and Seal iterates contiguously.
+type tickIDs struct {
+	tick int
+	ids  []traj.ID
+}
+
+// tickPosting is one tick's sealed posting list, stored pointer-free:
+// (N, Bits) plus a byte offset into the PI's shared posting arena. With
+// cell×tick entries in the hundreds of thousands, keeping slice headers
+// out of the entries removes a GC scan burden and a third of the bytes.
+type tickPosting struct {
+	tick int32
+	n    int32  // posting list length (IDs)
+	bits int32  // exact encoded bit length
+	off  uint32 // byte offset into PI.postArena
+}
+
 // cellData is one cell's contents: per-tick trajectory IDs. IDs accumulate
 // uncompressed during the build and are sealed into compressed posting
 // lists by Seal.
 type cellData struct {
-	raw    map[int][]traj.ID          // tick → IDs (building)
-	sealed map[int]*codec.PostingList // tick → compressed postings
-	pages  store.PageRange            // disk placement (after AssignPages)
-	placed bool
+	raw    []tickIDs     // building; ascending tick
+	sealed []tickPosting // compressed postings; ascending tick
+}
+
+// appendID records id at the given tick. The last-slot fast path covers
+// the in-order stream; out-of-order ticks (standalone PI use) fall back
+// to a sorted insert.
+func (c *cellData) appendID(id traj.ID, tick int) {
+	if n := len(c.raw); n == 0 || c.raw[n-1].tick < tick {
+		c.raw = append(c.raw, tickIDs{tick: tick, ids: []traj.ID{id}})
+		return
+	} else if c.raw[n-1].tick == tick {
+		c.raw[n-1].ids = append(c.raw[n-1].ids, id)
+		return
+	}
+	i := sort.Search(len(c.raw), func(i int) bool { return c.raw[i].tick >= tick })
+	if i < len(c.raw) && c.raw[i].tick == tick {
+		c.raw[i].ids = append(c.raw[i].ids, id)
+		return
+	}
+	c.raw = append(c.raw, tickIDs{})
+	copy(c.raw[i+1:], c.raw[i:])
+	c.raw[i] = tickIDs{tick: tick, ids: []traj.ID{id}}
+}
+
+// rawAt returns the raw ID list for tick (nil when absent).
+func (c *cellData) rawAt(tick int) []traj.ID {
+	i := sort.Search(len(c.raw), func(i int) bool { return c.raw[i].tick >= tick })
+	if i < len(c.raw) && c.raw[i].tick == tick {
+		return c.raw[i].ids
+	}
+	return nil
+}
+
+// sealedAt returns the sealed posting entry for tick; ok is false when
+// absent.
+func (c *cellData) sealedAt(tick int) (tickPosting, bool) {
+	i := sort.Search(len(c.sealed), func(i int) bool { return int(c.sealed[i].tick) >= tick })
+	if i < len(c.sealed) && int(c.sealed[i].tick) == tick {
+		return c.sealed[i], true
+	}
+	return tickPosting{}, false
+}
+
+// tickCount is one tick's point count within a region (N_{R,t}).
+type tickCount struct {
+	tick int
+	n    int
 }
 
 // Region is one indexed subregion R_{i,gc}: a rectangle gridded at g_c.
+// Cell payloads live in the dense cd slice; the map holds indices into
+// it, so creating a cell costs amortized slice growth instead of one
+// heap object per cell (indexes run to hundreds of thousands of cells).
 type Region struct {
 	Rect      geo.Rect
 	gc        float64
-	cells     map[cellKey]*cellData
-	baseTick  int         // tick the region was created at
-	baseCount int         // N_{R,ts}: points indexed at creation (TRD baseline)
-	perTick   map[int]int // N_{R,t} for every tick
+	cells     map[cellKey]int32
+	cd        [][]cellData      // fixed-size chunks; index ci>>chunkShift
+	nCells    int32             // total cells across chunks
+	pages     []store.PageRange // per-cell disk placement (nil until AssignPages)
+	baseTick  int               // tick the region was created at
+	baseCount int               // N_{R,ts}: points indexed at creation (TRD baseline)
+	perTick   []tickCount       // N_{R,t}; ascending tick
+}
+
+// Cells live in fixed-size chunks: growing a region never copies cell
+// payloads (a flat slice re-copied hundreds of thousands of 48-byte
+// structs per index build) and cell pointers stay stable.
+const (
+	cellChunkShift = 6
+	cellChunkSize  = 1 << cellChunkShift
+)
+
+// cellPtr returns the cell at dense index ci.
+func (r *Region) cellPtr(ci int32) *cellData {
+	return &r.cd[ci>>cellChunkShift][ci&(cellChunkSize-1)]
 }
 
 func newRegion(r geo.Rect, gc float64, tick int) *Region {
 	return &Region{
 		Rect:     r,
 		gc:       gc,
-		cells:    make(map[cellKey]*cellData),
+		cells:    make(map[cellKey]int32, 16),
 		baseTick: tick,
-		perTick:  make(map[int]int),
+	}
+}
+
+// cell returns a pointer to the cell for key, creating it if needed.
+// Chunked storage keeps the pointer stable across later creations.
+func (r *Region) cell(k cellKey) *cellData {
+	ci, ok := r.cells[k]
+	if !ok {
+		ci = r.nCells
+		r.nCells++
+		if int(ci>>cellChunkShift) == len(r.cd) {
+			r.cd = append(r.cd, make([]cellData, 0, cellChunkSize))
+		}
+		last := len(r.cd) - 1
+		r.cd[last] = r.cd[last][:len(r.cd[last])+1]
+		r.cells[k] = ci
+	}
+	return r.cellPtr(ci)
+}
+
+// cellAt returns the cell for key, or nil when absent.
+func (r *Region) cellAt(k cellKey) *cellData {
+	ci, ok := r.cells[k]
+	if !ok {
+		return nil
+	}
+	return r.cellPtr(ci)
+}
+
+// bump adds n points at tick to the region's TRD accounting.
+func (r *Region) bump(tick, n int) {
+	if m := len(r.perTick); m > 0 && r.perTick[m-1].tick == tick {
+		r.perTick[m-1].n += n
+	} else if m == 0 || r.perTick[m-1].tick < tick {
+		r.perTick = append(r.perTick, tickCount{tick: tick, n: n})
+	} else {
+		i := sort.Search(m, func(i int) bool { return r.perTick[i].tick >= tick })
+		if i < m && r.perTick[i].tick == tick {
+			r.perTick[i].n += n
+		} else {
+			r.perTick = append(r.perTick, tickCount{})
+			copy(r.perTick[i+1:], r.perTick[i:])
+			r.perTick[i] = tickCount{tick: tick, n: n}
+		}
+	}
+	if tick == r.baseTick {
+		r.baseCount += n
 	}
 }
 
@@ -76,21 +207,24 @@ func (r *Region) CellRect(p geo.Point) geo.Rect {
 }
 
 func (r *Region) insert(id traj.ID, p geo.Point, tick int) {
-	k := r.cellOf(p)
-	c := r.cells[k]
-	if c == nil {
-		c = &cellData{raw: make(map[int][]traj.ID)}
-		r.cells[k] = c
-	}
-	c.raw[tick] = append(c.raw[tick], id)
-	r.perTick[tick]++
-	if tick == r.baseTick {
-		r.baseCount++
-	}
+	r.cell(r.cellOf(p)).appendID(id, tick)
+	r.bump(tick, 1)
 }
 
 // count returns N_{R,t}.
-func (r *Region) count(tick int) int { return r.perTick[tick] }
+func (r *Region) count(tick int) int {
+	i := sort.Search(len(r.perTick), func(i int) bool { return r.perTick[i].tick >= tick })
+	if i < len(r.perTick) && r.perTick[i].tick == tick {
+		return r.perTick[i].n
+	}
+	return 0
+}
+
+// kiPair is one (cell, id) insert within a region during a batch insert.
+type kiPair struct {
+	key cellKey
+	id  traj.ID
+}
 
 // PI is the partition-based index of Algorithm 3 for one time period.
 type PI struct {
@@ -100,12 +234,22 @@ type PI struct {
 	seed    int64
 	coder   *codec.PostingCoder // shared posting coder (built by Seal)
 	sealed  bool
+
+	idArena    []traj.ID // shared backing of all raw posting lists
+	postArena  []byte    // shared backing of all sealed postings
+	pairs      []kiPair  // batch-insert scratch
+	regCnt     []int32   // batch-insert scratch: per-region point counts
+	regOff     []int32   // batch-insert scratch: per-region segment offsets
+	regScratch []int     // extend scratch: per-point region indices
 }
 
 // BuildPI runs Algorithm 3 on one timestamp's points: bounded partitioning
 // with ε_s, minimum covering rectangles, overlap removal, grid indexing.
 func BuildPI(ids []traj.ID, points []geo.Point, tick int, epsS, gc float64, seed int64) *PI {
 	pi := &PI{gc: gc, epsS: epsS, seed: seed}
+	// A PI typically indexes several ticks of this column size; presizing
+	// the shared list arena skips most of its early growth copies.
+	pi.idArena = make([]traj.ID, 0, 4*len(ids))
 	pi.extend(ids, points, tick)
 	return pi
 }
@@ -122,7 +266,10 @@ func (pi *PI) extend(ids []traj.ID, points []geo.Point, tick int) {
 	res, _ := cluster.BoundedPartition(partitionFeatures(points), cluster.BoundedOptions{
 		Epsilon: pi.epsS,
 		Seed:    pi.seed,
-		MaxIter: 15,
+		// Gonzalez-seeded rounds start with a center in every isolated
+		// cluster; a few Lloyd polish iterations suffice (region MBRs
+		// only need the ε_s radius bound, not converged SSE).
+		MaxIter: 6,
 	})
 	groups := make([][]int, res.K())
 	for i, c := range res.Assign {
@@ -157,11 +304,14 @@ func (pi *PI) extend(ids []traj.ID, points []geo.Point, tick int) {
 	// Insert the points into whichever region now covers them. Points
 	// whose location falls in a pre-existing region (their group's MBR
 	// overlapped it) are inserted there — the space is already indexed.
-	for i, p := range points {
-		if r := pi.regionOf(p); r != nil {
-			r.insert(ids[i], p, tick)
-		}
+	if cap(pi.regScratch) < len(points) {
+		pi.regScratch = make([]int, len(points))
 	}
+	regIdx := pi.regScratch[:len(points)]
+	for i, p := range points {
+		regIdx[i] = pi.regionIndexOf(p)
+	}
+	pi.insertByRegion(ids, points, tick, regIdx, nil)
 	// Prune freshly-created regions that received no points: rectangle
 	// subtraction produces slivers on the far side of existing regions,
 	// and keeping empty ones would dilute the ADR denominator
@@ -177,9 +327,12 @@ func (pi *PI) extend(ids []traj.ID, points []geo.Point, tick int) {
 }
 
 func partitionFeatures(points []geo.Point) [][]float64 {
+	flat := make([]float64, 2*len(points))
 	out := make([][]float64, len(points))
 	for i, p := range points {
-		out[i] = []float64{p.X, p.Y}
+		f := flat[2*i : 2*i+2 : 2*i+2]
+		f[0], f[1] = p.X, p.Y
+		out[i] = f
 	}
 	return out
 }
@@ -192,6 +345,16 @@ func (pi *PI) regionOf(p geo.Point) *Region {
 		}
 	}
 	return nil
+}
+
+// regionIndexOf returns the index of the region covering p, or -1.
+func (pi *PI) regionIndexOf(p geo.Point) int {
+	for i, r := range pi.Regions {
+		if r.Rect.Contains(p) {
+			return i
+		}
+	}
+	return -1
 }
 
 // Covers reports whether p lies in some region.
@@ -214,6 +377,116 @@ func (pi *PI) Insert(ids []traj.ID, points []geo.Point, tick int) (uncovered []i
 	return uncovered
 }
 
+// insertColumn bulk-inserts one region's points of a single tick. The
+// pairs are sorted by cell (stably, preserving the caller's ascending-ID
+// order within a cell) and each cell's run lands in the PI's shared ID
+// arena as one contiguous list — no per-(cell, tick) allocation.
+func (pi *PI) insertColumn(r *Region, pairs []kiPair, tick int) {
+	if len(pairs) == 0 {
+		return
+	}
+	// Non-stable sort with the ID as tiebreak: IDs are unique, so the
+	// order is total and equals what a stable by-cell sort of the
+	// (ascending-ID) input would produce — at pdqsort speed.
+	slices.SortFunc(pairs, func(a, b kiPair) int {
+		if a.key.X != b.key.X {
+			return cmp.Compare(a.key.X, b.key.X)
+		}
+		if a.key.Y != b.key.Y {
+			return cmp.Compare(a.key.Y, b.key.Y)
+		}
+		return cmp.Compare(a.id, b.id)
+	})
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		for j < len(pairs) && pairs[j].key == pairs[i].key {
+			j++
+		}
+		c := r.cell(pairs[i].key)
+		switch n := len(c.raw); {
+		case n > 0 && c.raw[n-1].tick == tick:
+			// A second wave at the same tick (extend after insert):
+			// rewrite the merged list into the arena tail.
+			old := c.raw[n-1].ids
+			st := len(pi.idArena)
+			pi.idArena = append(pi.idArena, old...)
+			for _, pr := range pairs[i:j] {
+				pi.idArena = append(pi.idArena, pr.id)
+			}
+			c.raw[n-1].ids = pi.idArena[st:len(pi.idArena):len(pi.idArena)]
+		case n > 0 && c.raw[n-1].tick > tick:
+			// Out-of-order tick (standalone PI use): sorted-insert path.
+			for _, pr := range pairs[i:j] {
+				c.appendID(pr.id, tick)
+			}
+		default:
+			st := len(pi.idArena)
+			for _, pr := range pairs[i:j] {
+				pi.idArena = append(pi.idArena, pr.id)
+			}
+			c.raw = append(c.raw, tickIDs{tick: tick, ids: pi.idArena[st:len(pi.idArena):len(pi.idArena)]})
+		}
+		i = j
+	}
+	r.bump(tick, len(pairs))
+}
+
+// insertByRegion is Insert with the per-point covering-region indices
+// already known (regIdx[i] < 0 = uncovered), so the caller's coverage
+// probe is not repeated. Covered points are grouped per region and
+// bulk-inserted; uncovered indices are appended to uncovered and
+// returned.
+func (pi *PI) insertByRegion(ids []traj.ID, points []geo.Point, tick int, regIdx, uncovered []int) []int {
+	nR := len(pi.Regions)
+	if cap(pi.regCnt) < nR {
+		pi.regCnt = make([]int32, nR)
+		pi.regOff = make([]int32, nR)
+	}
+	cnt := pi.regCnt[:nR]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	covered := 0
+	for i, ri := range regIdx {
+		if ri >= 0 {
+			cnt[ri]++
+			covered++
+		} else {
+			uncovered = append(uncovered, i)
+		}
+	}
+	if len(points) > 0 {
+		pi.sealed = false
+	}
+	if covered == 0 {
+		return uncovered
+	}
+	off := pi.regOff[:nR]
+	acc := int32(0)
+	for r := 0; r < nR; r++ {
+		off[r] = acc
+		acc += cnt[r]
+		cnt[r] = 0 // reused as fill cursor below
+	}
+	if cap(pi.pairs) < covered {
+		pi.pairs = make([]kiPair, covered)
+	}
+	pairs := pi.pairs[:covered]
+	for i, ri := range regIdx {
+		if ri < 0 {
+			continue
+		}
+		pairs[off[ri]+cnt[ri]] = kiPair{key: pi.Regions[ri].cellOf(points[i]), id: ids[i]}
+		cnt[ri]++
+	}
+	for r := 0; r < nR; r++ {
+		if cnt[r] > 0 {
+			pi.insertColumn(pi.Regions[r], pairs[off[r]:off[r]+cnt[r]], tick)
+		}
+	}
+	return uncovered
+}
+
 // Extend builds new regions for uncovered points ("Insertion" in
 // Algorithm 4) and inserts them.
 func (pi *PI) Extend(ids []traj.ID, points []geo.Point, tick int) {
@@ -222,46 +495,64 @@ func (pi *PI) Extend(ids []traj.ID, points []geo.Point, tick int) {
 
 // Seal compresses every cell's per-tick ID lists with the shared
 // delta+Huffman coder. Sealing is idempotent and re-runs after new
-// insertions.
+// insertions. The two passes (frequency training, then encoding) walk
+// the tick-sorted lists in place — traj.ID aliases uint32, so no list is
+// copied or converted.
 func (pi *PI) Seal() error {
 	if pi.sealed {
 		return nil
 	}
-	var lists [][]uint32
+	// Both coding passes sweep the dense cell slices directly (no map
+	// iteration — the cell count is routinely in the hundreds of
+	// thousands).
+	var freq codec.PostingFreq
+	total := 0
 	for _, r := range pi.Regions {
-		for _, c := range r.cells {
-			for _, ids := range c.raw {
-				lists = append(lists, idsToU32(ids))
+		for _, chunk := range r.cd {
+			for ci := range chunk {
+				c := &chunk[ci]
+				total += len(c.raw)
+				for i := range c.raw {
+					freq.Add(c.raw[i].ids)
+				}
 			}
 		}
 	}
-	coder, err := codec.NewPostingCoder(lists)
+	coder, err := codec.NewPostingCoderFromFreq(&freq)
 	if err != nil {
 		return err
 	}
 	pi.coder = coder
+	// All posting bytes land in one shared byte arena, and all sealed
+	// tick entries in one shared slice — two allocations either way.
+	var arena []byte
+	tpArena := make([]tickPosting, 0, total)
 	for _, r := range pi.Regions {
-		for _, c := range r.cells {
-			c.sealed = make(map[int]*codec.PostingList, len(c.raw))
-			for tick, ids := range c.raw {
-				p, err := coder.Encode(idsToU32(ids))
-				if err != nil {
-					return err
+		for _, chunk := range r.cd {
+			for ci := range chunk {
+				c := &chunk[ci]
+				st := len(tpArena)
+				for i := range c.raw {
+					off := len(arena)
+					var pl codec.PostingList
+					pl, arena, err = coder.AppendEncode(arena, c.raw[i].ids)
+					if err != nil {
+						return err
+					}
+					tpArena = append(tpArena, tickPosting{
+						tick: int32(c.raw[i].tick),
+						n:    int32(pl.N),
+						bits: int32(pl.Bits),
+						off:  uint32(off),
+					})
 				}
-				c.sealed[tick] = p
+				c.sealed = tpArena[st:len(tpArena):len(tpArena)]
 			}
 		}
 	}
+	pi.postArena = arena
 	pi.sealed = true
 	return nil
-}
-
-func idsToU32(ids []traj.ID) []uint32 {
-	out := make([]uint32, len(ids))
-	for i, id := range ids {
-		out[i] = uint32(id)
-	}
-	return out
 }
 
 // Lookup returns the trajectory IDs indexed in the cell containing p at
@@ -273,7 +564,7 @@ func (pi *PI) Lookup(p geo.Point, tick int) (ids []traj.ID, cell geo.Rect, ok bo
 		return nil, geo.Rect{}, false
 	}
 	cell = r.CellRect(p)
-	c := r.cells[r.cellOf(p)]
+	c := r.cellAt(r.cellOf(p))
 	if c == nil {
 		return nil, cell, true
 	}
@@ -282,21 +573,22 @@ func (pi *PI) Lookup(p geo.Point, tick int) (ids []traj.ID, cell geo.Rect, ok bo
 
 func (pi *PI) decodeCell(c *cellData, tick int) []traj.ID {
 	if pi.sealed {
-		pl := c.sealed[tick]
-		if pl == nil {
+		tp, ok := c.sealedAt(tick)
+		if !ok {
 			return nil
 		}
-		u32, err := pi.coder.Decode(pl)
+		pl := codec.PostingList{
+			N:    int(tp.n),
+			Bits: int(tp.bits),
+			Data: pi.postArena[tp.off : int(tp.off)+(int(tp.bits)+7)/8],
+		}
+		ids, err := pi.coder.Decode(&pl) // []uint32 is []traj.ID (alias)
 		if err != nil {
 			return nil
 		}
-		out := make([]traj.ID, len(u32))
-		for i, v := range u32 {
-			out[i] = traj.ID(v)
-		}
-		return out
+		return ids
 	}
-	return append([]traj.ID(nil), c.raw[tick]...)
+	return append([]traj.ID(nil), c.rawAt(tick)...)
 }
 
 // LookupArea returns all IDs at the given tick whose indexed position
@@ -316,14 +608,16 @@ func (pi *PI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.
 		y1 := int32(math.Floor((math.Min(area.MaxY, r.Rect.MaxY) - r.Rect.MinY) / r.gc))
 		for x := x0; x <= x1; x++ {
 			for y := y0; y <= y1; y++ {
-				c := r.cells[cellKey{x, y}]
-				if c == nil {
+				ci, ok := r.cells[cellKey{x, y}]
+				if !ok {
 					continue
 				}
-				if rt != nil && c.placed {
-					rt.Read(c.pages)
+				// Cells created after AssignPages have no placement yet
+				// (the bounds check is the old per-cell "placed" flag).
+				if rt != nil && int(ci) < len(r.pages) {
+					rt.Read(r.pages[ci])
 				}
-				out = append(out, pi.decodeCell(c, tick)...)
+				out = append(out, pi.decodeCell(r.cellPtr(ci), tick)...)
 			}
 		}
 	}
@@ -354,15 +648,18 @@ func (pi *PI) SizeBytes() int {
 	}
 	for _, r := range pi.Regions {
 		bits += 4 * 64 // rectangle
-		for _, c := range r.cells {
-			bits += 64 // cell key + directory entry
-			if pi.sealed {
-				for _, pl := range c.sealed {
-					bits += 32 + pl.Bits // tick tag + postings
-				}
-			} else {
-				for _, ids := range c.raw {
-					bits += 32 + 32*len(ids)
+		for _, chunk := range r.cd {
+			for ci := range chunk {
+				c := &chunk[ci]
+				bits += 64 // cell key + directory entry
+				if pi.sealed {
+					for i := range c.sealed {
+						bits += 32 + int(c.sealed[i].bits) // tick tag + postings
+					}
+				} else {
+					for i := range c.raw {
+						bits += 32 + 32*len(c.raw[i].ids)
+					}
 				}
 			}
 		}
@@ -401,20 +698,23 @@ func (pi *PI) AssignPages(ps *store.PageStore) {
 			}
 			return keys[i].Y < keys[j].Y
 		})
+		if len(r.pages) < int(r.nCells) {
+			r.pages = make([]store.PageRange, r.nCells)
+		}
 		for _, k := range keys {
-			c := r.cells[k]
+			ci := r.cells[k]
+			c := r.cellPtr(ci)
 			sz := 0
 			if pi.sealed {
-				for _, pl := range c.sealed {
-					sz += 8 + (pl.Bits+7)/8
+				for i := range c.sealed {
+					sz += 8 + (int(c.sealed[i].bits)+7)/8
 				}
 			} else {
-				for _, ids := range c.raw {
-					sz += 8 + 4*len(ids)
+				for i := range c.raw {
+					sz += 8 + 4*len(c.raw[i].ids)
 				}
 			}
-			c.pages = ps.Alloc(sz)
-			c.placed = true
+			r.pages[ci] = ps.Alloc(sz)
 		}
 	}
 	_ = dirRange

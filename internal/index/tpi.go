@@ -44,6 +44,43 @@ type TPI struct {
 	Periods  []Period
 	stats    Stats
 	lastTick int
+
+	// Append scratch, reused across ticks.
+	cover  []int   // per-region covered counts of the current tick
+	regIdx []int   // per-point covering-region index (-1 = uncovered)
+	uncov  []int   // indices of uncovered points
+	hint   []int32 // per-trajectory last covering region (reset on rebuild)
+}
+
+// maxHintID bounds the per-trajectory hint table (IDs are dense in
+// practice; sparse huge IDs simply skip the hint).
+const maxHintID = 1 << 21
+
+// hintFor returns the cached region index for id, or -1.
+func (t *TPI) hintFor(id traj.ID) int32 {
+	if int(id) < len(t.hint) {
+		return t.hint[id]
+	}
+	return -1
+}
+
+// setHint records the covering region index for id, growing the table on
+// demand.
+func (t *TPI) setHint(id traj.ID, ri int32) {
+	if int(id) >= maxHintID {
+		return
+	}
+	for int(id) >= len(t.hint) {
+		t.hint = append(t.hint, -1)
+	}
+	t.hint[id] = ri
+}
+
+// resetHints invalidates the hint table (the region set changed).
+func (t *TPI) resetHints() {
+	for i := range t.hint {
+		t.hint[i] = -1
+	}
 }
 
 // NewTPI creates an empty TPI.
@@ -73,19 +110,19 @@ func (t *TPI) current() *Period {
 
 // adr computes the Average Dropping Rate of TRD between the current
 // period's baseline and tick te (Equations 12–14), given the per-region
-// counts of covered points at te.
-func (t *TPI) adr(pi *PI, coveredCount map[*Region]int) float64 {
+// counts of covered points at te (indexed like pi.Regions).
+func (t *TPI) adr(pi *PI, covered []int) float64 {
 	n := len(pi.Regions)
 	if n == 0 {
 		return 0
 	}
 	drops := 0
-	for _, r := range pi.Regions {
+	for i, r := range pi.Regions {
 		base := r.baseCount
 		if base == 0 {
 			continue // region had no baseline occupancy; cannot drop
 		}
-		h1 := (float64(coveredCount[r]) - float64(base)) / float64(base)
+		h1 := (float64(covered[i]) - float64(base)) / float64(base)
 		if h1 < 0 && -h1 > t.opts.EpsC {
 			drops++
 		}
@@ -116,27 +153,54 @@ func (t *TPI) Append(ids []traj.ID, points []geo.Point, tick int) {
 	}
 
 	// Split into covered / uncovered (Algorithm 4 line 5) and count
-	// covered points per region for the ADR check.
-	coveredCount := make(map[*Region]int)
-	var uncovered []int
+	// covered points per region for the ADR check. Counts and per-point
+	// region indices live in scratch slices reused across ticks; the
+	// region probe runs once per point and its result feeds both the ADR
+	// check and the insert below.
+	if cap(t.cover) < len(cur.PI.Regions) {
+		t.cover = make([]int, len(cur.PI.Regions))
+	}
+	t.cover = t.cover[:len(cur.PI.Regions)]
+	for i := range t.cover {
+		t.cover[i] = 0
+	}
+	if cap(t.regIdx) < len(points) {
+		t.regIdx = make([]int, len(points))
+	}
+	t.regIdx = t.regIdx[:len(points)]
 	for i, p := range points {
-		if r := cur.PI.regionOf(p); r != nil {
-			coveredCount[r]++
+		// Trajectories rarely change region tick to tick, so the cached
+		// region is verified first; only misses pay the linear scan.
+		ri := -1
+		if h := t.hintFor(ids[i]); h >= 0 && int(h) < len(cur.PI.Regions) &&
+			cur.PI.Regions[h].Rect.Contains(p) {
+			ri = int(h)
 		} else {
-			uncovered = append(uncovered, i)
+			ri = cur.PI.regionIndexOf(p)
+			if ri >= 0 {
+				t.setHint(ids[i], int32(ri))
+			}
+		}
+		t.regIdx[i] = ri
+		if ri >= 0 {
+			t.cover[ri]++
 		}
 	}
 
-	if t.adr(cur.PI, coveredCount) > t.opts.EpsD {
+	if t.adr(cur.PI, t.cover) > t.opts.EpsD {
 		// Re-build (lines 6–9): close the period and start fresh.
 		pi := BuildPI(ids, points, tick, t.opts.EpsS, t.opts.GC, t.opts.Seed)
 		t.Periods = append(t.Periods, Period{Start: tick, End: tick, PI: pi})
 		t.stats.Rebuilds++
+		t.resetHints() // region indices refer to the closed period's PI
 		return
 	}
 
 	// Reuse: insert covered points, extend for uncovered (lines 10–11).
-	rest := cur.PI.Insert(ids, points, tick)
+	// Coverage was just computed, so feed it back instead of re-probing
+	// every point inside Insert.
+	t.uncov = cur.PI.insertByRegion(ids, points, tick, t.regIdx, t.uncov[:0])
+	rest := t.uncov
 	if len(rest) > 0 {
 		subIDs := make([]traj.ID, len(rest))
 		subPts := make([]geo.Point, len(rest))

@@ -60,6 +60,11 @@ func (m *Dense) MulVec(x []float64) []float64 {
 // elimination with partial pivoting. A and b are overwritten. It returns
 // ErrSingular when a pivot collapses below tolerance.
 func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	return solveLinearInto(make([]float64, a.Rows), a, b)
+}
+
+// solveLinearInto is SolveLinear writing the solution into x (len n).
+func solveLinearInto(x []float64, a *Dense, b []float64) ([]float64, error) {
 	n := a.Rows
 	if a.Cols != n || len(b) != n {
 		panic("mat: SolveLinear requires a square system")
@@ -95,7 +100,6 @@ func SolveLinear(a *Dense, b []float64) ([]float64, error) {
 			b[r] -= f * b[col]
 		}
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := b[i]
 		for j := i + 1; j < n; j++ {
@@ -111,6 +115,45 @@ func SolveLinear(a *Dense, b []float64) ([]float64, error) {
 // (which happens for degenerate windows, e.g. a stationary trajectory).
 // A has one row per observation and one column per coefficient.
 func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	var ws LSWorkspace
+	x, err := ws.LeastSquares(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), x...), nil
+}
+
+// LSWorkspace owns the scratch of repeated least-squares solves so the
+// per-partition coefficient fits of the build loop allocate nothing in
+// steady state. The zero value is ready to use; a workspace is not safe
+// for concurrent use (each build worker owns one).
+type LSWorkspace struct {
+	ata, sys Dense
+	atb, rhs []float64
+	x        []float64
+}
+
+// grow resizes a zero-filled n-vector out of buf.
+func grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+func (d *Dense) reset(rows, cols int) {
+	d.Rows, d.Cols = rows, cols
+	d.Data = grow(d.Data, rows*cols)
+}
+
+// LeastSquares is the workspace form of the package-level LeastSquares.
+// The returned slice aliases the workspace and is valid until the next
+// call — callers that retain coefficients must copy them.
+func (w *LSWorkspace) LeastSquares(a *Dense, b []float64) ([]float64, error) {
 	if len(b) != a.Rows {
 		panic(fmt.Sprintf("mat: LeastSquares rows %d vs b %d", a.Rows, len(b)))
 	}
@@ -118,8 +161,9 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 	if a.Rows < n {
 		return nil, fmt.Errorf("mat: underdetermined system (%d rows, %d cols)", a.Rows, n)
 	}
-	ata := NewDense(n, n)
-	atb := make([]float64, n)
+	w.ata.reset(n, n)
+	w.atb = grow(w.atb, n)
+	ata, atb := &w.ata, w.atb
 	for r := 0; r < a.Rows; r++ {
 		row := a.Data[r*n : (r+1)*n]
 		for i := 0; i < n; i++ {
@@ -136,10 +180,10 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 	}
 	// Try the plain normal equations first; add ridge on failure.
 	for _, ridge := range []float64{0, 1e-9, 1e-6, 1e-3} {
-		sys := NewDense(n, n)
-		copy(sys.Data, ata.Data)
-		rhs := make([]float64, n)
-		copy(rhs, atb)
+		w.sys.reset(n, n)
+		copy(w.sys.Data, ata.Data)
+		w.rhs = grow(w.rhs, n)
+		copy(w.rhs, atb)
 		if ridge > 0 {
 			// Scale the ridge with the trace so it is dimensionless.
 			tr := 0.0
@@ -148,10 +192,11 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 			}
 			lambda := ridge * (tr/float64(n) + 1)
 			for i := 0; i < n; i++ {
-				sys.Data[i*n+i] += lambda
+				w.sys.Data[i*n+i] += lambda
 			}
 		}
-		if x, err := SolveLinear(sys, rhs); err == nil {
+		w.x = grow(w.x, n)
+		if x, err := solveLinearInto(w.x, &w.sys, w.rhs); err == nil {
 			ok := true
 			for _, v := range x {
 				if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -170,8 +215,16 @@ func LeastSquares(a *Dense, b []float64) ([]float64, error) {
 // Autocovariance returns the sample autocovariances γ₀..γ_k of series x
 // (biased estimator, the standard choice for Yule-Walker).
 func Autocovariance(x []float64, k int) []float64 {
+	return autocovarianceInto(make([]float64, k+1), x, k)
+}
+
+// autocovarianceInto is Autocovariance writing into out (len k+1, cleared
+// here).
+func autocovarianceInto(out []float64, x []float64, k int) []float64 {
+	for i := range out {
+		out[i] = 0
+	}
 	n := len(x)
-	out := make([]float64, k+1)
 	if n == 0 {
 		return out
 	}
@@ -196,17 +249,36 @@ func Autocovariance(x []float64, k int) []float64 {
 // is too short or degenerate (constant), it returns the zero vector, which
 // places such trajectories in a common "no signal" region of feature space.
 func YuleWalker(x []float64, k int) []float64 {
-	coeffs := make([]float64, k)
-	if len(x) < k+2 {
-		return coeffs
+	var ws ARWorkspace
+	return ws.YuleWalkerInto(make([]float64, k), x, k)
+}
+
+// ARWorkspace owns the scratch of repeated Yule-Walker fits (the
+// per-trajectory autocorrelation features are re-estimated every tick).
+// The zero value is ready; not safe for concurrent use.
+type ARWorkspace struct {
+	gamma, rhs, x []float64
+	sys           Dense
+}
+
+// YuleWalkerInto is YuleWalker writing the coefficients into dst
+// (len k). It returns dst.
+func (w *ARWorkspace) YuleWalkerInto(dst []float64, x []float64, k int) []float64 {
+	for i := range dst {
+		dst[i] = 0
 	}
-	gamma := Autocovariance(x, k)
+	if len(x) < k+2 {
+		return dst
+	}
+	w.gamma = grow(w.gamma, k+1)
+	gamma := autocovarianceInto(w.gamma, x, k)
 	if gamma[0] < 1e-15 { // constant series
-		return coeffs
+		return dst
 	}
 	// Toeplitz system R·a = r with R[i][j] = γ(|i−j|), r[i] = γ(i+1).
-	sys := NewDense(k, k)
-	rhs := make([]float64, k)
+	w.sys.reset(k, k)
+	w.rhs = grow(w.rhs, k)
+	sys, rhs := &w.sys, w.rhs
 	for i := 0; i < k; i++ {
 		rhs[i] = gamma[i+1]
 		for j := 0; j < k; j++ {
@@ -221,12 +293,13 @@ func YuleWalker(x []float64, k int) []float64 {
 	for i := 0; i < k; i++ {
 		sys.Data[i*k+i] += 1e-9 * gamma[0]
 	}
-	a, err := SolveLinear(sys, rhs)
+	w.x = grow(w.x, k)
+	a, err := solveLinearInto(w.x, sys, rhs)
 	if err != nil {
-		return coeffs
+		return dst
 	}
-	copy(coeffs, a)
-	return coeffs
+	copy(dst, a)
+	return dst
 }
 
 // Mean returns the arithmetic mean of x (0 for empty input).

@@ -1,0 +1,64 @@
+// Package par provides the deterministic fork-join primitive used by the
+// build pipeline's hot loops: fixed, contiguous range splits executed on
+// up to runtime.NumCPU() goroutines. Work is divided by index range, never
+// work-stolen, so each output slot is written by exactly one worker and a
+// parallel run produces bit-identical results to a sequential one.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count option: n > 0 is used as-is, anything
+// else means runtime.NumCPU().
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.NumCPU()
+}
+
+// For splits [0, n) into at most `workers` contiguous chunks and runs
+// body(w, lo, hi) for each, where w is the chunk index (usable to select
+// per-worker scratch). It returns when every chunk is done.
+//
+// With workers ≤ 1, n ≤ grain, or GOMAXPROCS = 1 the body runs inline on
+// the caller's goroutine — the sequential fast path. grain is the minimum
+// chunk size worth a goroutine; pass 0 for the default of 64.
+func For(workers, n, grain int, body func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 64
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if max := (n + grain - 1) / grain; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -87,11 +87,22 @@ type part struct {
 	members  []int // indices into the current step's input
 }
 
+// assignEntry is a trajectory's partition label, stamped with the Step
+// epoch that wrote it. Entries from older epochs are stale (the
+// trajectory departed); stamping avoids rebuilding the assignment map on
+// every timestamp.
+type assignEntry struct {
+	label int
+	epoch uint64
+}
+
 // Partitioner carries partition state across timestamps.
 type Partitioner struct {
 	opts   Options
-	assign map[traj.ID]int // trajectory → partition label (previous step)
-	next   int             // next fresh partition label
+	assign map[traj.ID]assignEntry // trajectory → label, epoch-stamped
+	epoch  uint64                  // current Step's stamp
+	next   int                     // next fresh partition label
+	qLive  int                     // partitions holding ≥1 trajectory after the last Step
 	stats  Stats
 }
 
@@ -103,21 +114,16 @@ func New(opts Options) *Partitioner {
 	if opts.MaxIter < 1 {
 		opts.MaxIter = 15
 	}
-	return &Partitioner{opts: opts, assign: make(map[traj.ID]int)}
+	return &Partitioner{opts: opts, assign: make(map[traj.ID]assignEntry)}
 }
 
 // Stats returns accumulated work counters.
 func (p *Partitioner) Stats() Stats { return p.stats }
 
 // QLive returns the number of partitions currently holding at least one
-// trajectory (meaningful after a Step call).
-func (p *Partitioner) QLive() int {
-	labels := map[int]bool{}
-	for _, l := range p.assign {
-		labels[l] = true
-	}
-	return len(labels)
-}
+// trajectory (meaningful after a Step call). The count is maintained by
+// Step; the call is O(1).
+func (p *Partitioner) QLive() int { return p.qLive }
 
 func centroidOf(feats [][]float64, members []int) []float64 {
 	if len(members) == 0 {
@@ -162,8 +168,9 @@ func (p *Partitioner) Step(ids []traj.ID, feats [][]float64) *Result {
 	defer func() { p.stats.Elapsed += time.Since(start) }()
 	p.stats.Steps++
 
+	p.epoch++
 	if len(ids) == 0 {
-		p.assign = make(map[traj.ID]int)
+		p.qLive = 0
 		return &Result{}
 	}
 	if p.opts.Mode == None {
@@ -172,11 +179,10 @@ func (p *Partitioner) Step(ids []traj.ID, feats [][]float64) *Result {
 		for i := range group {
 			group[i] = i
 		}
-		newAssign := make(map[traj.ID]int, len(ids))
 		for _, id := range ids {
-			newAssign[id] = 0
+			p.assign[id] = assignEntry{label: 0, epoch: p.epoch}
 		}
-		p.assign = newAssign
+		p.qLive = 1
 		return &Result{Groups: [][]int{group}, Labels: []int{0}, Q: 1}
 	}
 
@@ -188,11 +194,11 @@ func (p *Partitioner) Step(ids []traj.ID, feats [][]float64) *Result {
 	// Previous centroids are recomputed lazily from this step's features,
 	// so first bucket by previous label.
 	for i, id := range ids {
-		if label, ok := p.assign[id]; ok {
-			pt := parts[label]
+		if e, ok := p.assign[id]; ok && e.epoch == p.epoch-1 {
+			pt := parts[e.label]
 			if pt == nil {
 				pt = &part{}
-				parts[label] = pt
+				parts[e.label] = pt
 			}
 			pt.members = append(pt.members, i)
 			p.stats.CarriedOver++
@@ -205,12 +211,27 @@ func (p *Partitioner) Step(ids []traj.ID, feats [][]float64) *Result {
 		pt.centroid = centroidOf(feats, pt.members)
 	}
 	// New points: nearest existing centroid within ε_p, else fresh pool.
+	// For 2-D (Spatial) features a uniform grid over the centroids turns
+	// the O(fresh × q) scan into an O(fresh) 3×3-neighborhood probe (the
+	// quant.Codebook idiom); high-dimensional Autocorr features keep the
+	// linear path.
 	if len(parts) > 0 && len(fresh) > 0 {
-		labels := sortedLabels(parts)
+		grid := newCentroidGrid(p.opts.EpsP, feats)
+		var candidates []int
+		if grid == nil {
+			candidates = sortedLabels(parts)
+		} else {
+			for _, l := range sortedLabels(parts) {
+				grid.add(l, parts[l].centroid)
+			}
+		}
 		stillFresh := fresh[:0]
 		for _, i := range fresh {
+			if grid != nil {
+				candidates = grid.neighbors(feats[i])
+			}
 			bestLabel, bestD := -1, p.opts.EpsP
-			for _, l := range labels {
+			for _, l := range candidates {
 				if d := distVec(feats[i], parts[l].centroid); d <= bestD {
 					bestLabel, bestD = l, d
 				}
@@ -254,16 +275,29 @@ func (p *Partitioner) Step(ids []traj.ID, feats [][]float64) *Result {
 
 	// Phase 4: merge close partitions (centroid distance ≤ ε_p), each
 	// partition participating in at most one merge per step (§3.2.2).
+	// The grid reduces the O(q²) pair scan to a 3×3-neighborhood probe
+	// per partition; a merged partner never needs re-probing (smaller
+	// labels are done, larger ones are filtered by the merged set), so
+	// the grid built here stays valid for the whole phase.
 	labels := sortedLabels(parts)
 	merged := map[int]bool{}
+	mergeGrid := newCentroidGrid(p.opts.EpsP, feats)
+	if mergeGrid != nil {
+		for _, l := range labels {
+			mergeGrid.add(l, parts[l].centroid)
+		}
+	}
 	for ai := 0; ai < len(labels); ai++ {
 		a := labels[ai]
 		if merged[a] || parts[a] == nil {
 			continue
 		}
-		for bi := ai + 1; bi < len(labels); bi++ {
-			b := labels[bi]
-			if merged[b] || parts[b] == nil {
+		candidates := labels[ai+1:]
+		if mergeGrid != nil {
+			candidates = mergeGrid.neighbors(parts[a].centroid)
+		}
+		for _, b := range candidates {
+			if b <= a || merged[b] || parts[b] == nil {
 				continue
 			}
 			if distVec(parts[a].centroid, parts[b].centroid) <= p.opts.EpsP {
@@ -287,41 +321,86 @@ func (p *Partitioner) Step(ids []traj.ID, feats [][]float64) *Result {
 	// Safety valve: when MaxPartitions is set, merge globally-nearest
 	// partition pairs until the cap holds. This can violate the ε_p bound
 	// (deliberately — it trades partition purity for bounded coefficient
-	// storage when feature noise exceeds ε_p).
+	// storage when feature noise exceeds ε_p). 2-D features find the
+	// nearest pair with an expanding-ring grid search instead of the
+	// O(q²) scan (O(q³) across a shrink cascade).
 	if p.opts.MaxPartitions > 0 {
 		for len(parts) > p.opts.MaxPartitions {
 			labels := sortedLabels(parts)
-			bi, bj, best := -1, -1, math.Inf(1)
-			for i := 0; i < len(labels); i++ {
-				for j := i + 1; j < len(labels); j++ {
-					if d := distVec(parts[labels[i]].centroid, parts[labels[j]].centroid); d < best {
-						bi, bj, best = i, j, d
-					}
-				}
-			}
-			a, b := parts[labels[bi]], parts[labels[bj]]
+			la, lb := p.nearestPair(labels, parts, feats)
+			a, b := parts[la], parts[lb]
 			a.members = append(a.members, b.members...)
 			a.centroid = centroidOf(feats, a.members)
-			delete(parts, labels[bj])
+			delete(parts, lb)
 			p.stats.Merges++
 		}
 	}
 
-	// Build the result and the next assignment map.
+	// Build the result and stamp the new assignments (stale entries of
+	// departed trajectories age out by epoch — no map rebuild).
 	labels = sortedLabels(parts)
 	res := &Result{Q: len(labels)}
-	newAssign := make(map[traj.ID]int, len(ids))
 	for _, l := range labels {
 		pt := parts[l]
 		sort.Ints(pt.members)
 		res.Groups = append(res.Groups, pt.members)
 		res.Labels = append(res.Labels, l)
 		for _, i := range pt.members {
-			newAssign[ids[i]] = l
+			p.assign[ids[i]] = assignEntry{label: l, epoch: p.epoch}
 		}
 	}
-	p.assign = newAssign
+	p.qLive = len(labels)
+	// Periodic sweep keeps memory bounded on streams with trajectory
+	// churn: entries not stamped this step can never be carried forward
+	// again, so they are garbage once the step ends.
+	if p.epoch%64 == 0 {
+		for id, e := range p.assign {
+			if e.epoch != p.epoch {
+				delete(p.assign, id)
+			}
+		}
+	}
 	return res
+}
+
+// nearestPair returns the pair of partition labels with minimal centroid
+// distance, lexicographically first among exact ties — the same winner
+// the sequential i<j scan with strict-< updates picks. For 2-D features
+// an expanding-ring search over a centroid grid prunes the scan.
+func (p *Partitioner) nearestPair(labels []int, parts map[int]*part, feats [][]float64) (int, int) {
+	if len(labels) == 2 {
+		return labels[0], labels[1]
+	}
+	grid := newCentroidGrid(p.opts.EpsP, feats)
+	if grid == nil {
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(labels); i++ {
+			for j := i + 1; j < len(labels); j++ {
+				if d := distVec(parts[labels[i]].centroid, parts[labels[j]].centroid); d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		return labels[bi], labels[bj]
+	}
+	for _, l := range labels {
+		grid.add(l, parts[l].centroid)
+	}
+	bi, bj, best := -1, -1, math.Inf(1)
+	for _, a := range labels {
+		partner, d := grid.nearestOther(a, parts[a].centroid, parts)
+		if partner < 0 {
+			continue
+		}
+		lo, hi := a, partner
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		if d < best || (d == best && (lo < bi || (lo == bi && hi < bj))) {
+			bi, bj, best = lo, hi, d
+		}
+	}
+	return bi, bj
 }
 
 // boundedSplit partitions the given members with the bounded clustering
@@ -350,6 +429,120 @@ func (p *Partitioner) boundedSplit(feats [][]float64, members []int) [][]int {
 		}
 	}
 	return out
+}
+
+// centroidGrid is a uniform-grid hash over partition centroids with cell
+// size ε_p — the quant.Codebook idiom applied to the partitioner's three
+// centroid scans. Any centroid within ε_p of a query lies in the 3×3
+// neighborhood of the query's cell. It only supports 2-D (Spatial)
+// features; newCentroidGrid returns nil for other dimensionalities and
+// callers fall back to the linear scan.
+type centroidGrid struct {
+	cell                   float64
+	m                      map[uint64][]int
+	minX, minY, maxX, maxY int32
+	buf                    []int
+}
+
+// newCentroidGrid returns an empty grid, or nil when the features are not
+// 2-D or ε_p is not positive (the grid would degenerate).
+func newCentroidGrid(eps float64, feats [][]float64) *centroidGrid {
+	if eps <= 0 || len(feats) == 0 || len(feats[0]) != 2 {
+		return nil
+	}
+	return &centroidGrid{
+		cell: eps,
+		m:    make(map[uint64][]int),
+		minX: math.MaxInt32, minY: math.MaxInt32,
+		maxX: math.MinInt32, maxY: math.MinInt32,
+	}
+}
+
+func (g *centroidGrid) cellOf(c []float64) (int32, int32) {
+	return int32(math.Floor(c[0] / g.cell)), int32(math.Floor(c[1] / g.cell))
+}
+
+func gridKey(x, y int32) uint64 { return uint64(uint32(x))<<32 | uint64(uint32(y)) }
+
+func (g *centroidGrid) add(label int, centroid []float64) {
+	x, y := g.cellOf(centroid)
+	k := gridKey(x, y)
+	g.m[k] = append(g.m[k], label)
+	if x < g.minX {
+		g.minX = x
+	}
+	if y < g.minY {
+		g.minY = y
+	}
+	if x > g.maxX {
+		g.maxX = x
+	}
+	if y > g.maxY {
+		g.maxY = y
+	}
+}
+
+// neighbors returns the labels in the 3×3 cell neighborhood of the query,
+// in ascending label order (matching the sorted scan order of the linear
+// path, so `<=`-style tie-breaking is preserved). The returned slice is
+// the grid's scratch buffer, valid until the next call.
+func (g *centroidGrid) neighbors(c []float64) []int {
+	cx, cy := g.cellOf(c)
+	out := g.buf[:0]
+	for dx := int32(-1); dx <= 1; dx++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			out = append(out, g.m[gridKey(cx+dx, cy+dy)]...)
+		}
+	}
+	sort.Ints(out)
+	g.buf = out
+	return out
+}
+
+// nearestOther returns the label and distance of the nearest centroid to
+// c excluding self, searching grid rings outward until no closer centroid
+// can exist. Exact ties resolve to the smaller label. Returns (-1, 0)
+// when the grid holds no other centroid.
+func (g *centroidGrid) nearestOther(self int, c []float64, parts map[int]*part) (int, float64) {
+	cx, cy := g.cellOf(c)
+	bestL, bestD := -1, math.Inf(1)
+	scan := func(x, y int32) {
+		for _, l := range g.m[gridKey(x, y)] {
+			if l == self {
+				continue
+			}
+			if d := distVec(c, parts[l].centroid); d < bestD || (d == bestD && l < bestL) {
+				bestL, bestD = l, d
+			}
+		}
+	}
+	// Widest ring that can still hold a cell of the grid's extent.
+	maxRing := int32(0)
+	for _, v := range []int32{cx - g.minX, g.maxX - cx, cy - g.minY, g.maxY - cy} {
+		if v > maxRing {
+			maxRing = v
+		}
+	}
+	for r := int32(0); r <= maxRing; r++ {
+		if r == 0 {
+			scan(cx, cy)
+		} else {
+			for x := cx - r; x <= cx+r; x++ {
+				scan(x, cy-r)
+				scan(x, cy+r)
+			}
+			for y := cy - r + 1; y <= cy+r-1; y++ {
+				scan(cx-r, y)
+				scan(cx+r, y)
+			}
+		}
+		// A centroid in ring r+1 or beyond is at Euclidean distance
+		// ≥ r·cell from any point of the query's cell.
+		if bestL >= 0 && bestD <= float64(r)*g.cell {
+			break
+		}
+	}
+	return bestL, bestD
 }
 
 func sortedLabels(parts map[int]*part) []int {

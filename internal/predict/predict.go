@@ -52,6 +52,23 @@ func Predict(c Coefficients, history []geo.Point) geo.Point {
 // Partitions with fewer observations than coefficients fall back to
 // RandomWalk.
 func Fit(k int, histories [][]geo.Point, targets []geo.Point) Coefficients {
+	var f Fitter
+	return f.Fit(k, histories, targets)
+}
+
+// Fitter owns the reusable design-matrix and solver scratch of repeated
+// Fit calls, so the per-partition fits of the build loop stop allocating.
+// The zero value is ready; a Fitter is not safe for concurrent use (each
+// build worker owns one).
+type Fitter struct {
+	a  mat.Dense
+	b  []float64
+	ls mat.LSWorkspace
+}
+
+// Fit is the workspace form of the package-level Fit. The returned
+// Coefficients are freshly allocated (they are retained by the summary).
+func (f *Fitter) Fit(k int, histories [][]geo.Point, targets []geo.Point) Coefficients {
 	if k < 1 {
 		return nil
 	}
@@ -65,8 +82,18 @@ func Fit(k int, histories [][]geo.Point, targets []geo.Point) Coefficients {
 	if 2*usable < k+1 { // not enough equations for a stable fit
 		return RandomWalk(k)
 	}
-	a := mat.NewDense(2*usable, k)
-	b := make([]float64, 2*usable)
+	f.a.Rows, f.a.Cols = 2*usable, k
+	if need := 2 * usable * k; cap(f.a.Data) < need {
+		f.a.Data = make([]float64, need)
+	} else {
+		f.a.Data = f.a.Data[:need]
+	}
+	if cap(f.b) < 2*usable {
+		f.b = make([]float64, 2*usable)
+	} else {
+		f.b = f.b[:2*usable]
+	}
+	a, b := &f.a, f.b
 	row := 0
 	for i, h := range histories {
 		if len(h) < k {
@@ -82,7 +109,7 @@ func Fit(k int, histories [][]geo.Point, targets []geo.Point) Coefficients {
 		b[row+1] = targets[i].Y
 		row += 2
 	}
-	coeffs, err := mat.LeastSquares(a, b)
+	coeffs, err := f.ls.LeastSquares(a, b)
 	if err != nil {
 		return RandomWalk(k)
 	}
@@ -125,22 +152,53 @@ const CoefficientBits = 16
 // for Equation 8 to partition on. Trajectories with similar motion
 // regimes (smooth cruise, jittery walk, …) land close together.
 func AutocorrFeature(window []geo.Point, k int) []float64 {
-	if len(window) < 2 {
+	var s ARScratch
+	if len(window) == 0 {
 		return make([]float64, k)
 	}
-	xs := make([]float64, len(window)-1)
-	ys := make([]float64, len(window)-1)
-	for i := 1; i < len(window); i++ {
-		xs[i-1] = window[i].X - window[i-1].X
-		ys[i-1] = window[i].Y - window[i-1].Y
+	return s.FeatureInto(make([]float64, k),
+		window[:len(window)-1], window[len(window)-1], k)
+}
+
+// ARScratch owns the buffers of repeated autocorrelation-feature
+// estimates. The zero value is ready; not safe for concurrent use.
+type ARScratch struct {
+	xs, ys, ax, ay []float64
+	ws             mat.ARWorkspace
+}
+
+// FeatureInto computes the lag-k autocorrelation feature of the point
+// series prev[0], …, prev[len-1], cur into dst (len k) without
+// materializing the concatenated window. It returns dst.
+func (s *ARScratch) FeatureInto(dst []float64, prev []geo.Point, cur geo.Point, k int) []float64 {
+	m := len(prev) // number of increments in the series prev…cur
+	if m == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
 	}
-	ax := mat.YuleWalker(xs, k)
-	ay := mat.YuleWalker(ys, k)
-	out := make([]float64, k)
-	for i := range out {
-		out[i] = (ax[i] + ay[i]) / 2
+	if cap(s.xs) < m {
+		s.xs = make([]float64, m)
+		s.ys = make([]float64, m)
 	}
-	return out
+	xs, ys := s.xs[:m], s.ys[:m]
+	for i := 1; i < m; i++ {
+		xs[i-1] = prev[i].X - prev[i-1].X
+		ys[i-1] = prev[i].Y - prev[i-1].Y
+	}
+	xs[m-1] = cur.X - prev[m-1].X
+	ys[m-1] = cur.Y - prev[m-1].Y
+	if cap(s.ax) < k {
+		s.ax = make([]float64, k)
+		s.ay = make([]float64, k)
+	}
+	ax := s.ws.YuleWalkerInto(s.ax[:k], xs, k)
+	ay := s.ws.YuleWalkerInto(s.ay[:k], ys, k)
+	for i := range dst {
+		dst[i] = (ax[i] + ay[i]) / 2
+	}
+	return dst
 }
 
 // ResidualMAE reports the mean absolute (Euclidean) prediction error of

@@ -31,6 +31,14 @@ type Source interface {
 	SortedTicks() []int
 	// TrajIDs lists all trajectory IDs, ascending.
 	TrajIDs() []traj.ID
+	// StreamColumns feeds every reconstructed column to fn in ascending
+	// tick order, IDs ascending within a column, in O(points) — the
+	// engine-construction fast path (probing ReconstructedPoint for every
+	// (tick, id) pair would cost O(ticks × trajectories) even for absent
+	// trajectories). The slices passed to fn are only valid during the
+	// call; fn must copy anything it retains. A non-nil error from fn
+	// aborts the stream and is returned.
+	StreamColumns(fn func(tick int, ids []traj.ID, pts []geo.Point) error) error
 	// MaxDeviation bounds ‖original − reconstruction‖ — the local-search
 	// margin (Lemma 3's (√2/2)·g_s for CQC summaries, ε₁ otherwise).
 	MaxDeviation() float64
@@ -58,22 +66,16 @@ type Engine struct {
 
 // BuildEngine indexes the summary's reconstructed points into a fresh TPI
 // (the paper indexes T̂ or T̂′ interchangeably; we index the CQC-refined
-// reconstructions when available) and returns an Engine.
+// reconstructions when available) and returns an Engine. Columns stream
+// straight from the summary into TPI.Append — O(points) end to end.
 func BuildEngine(sum Source, opts index.Options, raw *traj.Dataset) (*Engine, error) {
 	tpi := index.NewTPI(opts)
-	ids := sum.TrajIDs()
-	for _, tick := range sum.SortedTicks() {
-		var colIDs []traj.ID
-		var pts []geo.Point
-		for _, id := range ids {
-			if p, ok := sum.ReconstructedPoint(id, tick); ok {
-				colIDs = append(colIDs, id)
-				pts = append(pts, p)
-			}
-		}
-		if len(colIDs) > 0 {
-			tpi.Append(colIDs, pts, tick)
-		}
+	err := sum.StreamColumns(func(tick int, ids []traj.ID, pts []geo.Point) error {
+		tpi.Append(ids, pts, tick)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if err := tpi.Seal(); err != nil {
 		return nil, err
@@ -137,8 +139,11 @@ func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) 
 	area := cell.Expand(m)
 	cand := e.Idx.LookupArea(area, tick, rt)
 	// Keep candidates whose reconstruction could correspond to a true
-	// position inside the cell: dist(recon, cell) ≤ margin.
-	kept := cand[:0]
+	// position inside the cell: dist(recon, cell) ≤ margin. The filter
+	// writes into a fresh slice — not cand[:0] — because LookupArea's
+	// result belongs to the index and may one day be a cached posting
+	// list; filtering in place would corrupt it.
+	kept := make([]traj.ID, 0, len(cand))
 	for _, id := range cand {
 		rp, ok := e.Sum.ReconstructedPoint(id, tick)
 		if !ok {
@@ -150,7 +155,7 @@ func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) 
 	}
 	res.Candidates = len(kept)
 	if !exact {
-		res.IDs = append([]traj.ID(nil), kept...)
+		res.IDs = kept
 		return res
 	}
 	if e.Raw == nil {

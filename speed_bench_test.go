@@ -1,0 +1,151 @@
+// Speed benchmarks for the three measured hot paths: per-tick summary
+// construction (Builder.Append), engine construction over a finished
+// summary (query.BuildEngine), and STRQ evaluation. All run on the
+// SyntheticPorto(2000, 42) workload; BENCH_PPQ.json records the numbers
+// across PRs (see cmd/ppqbench -experiment perf).
+package ppqtraj
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/query"
+	"ppqtraj/internal/traj"
+)
+
+var speedData struct {
+	once sync.Once
+	d    *traj.Dataset
+	cols []*traj.Column
+}
+
+// speedDataset materializes SyntheticPorto(2000, 42) and its column stream
+// once; column materialization is excluded from every benchmark loop.
+func speedDataset() (*traj.Dataset, []*traj.Column) {
+	speedData.once.Do(func() {
+		speedData.d = SyntheticPorto(2000, 42)
+		_ = speedData.d.Stream(func(col *traj.Column) error {
+			speedData.cols = append(speedData.cols, &traj.Column{
+				Tick:   col.Tick,
+				IDs:    append([]traj.ID(nil), col.IDs...),
+				Points: append([]geo.Point(nil), col.Points...),
+			})
+			return nil
+		})
+	})
+	return speedData.d, speedData.cols
+}
+
+func speedOpts(mode partition.Mode) core.Options {
+	epsP := 0.1
+	if mode == partition.Autocorr {
+		epsP = 0.2
+	}
+	o := core.DefaultOptions(mode, epsP)
+	o.Seed = 7
+	return o
+}
+
+func benchBuild(b *testing.B, mode partition.Mode) *core.Summary {
+	b.Helper()
+	d, cols := speedDataset()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sum *core.Summary
+	for i := 0; i < b.N; i++ {
+		bl := core.NewBuilder(speedOpts(mode))
+		for _, col := range cols {
+			bl.Append(col)
+		}
+		sum = bl.Summary()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(d.NumPoints())*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	return sum
+}
+
+// BenchmarkBuilderAppend measures full-stream ingest (per-tick Append over
+// every column of the workload) for both partitioning modes.
+func BenchmarkBuilderAppend(b *testing.B) {
+	b.Run("Spatial", func(b *testing.B) { benchBuild(b, partition.Spatial) })
+	b.Run("Autocorr", func(b *testing.B) { benchBuild(b, partition.Autocorr) })
+}
+
+func speedIndexOpts() index.Options {
+	return index.Options{
+		EpsS: 0.1,
+		GC:   geo.MetersToDegrees(100),
+		EpsC: 0.5,
+		EpsD: 0.5,
+		Seed: 11,
+	}
+}
+
+// BenchmarkBuildEngine measures TPI construction over a finished PPQ-S
+// summary — the O(points) path of query.BuildEngine.
+func BenchmarkBuildEngine(b *testing.B) {
+	d, _ := speedDataset()
+	sum := core.Build(d, speedOpts(partition.Spatial))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := query.BuildEngine(sum, speedIndexOpts(), d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sum.NumPoints)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// TestAppendAllocationLean asserts the Builder's steady-state allocation
+// budget: scratch buffers and arenas keep per-point allocations far below
+// one — what remains is dominated by the summary's own retained storage
+// (entries, reconstructions, codebook). A regression that reintroduces
+// per-tick buffer churn trips this immediately.
+func TestAppendAllocationLean(t *testing.T) {
+	d, cols := speedDataset()
+	bl := core.NewBuilder(speedOpts(partition.Spatial))
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for _, col := range cols {
+		bl.Append(col)
+	}
+	runtime.ReadMemStats(&after)
+	perPoint := float64(after.Mallocs-before.Mallocs) / float64(d.NumPoints())
+	// Current steady state is ≈0.45 allocations/point; the bound leaves
+	// headroom for runtime variation while still catching churn (the
+	// pre-scratch pipeline sat above 2 allocations/point).
+	if perPoint > 1.5 {
+		t.Fatalf("Append allocates %.2f objects/point; want ≤ 1.5", perPoint)
+	}
+}
+
+// BenchmarkSTRQ measures approximate range-query latency over the summary
+// engine, cycling through probes sampled from the data.
+func BenchmarkSTRQ(b *testing.B) {
+	d, cols := speedDataset()
+	sum := core.Build(d, speedOpts(partition.Spatial))
+	eng, err := query.BuildEngine(sum, speedIndexOpts(), d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Probes: one point per column, striding through the stream.
+	var pts []geo.Point
+	var ticks []int
+	for _, col := range cols {
+		pts = append(pts, col.Points[len(col.Points)/2])
+		ticks = append(ticks, col.Tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(pts)
+		eng.STRQ(pts[j], ticks[j], false, nil)
+	}
+}

@@ -9,10 +9,12 @@
 //	ppqbench -experiment perf -json BENCH_PPQ.json -label my-change
 //
 // Experiments: table2 table3 table4 table56 table7 table8 table9
-// figure7 figure8 figure9 perf all. The perf experiment measures the
-// three hot paths (per-tick build, engine construction, STRQ) on the
-// standard SyntheticPorto(2000, 42) workload and, with -json, appends
-// the numbers to a machine-readable history so PRs track the perf
+// figure7 figure8 figure9 perf serve all. The perf experiment measures
+// the three hot paths (per-tick build, engine construction, STRQ) on the
+// standard SyntheticPorto(2000, 42) workload; the serve experiment
+// drives the repository server's mixed ingest/query workload (live
+// ingestion + background compaction + concurrent STRQ traffic). Both
+// append to a machine-readable history with -json so PRs track the perf
 // trajectory.
 package main
 
@@ -26,11 +28,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, all)")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
 	queries := flag.Int("queries", 0, "override query count (0 = scale default)")
-	jsonPath := flag.String("json", "", "perf only: append the run to this JSON history file")
-	label := flag.String("label", "dev", "perf only: label recorded with the run")
+	jsonPath := flag.String("json", "", "perf/serve only: append the run to this JSON history file")
+	label := flag.String("label", "dev", "perf/serve only: label recorded with the run")
 	flag.Parse()
 
 	s := bench.Small
@@ -73,10 +75,22 @@ func main() {
 		}
 		fmt.Fprintf(w, "[perf completed in %.1fs]\n\n", time.Since(start).Seconds())
 	}
+	if *exp == "serve" {
+		start := time.Now()
+		if *jsonPath != "" {
+			if err := bench.AppendServe(*jsonPath, *label, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.ServeBench(*label, w)
+		}
+		fmt.Fprintf(w, "[serve completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9", "perf":
+		"table9", "figure7", "figure8", "figure9", "perf", "serve":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

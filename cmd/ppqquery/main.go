@@ -71,7 +71,10 @@ func main() {
 		d.Len(), d.NumPoints(), float64(sum.SizeBytes())/1e3, sum.MAEMeters())
 
 	p := geo.Pt(*x, *y)
-	res := eng.STRQ(p, *t, *exact, nil)
+	res, err := eng.STRQ(p, *t, *exact, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if !res.Covered {
 		fmt.Printf("query %v @ t=%d: outside indexed space\n", p, *t)
 		return

@@ -1,0 +1,97 @@
+// Command ppqserve runs the sharded trajectory repository server: live
+// HTTP ingestion into a raw hot tail, background compaction into sealed
+// quantized segments (persisted under -dir with a crash-safe manifest),
+// and batch STRQ/TPQ/window queries over the whole store.
+//
+// Usage:
+//
+//	ppqserve -addr :8080 -dir ./data            # persistent repository
+//	ppqserve -addr :8080 -preload 500           # memory-only, synthetic warm-up data
+//
+// See the README's "Repository server" section for the endpoint
+// reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+	"ppqtraj/internal/traj"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	dir := flag.String("dir", "", "persistence directory (empty = memory only)")
+	hotTicks := flag.Int("hot", 64, "hot-tail tick span that triggers compaction")
+	keepHot := flag.Int("keep-hot", 0, "ticks left hot per compaction (0 = hot/4)")
+	interval := flag.Duration("compact-interval", time.Second, "compactor idle wake-up period")
+	eps1 := flag.Float64("eps1", 0.001, "codebook error bound ε₁ (degrees)")
+	gcMeters := flag.Float64("gc", 100, "query/index grid cell g_c (meters)")
+	epsP := flag.Float64("epsp", 0.1, "partition radius ε_p")
+	preload := flag.Int("preload", 0, "ingest this many synthetic Porto trajectories at startup")
+	seed := flag.Int64("seed", 42, "synthetic preload seed")
+	flag.Parse()
+
+	bopts := core.DefaultOptions(partition.Spatial, *epsP)
+	bopts.Epsilon1 = *eps1
+	bopts.Seed = *seed
+	opts := serve.Options{
+		Build: bopts,
+		Index: index.Options{
+			EpsS: *epsP,
+			GC:   geo.MetersToDegrees(*gcMeters),
+			EpsC: 0.5,
+			EpsD: 0.5,
+			Seed: *seed,
+		},
+		Dir:             *dir,
+		HotTicks:        *hotTicks,
+		KeepHotTicks:    *keepHot,
+		CompactInterval: *interval,
+	}
+
+	repo, err := serve.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer repo.Close()
+
+	if *preload > 0 {
+		d := gen.Porto(gen.Config{NumTrajectories: *preload, MinLen: 30, MaxLen: 200, Seed: *seed})
+		n := 0
+		err := d.Stream(func(col *traj.Column) error {
+			n += col.Len()
+			return repo.IngestColumn(col)
+		})
+		if err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+		if err := repo.Flush(); err != nil {
+			log.Fatalf("preload flush: %v", err)
+		}
+		st := repo.Stats()
+		log.Printf("preloaded %d points into %d segments (%.1f KB on disk)",
+			n, st.Segments, float64(st.DiskBytes)/1e3)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           repo.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("ppqserve listening on %s (dir=%q hot=%d)", *addr, *dir, *hotTicks)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -48,7 +48,10 @@ func main() {
 	}
 
 	// Exact mode: verify candidates against raw data → precision 1.
-	exact := eng.ExactRangeQuery(probe, tr.Start+20)
+	exact, err := eng.ExactRangeQuery(probe, tr.Start+20)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nexact STRQ → %d verified matches (visited %d of %d trajectories)\n",
 		len(exact.IDs), exact.Visited, data.Len())
 }

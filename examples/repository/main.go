@@ -1,0 +1,129 @@
+// Example: the sharded repository server end to end over HTTP — live
+// ingestion into the hot tail, background compaction into sealed
+// quantized segments, then batch STRQ and window queries against the
+// running server.
+//
+//	go run ./examples/repository
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+	"ppqtraj/internal/traj"
+)
+
+func main() {
+	// A repository tuned for a demo: small hot tail, eager compactor.
+	repo, err := serve.Open(serve.Options{
+		Build: core.DefaultOptions(partition.Spatial, 0.1),
+		Index: index.Options{
+			EpsS: 0.1,
+			GC:   geo.MetersToDegrees(100),
+			EpsC: 0.5, EpsD: 0.5, Seed: 1,
+		},
+		HotTicks:        16,
+		CompactInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repo.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, repo.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("repository server on %s\n\n", base)
+
+	// Stream a synthetic taxi fleet into /v1/ingest, one tick per request
+	// — exactly what a live feed would do.
+	d := gen.Porto(gen.Config{NumTrajectories: 200, MinLen: 40, MaxLen: 80, Seed: 3})
+	var lastCol *traj.Column
+	err = d.Stream(func(col *traj.Column) error {
+		points := make([]serve.IngestPoint, col.Len())
+		for i, id := range col.IDs {
+			points[i] = serve.IngestPoint{ID: id, X: col.Points[i].X, Y: col.Points[i].Y}
+		}
+		lastCol = col
+		return post(base+"/v1/ingest", serve.IngestRequest{
+			Ticks: []serve.IngestTick{{Tick: col.Tick, Points: points}},
+		}, nil)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Batch query: who is near these probes right now (hot tail) and
+	// thirty ticks ago (already compacted into sealed segments)?
+	probe := lastCol.Points[0]
+	var qr serve.QueryResponse
+	if err := post(base+"/v1/query", serve.QueryRequest{Queries: []serve.STRQRequest{
+		{P: probe, Tick: lastCol.Tick, PathLen: 5},
+		{P: probe, Tick: lastCol.Tick - 30},
+	}}, &qr); err != nil {
+		log.Fatal(err)
+	}
+	for _, ans := range qr.Answers {
+		fmt.Printf("STRQ tick %-4d → %2d matches from %-10s cell %v\n",
+			ans.Tick, len(ans.IDs), ans.Source, ans.Cell)
+	}
+
+	// Window query: everyone who crossed the probe's neighborhood in the
+	// last 20 ticks — fans out over segments + hot tail concurrently.
+	var wr serve.WindowResult
+	rect := geo.Rect{
+		MinX: probe.X - 0.005, MinY: probe.Y - 0.005,
+		MaxX: probe.X + 0.005, MaxY: probe.Y + 0.005,
+	}
+	if err := post(base+"/v1/window", serve.WindowRequest{
+		Rect: rect, From: lastCol.Tick - 20, To: lastCol.Tick,
+	}, &wr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window [%d, %d] → %d trajectories over %d shards\n\n",
+		wr.From, wr.To, len(wr.IDs), wr.Sources)
+
+	var st serve.Stats
+	if err := post(base+"/v1/flush", struct{}{}, &st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after flush: %d points in %d sealed segments, %d compactions, %d queries served\n",
+		st.SegmentPoints, st.Segments, st.Compactions, st.Queries)
+}
+
+func post(url string, body, out any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, e.Error)
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}

@@ -81,7 +81,7 @@ func TestRecallOracleAcrossModes(t *testing.T) {
 			tr := d.Get(traj.ID(rng.Intn(d.Len())))
 			tick := tr.Start + rng.Intn(tr.Len())
 			qp, _ := tr.At(tick)
-			res := eng.STRQ(qp, tick, false, nil)
+			res, _ := eng.STRQ(qp, tick, false, nil)
 			if !res.Covered {
 				continue
 			}

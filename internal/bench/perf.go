@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -32,11 +33,13 @@ type PerfRun struct {
 }
 
 // PerfFile is the on-disk shape of BENCH_PPQ.json: one run per recorded
-// state of the code, oldest first.
+// state of the code, oldest first. ServeRuns tracks the repository
+// serving layer's mixed-workload numbers (ppqbench -experiment serve).
 type PerfFile struct {
-	Dataset string    `json:"dataset"`
-	Note    string    `json:"note,omitempty"`
-	Runs    []PerfRun `json:"runs"`
+	Dataset   string     `json:"dataset"`
+	Note      string     `json:"note,omitempty"`
+	Runs      []PerfRun  `json:"runs"`
+	ServeRuns []ServeRun `json:"serve_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.
@@ -101,7 +104,7 @@ func Perf(label string, w io.Writer) PerfRun {
 	start = time.Now()
 	n := 0
 	for _, col := range cols {
-		eng.STRQ(col.Points[len(col.Points)/2], col.Tick, false, nil)
+		eng.STRQ(col.Points[len(col.Points)/2], col.Tick, false, nil) //nolint:errcheck // approximate mode never errors
 		n++
 	}
 	run.STRQApproxMicros = time.Since(start).Seconds() * 1e6 / float64(n)
@@ -125,9 +128,18 @@ func AppendPerf(path, label string, w io.Writer) error {
 		}
 	}
 	pf.Runs = append(pf.Runs, Perf(label, w))
-	out, err := json.MarshalIndent(&pf, "", "  ")
-	if err != nil {
+	return writePerfFile(path, &pf)
+}
+
+// writePerfFile rewrites the history file without HTML escaping, so
+// curated note strings with <, >, & survive re-marshalling.
+func writePerfFile(path string, pf *PerfFile) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pf); err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+)
+
+// ServeRun is one measurement of the repository serving layer under mixed
+// load: one ingest stream racing the background compactor while query
+// workers fire STRQ/TPQ traffic at already-ingested ticks. Recorded in
+// BENCH_PPQ.json next to the hot-path perf runs.
+type ServeRun struct {
+	Label              string  `json:"label"`
+	GoMaxProcs         int     `json:"gomaxprocs"`
+	Points             int     `json:"points"`
+	QueryWorkers       int     `json:"query_workers"`
+	IngestPointsPerSec float64 `json:"ingest_points_per_sec"`
+	QueriesPerSec      float64 `json:"queries_per_sec"`
+	QueryP50Micros     float64 `json:"query_p50_us"`
+	QueryP99Micros     float64 `json:"query_p99_us"`
+	Queries            int     `json:"queries"`
+	Compactions        int64   `json:"compactions"`
+	Segments           int     `json:"segments"`
+	WallSeconds        float64 `json:"wall_seconds"`
+}
+
+// serveWorkload is the standard serving benchmark configuration.
+const serveQueryWorkers = 4
+
+// ServeBench drives the mixed ingest/query workload on the standard
+// SyntheticPorto(2000, 42) dataset: the full column stream is ingested as
+// fast as the repository accepts it (compaction runs concurrently in the
+// background), while serveQueryWorkers goroutines continuously issue
+// approximate STRQ with short TPQ paths against random already-ingested
+// ticks. Human-readable lines go to w (nil for silent).
+func ServeBench(label string, w io.Writer) ServeRun {
+	d, cols := perfData()
+	run := ServeRun{
+		Label:        label,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Points:       d.NumPoints(),
+		QueryWorkers: serveQueryWorkers,
+	}
+
+	bopts := perfOpts(partition.Spatial)
+	repo, err := serve.Open(serve.Options{
+		Build:           bopts,
+		Index:           indexOptions(Porto),
+		HotTicks:        48,
+		CompactInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer repo.Close()
+
+	// maxTick publishes ingest progress to the query workers; -1 = no data
+	// yet. Query probes are real dataset positions, so most land in
+	// populated cells.
+	var maxTick atomic.Int64
+	maxTick.Store(-1)
+	var done atomic.Bool
+
+	var qwg sync.WaitGroup
+	lats := make([][]float64, serveQueryWorkers)
+	for wk := 0; wk < serveQueryWorkers; wk++ {
+		qwg.Add(1)
+		go func(wk int) {
+			defer qwg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + wk)))
+			for !done.Load() {
+				hi := maxTick.Load()
+				if hi < 0 {
+					runtime.Gosched()
+					continue
+				}
+				ci := rng.Intn(int(hi) + 1)
+				if ci >= len(cols) {
+					ci = len(cols) - 1
+				}
+				col := cols[ci]
+				p := col.Points[rng.Intn(col.Len())]
+				start := time.Now()
+				if _, err := repo.STRQ(serve.STRQRequest{P: p, Tick: col.Tick, PathLen: 4}); err != nil {
+					panic(err)
+				}
+				lats[wk] = append(lats[wk], time.Since(start).Seconds()*1e6)
+			}
+		}(wk)
+	}
+
+	ingestStart := time.Now()
+	for i, col := range cols {
+		if err := repo.IngestColumn(col); err != nil {
+			panic(err)
+		}
+		maxTick.Store(int64(i))
+	}
+	// The flush pays down the remaining compaction debt, so the ingest
+	// rate reflects sustained throughput, not just hot-tail appends; the
+	// query workers keep firing throughout.
+	if err := repo.Flush(); err != nil {
+		panic(err)
+	}
+	ingestSecs := time.Since(ingestStart).Seconds()
+	done.Store(true)
+	qwg.Wait()
+	wall := time.Since(ingestStart).Seconds()
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	st := repo.Stats()
+	run.IngestPointsPerSec = float64(d.NumPoints()) / ingestSecs
+	run.Queries = len(all)
+	run.QueriesPerSec = float64(len(all)) / wall
+	run.QueryP50Micros = pct(0.50)
+	run.QueryP99Micros = pct(0.99)
+	run.Compactions = st.Compactions
+	run.Segments = st.Segments
+	run.WallSeconds = wall
+
+	fprintf(w, "== serve: %s (GOMAXPROCS=%d, %d points, %d query workers) ==\n",
+		label, run.GoMaxProcs, run.Points, run.QueryWorkers)
+	fprintf(w, "  ingest           %12.0f points/s (compactor concurrent)\n", run.IngestPointsPerSec)
+	fprintf(w, "  queries          %12.0f q/s  (%d total)\n", run.QueriesPerSec, run.Queries)
+	fprintf(w, "  query latency    %12.2f µs p50, %.2f µs p99\n", run.QueryP50Micros, run.QueryP99Micros)
+	fprintf(w, "  compactions      %12d → %d segments\n", run.Compactions, run.Segments)
+	return run
+}
+
+// AppendServe runs ServeBench and appends the result to the JSON history
+// at path (sharing the file with the perf runs).
+func AppendServe(path, label string, w io.Writer) error {
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.ServeRuns = append(pf.ServeRuns, ServeBench(label, w))
+	return writePerfFile(path, &pf)
+}

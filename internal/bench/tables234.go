@@ -50,7 +50,7 @@ func Table2(s Scale, w io.Writer) []Table2Row {
 			var psum, rsum float64
 			n := 0
 			for i := range qp {
-				res := eng.STRQ(qp[i], qt[i], false, nil)
+				res, _ := eng.STRQ(qp[i], qt[i], false, nil)
 				if !res.Covered {
 					continue
 				}
@@ -192,7 +192,10 @@ func Table4(s Scale, w io.Writer) []Table4Row {
 				var ratioSum float64
 				n := 0
 				for i := range qp {
-					res := eng.STRQ(qp[i], qt[i], true, nil)
+					res, err := eng.STRQ(qp[i], qt[i], true, nil)
+					if err != nil {
+						panic(err)
+					}
 					if !res.Covered || active[i] == 0 {
 						continue
 					}

@@ -7,13 +7,21 @@
 package query
 
 import (
+	"errors"
+	"fmt"
 	"math"
+	"sync/atomic"
 
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/index"
 	"ppqtraj/internal/store"
 	"ppqtraj/internal/traj"
 )
+
+// ErrNoRaw is returned by exact-mode queries on an engine that has no raw
+// dataset attached: exact verification is impossible, so the caller must
+// either fall back to approximate mode or attach raw storage.
+var ErrNoRaw = errors.New("query: exact STRQ requires raw dataset access")
 
 // Source is the summary-side contract the engine queries against. It is
 // satisfied by core.Summary (PPQ/E-PQ/Q-trajectory) and by
@@ -47,6 +55,11 @@ type Source interface {
 // Engine answers queries from a summary plus its TPI. Raw is optional: it
 // is only consulted in exact mode, and every consultation is counted —
 // this is the second-step access cost the paper measures.
+//
+// Once built (and its fields no longer reassigned), an Engine is safe for
+// concurrent readers: STRQ/TPQ/PathMAE only read the sealed index and the
+// summary, and the access counter is atomic. Seal/Append on the underlying
+// TPI must not run concurrently with queries.
 type Engine struct {
 	Sum Source
 	Idx *index.TPI
@@ -60,8 +73,8 @@ type Engine struct {
 	MarginCap float64
 
 	// RawAccesses counts trajectories fetched from raw storage for exact
-	// verification (cumulative across queries).
-	RawAccesses int
+	// verification (cumulative across queries, atomic).
+	RawAccesses atomic.Int64
 }
 
 // BuildEngine indexes the summary's reconstructed points into a fresh TPI
@@ -124,14 +137,33 @@ func distToRect(p geo.Point, r geo.Rect) float64 {
 // With exact=true each candidate's raw trajectory is consulted and the
 // result has precision and recall 1; the accesses are counted in Visited.
 // rt, when non-nil, charges page I/Os for the index probes (Table 9).
-func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) *STRQResult {
-	res := &STRQResult{}
+// Exact mode on an engine without raw access returns ErrNoRaw.
+func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
 	cell, ok := e.Idx.CellRect(p, tick)
 	if !ok {
-		return res
+		return &STRQResult{}, nil
 	}
-	res.Covered = true
-	res.Cell = cell
+	return e.searchRect(cell, tick, exact, rt)
+}
+
+// STRQRect answers the rectangle-anchored STRQ variant: which trajectories
+// were inside rect at tick t. Unlike STRQ, the query region is supplied by
+// the caller instead of being derived from the engine's own region/cell
+// layout, so two engines built over different shardings of the same data
+// agree on the exact-mode answer — the contract the serving layer's
+// segment fan-out relies on. Covered is false when the tick falls outside
+// every indexed period.
+func (e *Engine) STRQRect(rect geo.Rect, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
+	if e.Idx.PeriodOf(tick) == nil {
+		return &STRQResult{}, nil
+	}
+	return e.searchRect(rect, tick, exact, rt)
+}
+
+// searchRect is the shared local-search + filter + (optional) verification
+// pipeline of STRQ and STRQRect over an explicit query rectangle.
+func (e *Engine) searchRect(cell geo.Rect, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
+	res := &STRQResult{Covered: true, Cell: cell}
 	m := e.Margin()
 	// Local search (§5.2): scan every cell within the Lemma 3 margin of
 	// the query cell, so a true-resident whose reconstruction drifted into
@@ -156,19 +188,26 @@ func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) 
 	res.Candidates = len(kept)
 	if !exact {
 		res.IDs = kept
-		return res
+		return res, nil
 	}
 	if e.Raw == nil {
-		panic("query: exact STRQ requires raw dataset access")
+		return nil, ErrNoRaw
 	}
 	for _, id := range kept {
 		res.Visited++
-		e.RawAccesses++
-		if tp, ok := e.Raw.Get(id).At(tick); ok && cell.Contains(tp) {
+		e.RawAccesses.Add(1)
+		tr, ok := e.Raw.Lookup(id)
+		if !ok {
+			// The raw store does not cover this trajectory (e.g. it was
+			// ingested after the store was attached) — a configuration
+			// gap, not a crash: surface it as the ErrNoRaw class.
+			return nil, fmt.Errorf("query: trajectory %d absent from raw dataset: %w", id, ErrNoRaw)
+		}
+		if tp, ok := tr.At(tick); ok && cell.Contains(tp) {
 			res.IDs = append(res.IDs, id)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // TPQResult is one trajectory-path-query answer: the reconstructed
@@ -181,13 +220,16 @@ type TPQResult struct {
 // TPQ answers Definition 5.3: run STRQ at (p, tick), then reproduce the
 // next l positions of every matched trajectory directly from the indexed
 // summary — no raw access, no full reconstruction.
-func (e *Engine) TPQ(p geo.Point, tick, l int, exact bool, rt *store.ReadTracker) *TPQResult {
-	s := e.STRQ(p, tick, exact, rt)
+func (e *Engine) TPQ(p geo.Point, tick, l int, exact bool, rt *store.ReadTracker) (*TPQResult, error) {
+	s, err := e.STRQ(p, tick, exact, rt)
+	if err != nil {
+		return nil, err
+	}
 	out := &TPQResult{STRQ: s, Paths: make(map[traj.ID][]geo.Point, len(s.IDs))}
 	for _, id := range s.IDs {
 		out.Paths[id] = e.Sum.ReconstructPath(id, tick, l)
 	}
-	return out
+	return out, nil
 }
 
 // PathMAE returns the mean absolute deviation between a trajectory's
@@ -201,7 +243,10 @@ func (e *Engine) PathMAE(id traj.ID, tick, l int) (float64, bool) {
 	if len(rec) == 0 {
 		return 0, false
 	}
-	tr := e.Raw.Get(id)
+	tr, ok := e.Raw.Lookup(id)
+	if !ok {
+		return 0, false
+	}
 	lo := tick
 	if lo < tr.Start {
 		lo = tr.Start

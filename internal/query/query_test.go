@@ -1,7 +1,11 @@
 package query
 
 import (
+	"errors"
+	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"ppqtraj/internal/core"
@@ -43,7 +47,7 @@ func TestSTRQRecallIsOne(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
-		res := eng.STRQ(qp, tick, false, nil)
+		res, _ := eng.STRQ(qp, tick, false, nil)
 		if !res.Covered {
 			continue
 		}
@@ -63,7 +67,7 @@ func TestSTRQExactPrecisionAndRecallOne(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
-		res := eng.STRQ(qp, tick, true, nil)
+		res, _ := eng.STRQ(qp, tick, true, nil)
 		if !res.Covered {
 			continue
 		}
@@ -77,7 +81,7 @@ func TestSTRQExactPrecisionAndRecallOne(t *testing.T) {
 				res.Visited, res.Candidates)
 		}
 	}
-	if eng.RawAccesses == 0 {
+	if eng.RawAccesses.Load() == 0 {
 		t.Fatal("exact queries must access raw data")
 	}
 }
@@ -91,7 +95,7 @@ func TestSTRQCandidateListSmall(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
-		res := eng.STRQ(qp, tick, false, nil)
+		res, _ := eng.STRQ(qp, tick, false, nil)
 		if !res.Covered {
 			continue
 		}
@@ -109,23 +113,23 @@ func TestSTRQCandidateListSmall(t *testing.T) {
 
 func TestSTRQUncoveredPoint(t *testing.T) {
 	eng, _ := testEngine(t, true)
-	res := eng.STRQ(geo.Pt(0, 0), 10, false, nil) // far outside Porto
+	res, _ := eng.STRQ(geo.Pt(0, 0), 10, false, nil) // far outside Porto
 	if res.Covered || len(res.IDs) != 0 {
 		t.Fatalf("uncovered query should be empty: %+v", res)
 	}
 }
 
-func TestSTRQExactWithoutRawPanics(t *testing.T) {
+func TestSTRQExactWithoutRawReturnsError(t *testing.T) {
 	eng, d := testEngine(t, true)
 	eng.Raw = nil
 	tr := d.Get(0)
 	qp, _ := tr.At(tr.Start)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	eng.STRQ(qp, tr.Start, true, nil)
+	if _, err := eng.STRQ(qp, tr.Start, true, nil); !errors.Is(err, ErrNoRaw) {
+		t.Fatalf("want ErrNoRaw, got %v", err)
+	}
+	if _, err := eng.TPQ(qp, tr.Start, 5, true, nil); !errors.Is(err, ErrNoRaw) {
+		t.Fatalf("TPQ: want ErrNoRaw, got %v", err)
+	}
 }
 
 func TestMarginSelection(t *testing.T) {
@@ -150,7 +154,7 @@ func TestTPQPathsBoundedDeviation(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len()/2)
 		qp, _ := tr.At(tick)
-		res := eng.TPQ(qp, tick, 10, false, nil)
+		res, _ := eng.TPQ(qp, tick, 10, false, nil)
 		for id, path := range res.Paths {
 			found++
 			rtr := d.Get(id)
@@ -254,7 +258,7 @@ func TestDiskModeChargesIOs(t *testing.T) {
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
 		rt := ps.BeginRead()
-		res := eng.STRQ(qp, tick, false, rt)
+		res, _ := eng.STRQ(qp, tick, false, rt)
 		if res.Covered {
 			asked++
 			if rt.PagesTouched() == 0 {
@@ -280,5 +284,102 @@ func TestDistToRect(t *testing.T) {
 	}
 	if d := distToRect(geo.Pt(4, 5), r); d != 5 {
 		t.Fatalf("corner dist = %v", d)
+	}
+}
+
+func TestEngineConcurrentSTRQTPQ(t *testing.T) {
+	// The engine contract: safe for concurrent readers (run with -race).
+	// Eight goroutines mix approximate STRQ, exact STRQ, and TPQ against
+	// one shared engine and cross-check recall on the fly.
+	eng, d := testEngine(t, true)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for wk := 0; wk < 8; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(40 + wk)))
+			for q := 0; q < 150; q++ {
+				tr := d.Get(traj.ID(rng.Intn(d.Len())))
+				tick := tr.Start + rng.Intn(tr.Len())
+				qp, _ := tr.At(tick)
+				switch q % 3 {
+				case 0:
+					res, err := eng.STRQ(qp, tick, false, nil)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if res.Covered {
+						want := GroundTruth(d, res.Cell, tick)
+						if _, recall := PrecisionRecall(res.IDs, want); recall < 1 {
+							errCh <- fmt.Errorf("worker %d: recall %v < 1", wk, recall)
+							return
+						}
+					}
+				case 1:
+					res, err := eng.STRQ(qp, tick, true, nil)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if res.Covered {
+						want := GroundTruth(d, res.Cell, tick)
+						if p, r := PrecisionRecall(res.IDs, want); p != 1 || r != 1 {
+							errCh <- fmt.Errorf("worker %d: exact %v/%v", wk, p, r)
+							return
+						}
+					}
+				default:
+					if _, err := eng.TPQ(qp, tick, 8, false, nil); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if eng.RawAccesses.Load() == 0 {
+		t.Fatal("exact workers should have accessed raw data")
+	}
+}
+
+func TestSTRQRectMatchesGroundTruthExact(t *testing.T) {
+	// STRQRect is the engine-independent query primitive the serving
+	// layer shards over: exact answers must equal ground truth for any
+	// caller-supplied rectangle.
+	eng, d := testEngine(t, true)
+	rng := rand.New(rand.NewSource(17))
+	gc := geo.MetersToDegrees(100)
+	checked := 0
+	for q := 0; q < 200; q++ {
+		tr := d.Get(traj.ID(rng.Intn(d.Len())))
+		tick := tr.Start + rng.Intn(tr.Len())
+		qp, _ := tr.At(tick)
+		rect := geo.Rect{
+			MinX: math.Floor(qp.X/gc) * gc, MinY: math.Floor(qp.Y/gc) * gc,
+			MaxX: math.Floor(qp.X/gc)*gc + gc, MaxY: math.Floor(qp.Y/gc)*gc + gc,
+		}
+		res, err := eng.STRQRect(rect, tick, true, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Covered {
+			continue
+		}
+		checked++
+		want := GroundTruth(d, rect, tick)
+		if p, r := PrecisionRecall(res.IDs, want); p != 1 || r != 1 {
+			t.Fatalf("rect %v tick %d: precision %v recall %v", rect, tick, p, r)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no covered rect queries")
 	}
 }

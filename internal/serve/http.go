@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// HTTP/JSON API of the repository server:
+//
+//	POST /v1/query   {"queries":[{"p":{"X":-8.61,"Y":41.15},"tick":42,"exact":false,"path_len":10}]}
+//	                 → {"answers":[{"tick":42,"cell":{...},"covered":true,"ids":[...],...}]}
+//	POST /v1/window  {"rect":{"MinX":...,"MinY":...,"MaxX":...,"MaxY":...},"from":10,"to":40,"exact":false}
+//	                 → {"from":10,"to":40,"ids":[...],"ticks_probed":31,"sources":2}
+//	POST /v1/ingest  {"ticks":[{"tick":99,"points":[{"id":7,"x":-8.61,"y":41.15}]}]}
+//	                 → {"accepted_points":1}
+//	POST /v1/flush   → compacts the whole hot tail synchronously
+//	GET  /v1/stats   → Stats JSON
+//	GET  /healthz    → 200 "ok"
+//
+// Batch sizes are capped so one request cannot monopolize the server.
+
+const (
+	maxBatchQueries = 4096
+	maxIngestPoints = 1 << 20
+	maxBodyBytes    = 64 << 20
+)
+
+// IngestPoint is one trajectory position in an ingest payload.
+type IngestPoint struct {
+	ID traj.ID `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// IngestTick is one tick's batch in an ingest payload.
+type IngestTick struct {
+	Tick   int           `json:"tick"`
+	Points []IngestPoint `json:"points"`
+}
+
+// IngestRequest is the /v1/ingest body.
+type IngestRequest struct {
+	Ticks []IngestTick `json:"ticks"`
+}
+
+// IngestResponse reports how many points were accepted.
+type IngestResponse struct {
+	AcceptedPoints int `json:"accepted_points"`
+}
+
+// QueryRequest is the /v1/query body.
+type QueryRequest struct {
+	Queries []STRQRequest `json:"queries"`
+}
+
+// QueryResponse is the /v1/query reply.
+type QueryResponse struct {
+	Answers []STRQAnswer `json:"answers"`
+}
+
+// WindowRequest is the /v1/window body.
+type WindowRequest struct {
+	Rect  geo.Rect `json:"rect"`
+	From  int      `json:"from"`
+	To    int      `json:"to"`
+	Exact bool     `json:"exact"`
+}
+
+// Handler returns the repository's HTTP mux.
+func (r *Repository) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", r.handleQuery)
+	mux.HandleFunc("POST /v1/window", r.handleWindow)
+	mux.HandleFunc("POST /v1/ingest", r.handleIngest)
+	mux.HandleFunc("POST /v1/flush", r.handleFlush)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func readBody(w http.ResponseWriter, req *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+func (r *Repository) handleQuery(w http.ResponseWriter, req *http.Request) {
+	var in QueryRequest
+	if !readBody(w, req, &in) {
+		return
+	}
+	if len(in.Queries) == 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "no queries"})
+		return
+	}
+	if len(in.Queries) > maxBatchQueries {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			httpError{Error: fmt.Sprintf("batch of %d exceeds the %d-query cap", len(in.Queries), maxBatchQueries)})
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Answers: r.Batch(in.Queries)})
+}
+
+func (r *Repository) handleWindow(w http.ResponseWriter, req *http.Request) {
+	var in WindowRequest
+	if !readBody(w, req, &in) {
+		return
+	}
+	res, err := r.Window(in.Rect, in.From, in.To, in.Exact)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
+	var in IngestRequest
+	if !readBody(w, req, &in) {
+		return
+	}
+	total := 0
+	for _, t := range in.Ticks {
+		total += len(t.Points)
+	}
+	if total > maxIngestPoints {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			httpError{Error: fmt.Sprintf("ingest of %d points exceeds the %d-point cap", total, maxIngestPoints)})
+		return
+	}
+	accepted := 0
+	for _, t := range in.Ticks {
+		ids := make([]traj.ID, len(t.Points))
+		pts := make([]geo.Point, len(t.Points))
+		for i, p := range t.Points {
+			ids[i] = p.ID
+			pts[i] = geo.Point{X: p.X, Y: p.Y}
+		}
+		if err := r.Ingest(t.Tick, ids, pts); err != nil {
+			// Ingest is transactional per tick: report what landed plus
+			// the first failure.
+			writeJSON(w, http.StatusUnprocessableEntity, struct {
+				IngestResponse
+				httpError
+			}{IngestResponse{AcceptedPoints: accepted}, httpError{Error: err.Error()}})
+			return
+		}
+		accepted += len(t.Points)
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{AcceptedPoints: accepted})
+}
+
+func (r *Repository) handleFlush(w http.ResponseWriter, _ *http.Request) {
+	if err := r.Flush(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+func (r *Repository) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, r.Stats())
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ppqtraj/internal/geo"
+)
+
+// httpRepo spins up a repository behind its HTTP handler.
+func httpRepo(t *testing.T) (*Repository, *httptest.Server) {
+	t.Helper()
+	repo, err := Open(testOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(repo.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		repo.Close()
+	})
+	return repo, srv
+}
+
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPIngestQueryStats(t *testing.T) {
+	_, srv := httpRepo(t)
+
+	// Two trajectories crossing one cell over three ticks.
+	var ticks []IngestTick
+	for tick := 0; tick < 3; tick++ {
+		ticks = append(ticks, IngestTick{
+			Tick: tick,
+			Points: []IngestPoint{
+				{ID: 1, X: 0.0001 * float64(tick), Y: 0.0001},
+				{ID: 2, X: 5, Y: 5},
+			},
+		})
+	}
+	var ing IngestResponse
+	if code := postJSON(t, srv.URL+"/v1/ingest", IngestRequest{Ticks: ticks}, &ing); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	if ing.AcceptedPoints != 6 {
+		t.Fatalf("accepted %d points, want 6", ing.AcceptedPoints)
+	}
+
+	var qr QueryResponse
+	req := QueryRequest{Queries: []STRQRequest{
+		{P: geo.Pt(0.0001, 0.0001), Tick: 1, PathLen: 2},
+		{P: geo.Pt(99, 99), Tick: 1},
+	}}
+	if code := postJSON(t, srv.URL+"/v1/query", req, &qr); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	if len(qr.Answers) != 2 {
+		t.Fatalf("got %d answers", len(qr.Answers))
+	}
+	if !qr.Answers[0].Covered || len(qr.Answers[0].IDs) != 1 || qr.Answers[0].IDs[0] != 1 {
+		t.Fatalf("answer 0 = %+v", qr.Answers[0])
+	}
+	if len(qr.Answers[0].Paths) != 1 {
+		t.Fatalf("expected a path for the match, got %+v", qr.Answers[0].Paths)
+	}
+	if len(qr.Answers[1].IDs) != 0 {
+		t.Fatalf("answer 1 should be empty: %+v", qr.Answers[1])
+	}
+
+	// Flush seals the hot tail; queries keep answering identically.
+	var st Stats
+	if code := postJSON(t, srv.URL+"/v1/flush", struct{}{}, &st); code != http.StatusOK {
+		t.Fatalf("flush status %d", code)
+	}
+	if st.Segments == 0 || st.HotPoints != 0 {
+		t.Fatalf("flush stats = %+v", st)
+	}
+	var qr2 QueryResponse
+	if code := postJSON(t, srv.URL+"/v1/query", req, &qr2); code != http.StatusOK {
+		t.Fatalf("post-flush query status %d", code)
+	}
+	if !sameIDs(qr2.Answers[0].IDs, qr.Answers[0].IDs) {
+		t.Fatalf("answers changed across flush: %v vs %v", qr2.Answers[0].IDs, qr.Answers[0].IDs)
+	}
+
+	// Window across the sealed range.
+	var wr WindowResult
+	win := WindowRequest{Rect: geo.NewRect(-1, -1, 1, 1), From: 0, To: 2}
+	if code := postJSON(t, srv.URL+"/v1/window", win, &wr); code != http.StatusOK {
+		t.Fatalf("window status %d", code)
+	}
+	if len(wr.IDs) != 1 || wr.IDs[0] != 1 {
+		t.Fatalf("window = %+v", wr)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st2 Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.IngestedPoints != 6 || st2.Queries == 0 {
+		t.Fatalf("stats = %+v", st2)
+	}
+}
+
+func TestHTTPValidation(t *testing.T) {
+	_, srv := httpRepo(t)
+
+	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+
+	if code := postJSON(t, srv.URL+"/v1/query", QueryRequest{}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", code)
+	}
+
+	big := QueryRequest{Queries: make([]STRQRequest, maxBatchQueries+1)}
+	if code := postJSON(t, srv.URL+"/v1/query", big, nil); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch: status %d", code)
+	}
+
+	// Ingest rejection surfaces the repository's validation error.
+	bad := IngestRequest{Ticks: []IngestTick{
+		{Tick: 0, Points: []IngestPoint{{ID: 1, X: 0, Y: 0}}},
+		{Tick: 4, Points: []IngestPoint{{ID: 1, X: 0, Y: 0}}}, // gap for id 1
+	}}
+	var out struct {
+		IngestResponse
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, srv.URL+"/v1/ingest", bad, &out); code != http.StatusUnprocessableEntity {
+		t.Fatalf("gapped ingest: status %d", code)
+	}
+	if out.AcceptedPoints != 1 || out.Error == "" {
+		t.Fatalf("gapped ingest response = %+v", out)
+	}
+
+	// Inverted window.
+	if code := postJSON(t, srv.URL+"/v1/window", WindowRequest{From: 5, To: 1}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("inverted window: status %d", code)
+	}
+
+	// Method guards from the routing patterns.
+	resp, err = http.Get(srv.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/query: status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPConcurrentClients(t *testing.T) {
+	// A handful of concurrent HTTP clients ingesting and querying; run
+	// with -race. Each client owns a disjoint trajectory ID range so the
+	// contiguity rule is never violated, and the hot tail is sized so no
+	// compaction can seal a tick a slower client still has to write.
+	opts := testOptions(nil)
+	opts.HotTicks = 256
+	repo, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(repo.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		repo.Close()
+	})
+	const clients = 4
+	errCh := make(chan error, clients)
+	done := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			defer func() { done <- struct{}{} }()
+			base := uint32(1000 * (c + 1))
+			for tick := 0; tick < 30; tick++ {
+				body := IngestRequest{Ticks: []IngestTick{{
+					Tick: tick,
+					Points: []IngestPoint{
+						{ID: base, X: float64(c), Y: float64(tick) * 1e-4},
+						{ID: base + 1, X: float64(c), Y: 1 + float64(tick)*1e-4},
+					},
+				}}}
+				blob, _ := json.Marshal(body)
+				resp, err := http.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(blob))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("client %d tick %d: ingest status %d", c, tick, resp.StatusCode)
+					return
+				}
+				qblob, _ := json.Marshal(QueryRequest{Queries: []STRQRequest{
+					{P: geo.Pt(float64(c), float64(tick)*1e-4), Tick: tick},
+				}})
+				resp, err = http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(qblob))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var qr QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(qr.Answers) != 1 || !qr.Answers[0].Covered {
+					errCh <- fmt.Errorf("client %d tick %d: answer %+v", c, tick, qr.Answers)
+					return
+				}
+				found := false
+				for _, id := range qr.Answers[0].IDs {
+					if id == base {
+						found = true
+					}
+				}
+				if !found {
+					errCh <- fmt.Errorf("client %d tick %d: own point missing from %v", c, tick, qr.Answers[0].IDs)
+					return
+				}
+			}
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		<-done
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if st := repo.Stats(); st.IngestedPoints != clients*30*2 {
+		t.Fatalf("ingested %d points, want %d", st.IngestedPoints, clients*30*2)
+	}
+}

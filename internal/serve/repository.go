@@ -1,0 +1,735 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/par"
+	"ppqtraj/internal/traj"
+)
+
+// Options configures a Repository.
+type Options struct {
+	// Build is the quantizer configuration every sealed segment is built
+	// with (core.DefaultOptions is a good start).
+	Build core.Options
+	// Index is the TPI configuration of every segment's engine. Index.GC
+	// also fixes the repository's query grid: STRQ cells are g_c cells of
+	// a global grid anchored at the origin, so answers do not depend on
+	// how the data happens to be sharded.
+	Index index.Options
+	// Dir, when non-empty, persists sealed segments and the manifest
+	// there; Open reloads them. Empty means memory-only.
+	Dir string
+	// HotTicks is the hot-tail span (in ticks) that triggers background
+	// compaction (default 64).
+	HotTicks int
+	// KeepHotTicks is how many of the freshest ticks a regular compaction
+	// leaves hot (default HotTicks/4). Flush compacts everything.
+	KeepHotTicks int
+	// MaxSegmentTicks caps the tick span of one sealed segment (default
+	// 4 × HotTicks). A compaction draining a long backlog publishes a
+	// chain of segments of at most this span instead of one giant shard,
+	// keeping per-segment build latency and query fan-out granularity
+	// bounded.
+	MaxSegmentTicks int
+	// CompactInterval is the compactor's idle wake-up period (default 1s);
+	// ingest pressure wakes it immediately.
+	CompactInterval time.Duration
+	// Raw, when non-nil, attaches raw trajectory storage to every segment
+	// engine so exact-mode queries verify against ground truth. It must
+	// cover every ingested trajectory ID. Without it, exact queries on
+	// compacted ticks return query.ErrNoRaw (hot-tail ticks are raw by
+	// nature and always answer exactly).
+	Raw *traj.Dataset
+	// Workers bounds batch-query fan-out (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Index.GC <= 0 {
+		return o, errors.New("serve: Index.GC must be > 0")
+	}
+	if o.Index.EpsS <= 0 {
+		return o, errors.New("serve: Index.EpsS must be > 0")
+	}
+	if o.Build.UseCQC && o.Build.GS <= 0 {
+		return o, errors.New("serve: Build.UseCQC requires Build.GS > 0")
+	}
+	if o.Build.FixedWords <= 0 && o.Build.Epsilon1 <= 0 {
+		return o, errors.New("serve: Build.Epsilon1 must be > 0 in incremental mode")
+	}
+	if o.HotTicks <= 0 {
+		o.HotTicks = 64
+	}
+	if o.KeepHotTicks <= 0 {
+		o.KeepHotTicks = o.HotTicks / 4
+	}
+	if o.KeepHotTicks >= o.HotTicks {
+		o.KeepHotTicks = o.HotTicks - 1
+	}
+	if o.MaxSegmentTicks <= 0 {
+		o.MaxSegmentTicks = 4 * o.HotTicks
+	}
+	if o.CompactInterval <= 0 {
+		o.CompactInterval = time.Second
+	}
+	return o, nil
+}
+
+// manifestSegment is one sealed segment's manifest entry.
+type manifestSegment struct {
+	ID        uint64 `json:"id"`
+	File      string `json:"file"`
+	StartTick int    `json:"start_tick"`
+	EndTick   int    `json:"end_tick"`
+	Points    int    `json:"points"`
+}
+
+// manifest is the repository's crash-safe root: it is replaced atomically
+// after each compaction, so a crash between segment write and manifest
+// swap leaves at worst an orphaned segment file, never a corrupt view.
+type manifest struct {
+	Version       int               `json:"version"`
+	NextSegmentID uint64            `json:"next_segment_id"`
+	SealedThrough int               `json:"sealed_through"`
+	Segments      []manifestSegment `json:"segments"`
+}
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+)
+
+// Repository is the sharded trajectory store: sealed segments (cold,
+// quantized, indexed) plus a hot tail (fresh, raw, exact), with a
+// background compactor moving data from hot to cold. All public methods
+// are safe for concurrent use.
+type Repository struct {
+	opts Options
+
+	mu            sync.RWMutex // guards segs + sealedThrough (the routing view)
+	segs          []*Segment   // ascending, disjoint tick ranges
+	sealedThrough int          // ticks ≤ this are served by segments
+
+	hot *hotTail
+
+	compactMu sync.Mutex // serializes compactions (background loop vs Flush)
+	nextSegID uint64     // guarded by compactMu
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	ingested        atomic.Int64
+	compactions     atomic.Int64
+	compactedPoints atomic.Int64
+	queries         atomic.Int64
+	queryErrors     atomic.Int64
+	lastErr         atomic.Value // string
+}
+
+// Open creates a repository (reloading persisted segments when opts.Dir
+// holds a manifest) and starts its background compactor. Close must be
+// called to stop it.
+func Open(opts Options) (*Repository, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Repository{
+		opts:          opts,
+		hot:           newHotTail(),
+		sealedThrough: -1,
+		kick:          make(chan struct{}, 1),
+		stop:          make(chan struct{}),
+	}
+	r.lastErr.Store("")
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := r.loadManifest(); err != nil {
+			return nil, err
+		}
+	}
+	r.hot.floor = r.sealedThrough
+	r.wg.Add(1)
+	go r.compactLoop()
+	return r, nil
+}
+
+// loadManifest restores the sealed-segment view from disk.
+func (r *Repository) loadManifest() error {
+	raw, err := os.ReadFile(filepath.Join(r.opts.Dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("serve: parsing manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return fmt.Errorf("serve: unsupported manifest version %d", m.Version)
+	}
+	sort.Slice(m.Segments, func(i, j int) bool { return m.Segments[i].StartTick < m.Segments[j].StartTick })
+	for _, ms := range m.Segments {
+		seg, err := loadSegment(r.opts.Dir, ms, r.opts.Index, r.opts.Raw)
+		if err != nil {
+			return err
+		}
+		r.segs = append(r.segs, seg)
+	}
+	r.sealedThrough = m.SealedThrough
+	r.nextSegID = m.NextSegmentID
+	return nil
+}
+
+// writeManifest swaps in a fresh manifest reflecting the current sealed
+// view. Callers hold compactMu; the segment list is read under mu.
+func (r *Repository) writeManifest() error {
+	r.mu.RLock()
+	m := manifest{
+		Version:       manifestVersion,
+		NextSegmentID: r.nextSegID,
+		SealedThrough: r.sealedThrough,
+	}
+	for _, s := range r.segs {
+		m.Segments = append(m.Segments, manifestSegment{
+			ID: s.ID, File: s.File,
+			StartTick: s.StartTick, EndTick: s.EndTick, Points: s.Points,
+		})
+	}
+	r.mu.RUnlock()
+	blob, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(r.opts.Dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(r.opts.Dir, manifestName))
+}
+
+// Close stops the background compactor. It does not flush the hot tail;
+// call Flush first when the remaining hot points must be sealed.
+func (r *Repository) Close() error {
+	close(r.stop)
+	r.wg.Wait()
+	return nil
+}
+
+// Ingest adds one tick of points (parallel id/point slices). Ticks at or
+// below the sealed watermark are rejected, as are non-finite positions
+// and per-trajectory sampling gaps; a rejected batch changes nothing.
+func (r *Repository) Ingest(tick int, ids []traj.ID, pts []geo.Point) error {
+	if err := r.hot.ingest(tick, ids, pts); err != nil {
+		return err
+	}
+	r.ingested.Add(int64(len(ids)))
+	if lo, hi, ok := r.hot.tickSpan(); ok && hi-lo+1 > r.opts.HotTicks {
+		select {
+		case r.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// IngestColumn ingests a traj.Column.
+func (r *Repository) IngestColumn(col *traj.Column) error {
+	return r.Ingest(col.Tick, col.IDs, col.Points)
+}
+
+// Flush synchronously compacts the entire hot tail into sealed segments.
+func (r *Repository) Flush() error {
+	return r.compactOnce(true)
+}
+
+// compactLoop is the background compactor: it wakes on ingest pressure or
+// the idle interval and drains the hot tail's older ticks.
+func (r *Repository) compactLoop() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.opts.CompactInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.kick:
+		case <-ticker.C:
+		}
+		if err := r.compactOnce(false); err != nil {
+			r.lastErr.Store(err.Error())
+		}
+	}
+}
+
+// compactOnce drains hot ticks ≤ bound into one sealed segment. With
+// force, everything goes; otherwise the freshest KeepHotTicks stay hot
+// and the run is skipped entirely when the tail is below the HotTicks
+// threshold. The build runs without any repository lock — queries and
+// ingest proceed throughout — and the new segment is published atomically
+// before the hot tail is trimmed, so every point stays queryable at every
+// instant.
+func (r *Repository) compactOnce(force bool) error {
+	r.compactMu.Lock()
+	defer r.compactMu.Unlock()
+
+	lo, hi, ok := r.hot.tickSpan()
+	if !ok {
+		return nil
+	}
+	span := hi - lo + 1
+	if !force && span <= r.opts.HotTicks {
+		return nil
+	}
+	bound := hi
+	if !force {
+		bound = hi - r.opts.KeepHotTicks
+	}
+	if bound < lo {
+		return nil
+	}
+	// Freeze: from here on no ingest can land at tick ≤ bound, so the
+	// snapshot below is complete and stays complete.
+	r.hot.freeze(bound)
+	cols := r.hot.snapshot(bound)
+
+	// Drain in chunks of at most MaxSegmentTicks, publishing each sealed
+	// segment as soon as it is ready so readers migrate progressively.
+	for len(cols) > 0 {
+		n := 1
+		for n < len(cols) && cols[n].Tick-cols[0].Tick < r.opts.MaxSegmentTicks {
+			n++
+		}
+		chunk := cols[:n]
+		cols = cols[n:]
+		chunkEnd := chunk[n-1].Tick
+
+		id := r.nextSegID
+		seg, err := buildSegment(id, chunk, r.opts.Build, r.opts.Index, r.opts.Raw)
+		if err != nil {
+			return err
+		}
+		if r.opts.Dir != "" {
+			if err := seg.persist(r.opts.Dir); err != nil {
+				return err
+			}
+		}
+		r.nextSegID = id + 1
+
+		// Publish: segment visible and routing watermark advanced in one
+		// critical section, then the (now shadowed) hot columns dropped.
+		r.mu.Lock()
+		r.segs = append(r.segs, seg)
+		r.sealedThrough = chunkEnd
+		r.mu.Unlock()
+		r.hot.trim(chunkEnd)
+
+		r.compactions.Add(1)
+		r.compactedPoints.Add(int64(seg.Points))
+		if r.opts.Dir != "" {
+			if err := r.writeManifest(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Empty trailing ticks up to bound are sealed too (there is nothing
+	// there to serve, but the watermark must not regress on reload).
+	r.mu.Lock()
+	if bound > r.sealedThrough {
+		r.sealedThrough = bound
+	}
+	r.mu.Unlock()
+	if r.opts.Dir != "" {
+		return r.writeManifest()
+	}
+	return nil
+}
+
+// view snapshots the routing state: the published segment list and the
+// sealed watermark. Segments are immutable, so the caller can query them
+// lock-free afterwards.
+func (r *Repository) view() (segs []*Segment, sealedThrough int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.segs, r.sealedThrough
+}
+
+// findSegment returns the segment covering tick, or nil. Segments are
+// ascending and disjoint.
+func findSegment(segs []*Segment, tick int) *Segment {
+	i := sort.Search(len(segs), func(i int) bool { return segs[i].EndTick >= tick })
+	if i < len(segs) && segs[i].Covers(tick) {
+		return segs[i]
+	}
+	return nil
+}
+
+// QueryCell maps a point to its repository query cell: the g_c cell of
+// the global origin-anchored grid. Anchoring the grid at the origin —
+// rather than at each segment's region rectangles — makes the query
+// region a pure function of the point, so every shard (and a differently
+// sharded replica) answers the same question.
+func (r *Repository) QueryCell(p geo.Point) geo.Rect {
+	gc := r.opts.Index.GC
+	x := math.Floor(p.X/gc) * gc
+	y := math.Floor(p.Y/gc) * gc
+	return geo.Rect{MinX: x, MinY: y, MaxX: x + gc, MaxY: y + gc}
+}
+
+// STRQRequest is one repository range query.
+type STRQRequest struct {
+	P       geo.Point `json:"p"`
+	Tick    int       `json:"tick"`
+	Exact   bool      `json:"exact"`
+	PathLen int       `json:"path_len"` // > 0: also reconstruct each match's next positions
+}
+
+// Path is a reconstructed sub-trajectory: Points[i] is the position at
+// tick Start+i.
+type Path struct {
+	Start  int         `json:"start"`
+	Points []geo.Point `json:"points"`
+}
+
+// STRQAnswer is one repository query answer.
+type STRQAnswer struct {
+	Tick       int              `json:"tick"`
+	Cell       geo.Rect         `json:"cell"`
+	Covered    bool             `json:"covered"`
+	Source     string           `json:"source"` // "segment:<id>", "hot", or "none"
+	IDs        []traj.ID        `json:"ids"`
+	Candidates int              `json:"candidates"`
+	Visited    int              `json:"visited"`
+	Paths      map[traj.ID]Path `json:"paths,omitempty"`
+	Err        string           `json:"error,omitempty"`
+}
+
+// strqTick routes one rectangle probe to the tier owning the tick. The
+// loop closes the publish race: a tick the routing view calls hot may be
+// trimmed by a concurrent compaction before the hot probe runs, in which
+// case the watermark has necessarily advanced and the retry lands on the
+// freshly published segment.
+func (r *Repository) strqTick(cell geo.Rect, tick int, exact bool) (ans STRQAnswer, err error) {
+	ans = STRQAnswer{Tick: tick, Cell: cell, Source: "none"}
+	for {
+		segs, sealed := r.view()
+		if tick <= sealed {
+			seg := findSegment(segs, tick)
+			if seg == nil {
+				return ans, nil
+			}
+			res, err := seg.Eng.STRQRect(cell, tick, exact, nil)
+			if err != nil {
+				return ans, fmt.Errorf("serve: segment %d: %w", seg.ID, err)
+			}
+			ans.Covered = res.Covered
+			ans.IDs = res.IDs
+			ans.Candidates = res.Candidates
+			ans.Visited = res.Visited
+			ans.Source = fmt.Sprintf("segment:%d", seg.ID)
+			return ans, nil
+		}
+		ids, covered := r.hot.strqRect(cell, tick)
+		if covered {
+			ans.Covered = true
+			ans.IDs = ids
+			ans.Candidates = len(ids)
+			ans.Source = "hot"
+			return ans, nil
+		}
+		if _, sealed2 := r.view(); sealed2 == sealed {
+			return ans, nil // genuinely no data at this tick
+		}
+	}
+}
+
+// STRQ answers "who was in the query cell of p at tick". Ticks at or
+// below the sealed watermark route to the covering segment's engine
+// (approximate: recall 1 by the local-search guarantee; exact: verified
+// against raw storage); fresher ticks are answered exactly from the raw
+// hot tail.
+func (r *Repository) STRQ(req STRQRequest) (*STRQAnswer, error) {
+	r.queries.Add(1)
+	ans, err := r.strqTick(r.QueryCell(req.P), req.Tick, req.Exact)
+	if err != nil {
+		r.queryErrors.Add(1)
+		return nil, err
+	}
+	if req.PathLen > 0 && len(ans.IDs) > 0 {
+		ans.Paths = make(map[traj.ID]Path, len(ans.IDs))
+		for _, id := range ans.IDs {
+			ans.Paths[id] = r.Path(id, req.Tick, req.PathLen)
+		}
+	}
+	return &ans, nil
+}
+
+// Batch answers many queries concurrently on a bounded worker pool.
+// Per-query failures land in the answer's Err field instead of failing
+// the batch.
+func (r *Repository) Batch(reqs []STRQRequest) []STRQAnswer {
+	out := make([]STRQAnswer, len(reqs))
+	par.For(par.Workers(r.opts.Workers), len(reqs), 1, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ans, err := r.STRQ(reqs[i])
+			if err != nil {
+				out[i] = STRQAnswer{Tick: reqs[i].Tick, Cell: r.QueryCell(reqs[i].P), Err: err.Error()}
+				continue
+			}
+			out[i] = *ans
+		}
+	})
+	return out
+}
+
+// Path reconstructs trajectory id over ticks [from, from+l), stitching
+// the answer across every sealed segment it spans plus the hot tail.
+// Sealed ranges return the quantized reconstruction (deviation ≤ the
+// summary's bound); hot ranges return raw points.
+func (r *Repository) Path(id traj.ID, from, l int) Path {
+	for {
+		segs, sealed := r.view()
+		out := r.pathFrom(segs, sealed, id, from, l)
+		// A compaction that published mid-walk may have trimmed hot ticks
+		// the walk still expected; the moved watermark flags it.
+		if _, sealed2 := r.view(); sealed2 == sealed || len(out.Points) >= l {
+			return out
+		}
+	}
+}
+
+// pathFrom is one stitching pass over a fixed routing view.
+func (r *Repository) pathFrom(segs []*Segment, sealed int, id traj.ID, from, l int) Path {
+	out := Path{Start: from}
+	started := false
+	cursor := from
+	end := from + l
+	for _, s := range segs {
+		if cursor >= end {
+			break
+		}
+		if s.EndTick < cursor || s.StartTick >= end {
+			continue
+		}
+		pts, st := s.reconstructedPath(id, cursor, end-cursor)
+		if len(pts) == 0 {
+			continue
+		}
+		if !started {
+			out.Start = st
+			started = true
+		} else if st != out.Start+len(out.Points) {
+			return out // gap: trajectory ended and this is another life of the ID
+		}
+		out.Points = append(out.Points, pts...)
+		cursor = st + len(pts)
+	}
+	if cursor < end && cursor > sealed || !started {
+		hotFrom := cursor
+		if hotFrom <= sealed {
+			hotFrom = sealed + 1
+		}
+		pts, st := r.hot.path(id, hotFrom, end-hotFrom)
+		if len(pts) > 0 {
+			if !started {
+				out.Start = st
+				out.Points = pts
+			} else if st == out.Start+len(out.Points) {
+				out.Points = append(out.Points, pts...)
+			}
+		}
+	}
+	return out
+}
+
+// WindowResult is a time-window query answer: every trajectory that
+// passed through the rectangle at some tick in [From, To].
+type WindowResult struct {
+	From    int       `json:"from"`
+	To      int       `json:"to"`
+	IDs     []traj.ID `json:"ids"`
+	Ticks   int       `json:"ticks_probed"`
+	Sources int       `json:"sources"` // segments + hot tails consulted
+}
+
+// Window answers the window query by fanning out one worker per shard —
+// every sealed segment overlapping the window plus the hot tail — running
+// the per-tick probes of each shard concurrently, then merging the ID
+// sets. This is the serving layer's cross-shard scatter/gather path.
+func (r *Repository) Window(rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
+	if to < from {
+		return nil, fmt.Errorf("serve: window [%d, %d] is empty", from, to)
+	}
+	// Plan the shards against a stable routing view: if a compaction moves
+	// the watermark while we are reading the two tiers, replan (the ticks
+	// it just sealed would otherwise fall between the snapshots).
+	var (
+		segs         []*Segment
+		sealed       int
+		hotLo, hotHi int
+		hotOK        bool
+	)
+	for {
+		segs, sealed = r.view()
+		hotLo, hotHi, hotOK = r.hot.tickSpan()
+		if _, sealed2 := r.view(); sealed2 == sealed {
+			break
+		}
+	}
+	type shard struct {
+		seg    *Segment // nil = hot tail
+		lo, hi int
+	}
+	var shards []shard
+	for _, s := range segs {
+		lo, hi := max(from, s.StartTick), min(to, s.EndTick)
+		if lo <= hi {
+			shards = append(shards, shard{seg: s, lo: lo, hi: hi})
+		}
+	}
+	if to > sealed && hotOK {
+		// Clip the hot shard to ticks that can actually hold data — the
+		// caller-supplied bound may be astronomically far in the future,
+		// and probing empty ticks one by one would let a single request
+		// monopolize the server.
+		lo, hi := max(from, max(sealed+1, hotLo)), min(to, hotHi)
+		if lo <= hi {
+			shards = append(shards, shard{seg: nil, lo: lo, hi: hi})
+		}
+	}
+	// One worker per shard, on the same bounded pool Batch uses — a wide
+	// window over a long-lived repository can overlap hundreds of
+	// segments, and unbounded goroutine fan-out would let one request
+	// monopolize the server.
+	results := make([][]traj.ID, len(shards))
+	errs := make([]error, len(shards))
+	ticks := make([]int, len(shards))
+	runShard := func(i int) error {
+		sh := shards[i]
+		seen := make(map[traj.ID]struct{})
+		for t := sh.lo; t <= sh.hi; t++ {
+			var ids []traj.ID
+			if sh.seg != nil {
+				res, err := sh.seg.Eng.STRQRect(rect, t, exact, nil)
+				if err != nil {
+					return err
+				}
+				if !res.Covered {
+					continue
+				}
+				ids = res.IDs
+			} else {
+				// strqTick re-routes ticks a concurrent compaction
+				// sealed after the shard plan was made.
+				ans, err := r.strqTick(rect, t, exact)
+				if err != nil {
+					return err
+				}
+				if !ans.Covered {
+					continue
+				}
+				ids = ans.IDs
+			}
+			ticks[i]++
+			for _, id := range ids {
+				seen[id] = struct{}{}
+			}
+		}
+		out := make([]traj.ID, 0, len(seen))
+		for id := range seen {
+			out = append(out, id)
+		}
+		results[i] = out
+		return nil
+	}
+	par.For(par.Workers(r.opts.Workers), len(shards), 1, func(_, wlo, whi int) {
+		for i := wlo; i < whi; i++ {
+			errs[i] = runShard(i)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			r.queryErrors.Add(1)
+			return nil, err
+		}
+	}
+	merged := make(map[traj.ID]struct{})
+	probed := 0
+	for i := range shards {
+		probed += ticks[i]
+		for _, id := range results[i] {
+			merged[id] = struct{}{}
+		}
+	}
+	res := &WindowResult{From: from, To: to, Ticks: probed, Sources: len(shards)}
+	for id := range merged {
+		res.IDs = append(res.IDs, id)
+	}
+	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	r.queries.Add(1)
+	return res, nil
+}
+
+// Stats is a point-in-time snapshot of the repository's state and
+// counters (the /v1/stats payload).
+type Stats struct {
+	Segments        int    `json:"segments"`
+	SegmentPoints   int    `json:"segment_points"`
+	HotPoints       int    `json:"hot_points"`
+	SealedThrough   int    `json:"sealed_through"`
+	IngestedPoints  int64  `json:"ingested_points"`
+	Compactions     int64  `json:"compactions"`
+	CompactedPoints int64  `json:"compacted_points"`
+	Queries         int64  `json:"queries"`
+	QueryErrors     int64  `json:"query_errors"`
+	RawAccesses     int64  `json:"raw_accesses"`
+	DiskBytes       int64  `json:"disk_bytes"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the repository.
+func (r *Repository) Stats() Stats {
+	segs, sealed := r.view()
+	st := Stats{
+		Segments:        len(segs),
+		SealedThrough:   sealed,
+		HotPoints:       r.hot.numPoints(),
+		IngestedPoints:  r.ingested.Load(),
+		Compactions:     r.compactions.Load(),
+		CompactedPoints: r.compactedPoints.Load(),
+		Queries:         r.queries.Load(),
+		QueryErrors:     r.queryErrors.Load(),
+		LastError:       r.lastErr.Load().(string),
+	}
+	for _, s := range segs {
+		st.SegmentPoints += s.Points
+		st.RawAccesses += s.Eng.RawAccesses.Load()
+		st.DiskBytes += s.SizeBytes
+	}
+	return st
+}
+
+// Segments returns the current sealed segments (immutable; do not modify).
+func (r *Repository) Segments() []*Segment {
+	segs, _ := r.view()
+	return segs
+}

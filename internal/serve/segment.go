@@ -1,0 +1,159 @@
+// Package serve is the repository serving layer on top of the paper's
+// machinery: it shards a live trajectory stream into time-bounded sealed
+// segments — each one a quantized core.Summary plus its TPI engine — with
+// a raw in-memory hot tail for the freshest ticks. A background compactor
+// drains the hot tail through the parallel core.Builder into new sealed
+// segments (persisted with core's summary serialization and a manifest
+// for crash-safe reload), while STRQ/TPQ traffic fans out across segments
+// and the hot tail concurrently and merges the answers.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/query"
+	"ppqtraj/internal/traj"
+)
+
+// Segment is one sealed, immutable shard of the repository: the quantized
+// summary of a contiguous tick range plus the query engine over it. After
+// seal it is only ever read, so segment queries need no locking (the
+// engine's access counter is atomic).
+type Segment struct {
+	ID        uint64
+	StartTick int // first tick covered (inclusive)
+	EndTick   int // last tick covered (inclusive)
+	Points    int
+	Sum       *core.Summary
+	Eng       *query.Engine
+	File      string // manifest-relative file name; "" when memory-only
+	SizeBytes int64  // serialized size on disk (0 when memory-only)
+	Quantized bool   // false would mean a raw segment; always true today
+}
+
+// buildSegment drains one batch of columns (ascending ticks) through a
+// fresh builder and seals the result into a queryable segment. raw, when
+// non-nil, enables exact-mode verification on the segment's engine.
+func buildSegment(id uint64, cols []*traj.Column, bopts core.Options, iopts index.Options, raw *traj.Dataset) (*Segment, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("serve: empty segment build")
+	}
+	b := core.NewBuilder(bopts)
+	for _, col := range cols {
+		b.Append(col)
+	}
+	sum := b.Summary()
+	eng, err := query.BuildEngine(sum, iopts, raw)
+	if err != nil {
+		return nil, fmt.Errorf("serve: building segment %d engine: %w", id, err)
+	}
+	return &Segment{
+		ID:        id,
+		StartTick: cols[0].Tick,
+		EndTick:   cols[len(cols)-1].Tick,
+		Points:    sum.NumPoints,
+		Sum:       sum,
+		Eng:       eng,
+		Quantized: true,
+	}, nil
+}
+
+// Covers reports whether the segment's tick range contains tick.
+func (s *Segment) Covers(tick int) bool {
+	return tick >= s.StartTick && tick <= s.EndTick
+}
+
+// segmentFileName is the canonical on-disk name of a segment.
+func segmentFileName(id uint64) string { return fmt.Sprintf("seg-%06d.ppqs", id) }
+
+// persist writes the segment's summary blob to dir under its canonical
+// name, atomically (temp file + rename), and records File/SizeBytes.
+func (s *Segment) persist(dir string) error {
+	name := segmentFileName(s.ID)
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return err
+	}
+	n, err := s.Sum.WriteTo(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: persisting segment %d: %w", s.ID, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	s.File = name
+	s.SizeBytes = n
+	return nil
+}
+
+// loadSegment reloads a persisted segment: the summary blob is decoded
+// (which replays the decoder and verifies self-containment) and the TPI
+// engine is rebuilt from the reconstructions — reconstruction is
+// deterministic, so a reloaded segment answers queries identically to the
+// one that was persisted.
+func loadSegment(dir string, m manifestSegment, iopts index.Options, raw *traj.Dataset) (*Segment, error) {
+	path := filepath.Join(dir, m.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sum, err := core.ReadSummary(f)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading %s: %w", path, err)
+	}
+	eng, err := query.BuildEngine(sum, iopts, raw)
+	if err != nil {
+		return nil, fmt.Errorf("serve: rebuilding engine for %s: %w", path, err)
+	}
+	sz, _ := f.Seek(0, io.SeekEnd)
+	return &Segment{
+		ID:        m.ID,
+		StartTick: m.StartTick,
+		EndTick:   m.EndTick,
+		Points:    sum.NumPoints,
+		Sum:       sum,
+		Eng:       eng,
+		File:      m.File,
+		SizeBytes: sz,
+		Quantized: true,
+	}, nil
+}
+
+// reconstructedPath returns the segment's reconstruction of id over
+// [from, from+l), clipped to the segment's coverage, with the tick of the
+// first returned point.
+func (s *Segment) reconstructedPath(id traj.ID, from, l int) (pts []geo.Point, start int) {
+	lo, hi := from, from+l
+	if lo < s.StartTick {
+		lo = s.StartTick
+	}
+	if hi > s.EndTick+1 {
+		hi = s.EndTick + 1
+	}
+	if lo >= hi {
+		return nil, from
+	}
+	tr, ok := s.Sum.Trajs[id]
+	if !ok {
+		return nil, from
+	}
+	if lo < tr.Start {
+		lo = tr.Start
+	}
+	return s.Sum.ReconstructPath(id, lo, hi-lo), lo
+}

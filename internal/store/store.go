@@ -8,7 +8,10 @@
 // and response-time comparisons need.
 package store
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // DefaultPageSize is 1 MB, the page size used by the paper's disk
 // experiments (§6.5).
@@ -22,12 +25,15 @@ type PageRange struct {
 // Pages returns the number of pages in the range.
 func (r PageRange) Pages() int { return r.Last - r.First + 1 }
 
-// PageStore is an append-only page allocator with I/O accounting.
+// PageStore is an append-only page allocator with I/O accounting. The
+// read/write counters are atomic, so concurrent queries (each with its own
+// ReadTracker) can charge I/Os without a data race; allocation itself
+// (Alloc/AlignToPage) remains single-writer, matching the build phase.
 type PageStore struct {
 	pageSize int
 	offset   int // next free byte (global address space)
-	reads    int
-	writes   int
+	reads    atomic.Int64
+	writes   atomic.Int64
 }
 
 // New creates a store with the given page size (DefaultPageSize if ≤ 0).
@@ -55,7 +61,7 @@ func (s *PageStore) Alloc(size int) PageRange {
 		last = (end - 1) / s.pageSize
 	}
 	s.offset = end
-	s.writes += last - first + 1
+	s.writes.Add(int64(last - first + 1))
 	return PageRange{First: first, Last: last}
 }
 
@@ -93,7 +99,7 @@ func (t *ReadTracker) Read(r PageRange) {
 	for p := r.First; p <= r.Last; p++ {
 		if !t.seen[p] {
 			t.seen[p] = true
-			t.store.reads++
+			t.store.reads.Add(1)
 		}
 	}
 }
@@ -102,11 +108,11 @@ func (t *ReadTracker) Read(r PageRange) {
 func (t *ReadTracker) PagesTouched() int { return len(t.seen) }
 
 // Reads returns the cumulative page reads.
-func (s *PageStore) Reads() int { return s.reads }
+func (s *PageStore) Reads() int { return int(s.reads.Load()) }
 
 // Writes returns the cumulative page writes.
-func (s *PageStore) Writes() int { return s.writes }
+func (s *PageStore) Writes() int { return int(s.writes.Load()) }
 
 // ResetCounters zeroes the I/O counters (allocation state is kept), so a
 // benchmark can measure the query phase separately from the build phase.
-func (s *PageStore) ResetCounters() { s.reads, s.writes = 0, 0 }
+func (s *PageStore) ResetCounters() { s.reads.Store(0); s.writes.Store(0) }

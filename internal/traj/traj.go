@@ -101,6 +101,15 @@ func (d *Dataset) Len() int { return len(d.trajs) }
 // MaxTick returns the first tick with no data (the stream length).
 func (d *Dataset) MaxTick() int { return d.maxEnd }
 
+// Lookup returns the trajectory with the given ID; ok is false when the
+// dataset holds no such trajectory (Get panics instead).
+func (d *Dataset) Lookup(id ID) (*Trajectory, bool) {
+	if int(id) >= len(d.trajs) {
+		return nil, false
+	}
+	return d.trajs[int(id)], true
+}
+
 // Get returns the trajectory with the given ID.
 func (d *Dataset) Get(id ID) *Trajectory {
 	if int(id) >= len(d.trajs) {

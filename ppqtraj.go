@@ -308,16 +308,20 @@ type RangeResult struct {
 // grid cell of p at the given tick. Recall is 1 (the local-search
 // guarantee); precision can be < 1.
 func (e *Engine) RangeQuery(p Point, tick int) *RangeResult {
-	r := e.e.STRQ(p, tick, false, nil)
+	r, _ := e.e.STRQ(p, tick, false, nil) // approximate mode never errors
 	return &RangeResult{IDs: r.IDs, Cell: r.Cell, Covered: r.Covered}
 }
 
 // ExactRangeQuery answers STRQ exactly (precision and recall 1) by
 // verifying candidates against the raw dataset; Visited reports the
-// verification accesses.
-func (e *Engine) ExactRangeQuery(p Point, tick int) *RangeResult {
-	r := e.e.STRQ(p, tick, true, nil)
-	return &RangeResult{IDs: r.IDs, Cell: r.Cell, Covered: r.Covered, Visited: r.Visited}
+// verification accesses. It errors when the engine was built without raw
+// dataset access.
+func (e *Engine) ExactRangeQuery(p Point, tick int) (*RangeResult, error) {
+	r, err := e.e.STRQ(p, tick, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &RangeResult{IDs: r.IDs, Cell: r.Cell, Covered: r.Covered, Visited: r.Visited}, nil
 }
 
 // PathResult is a trajectory path query answer: the next-l reconstructions
@@ -330,7 +334,7 @@ type PathResult struct {
 // PathQuery answers TPQ: run RangeQuery at (p, tick) and reproduce each
 // match's positions over [tick, tick+l) from the summary.
 func (e *Engine) PathQuery(p Point, tick, l int) *PathResult {
-	r := e.e.TPQ(p, tick, l, false, nil)
+	r, _ := e.e.TPQ(p, tick, l, false, nil) // approximate mode never errors
 	return &PathResult{
 		Range: &RangeResult{IDs: r.STRQ.IDs, Cell: r.STRQ.Cell, Covered: r.STRQ.Covered},
 		Paths: r.Paths,

@@ -35,7 +35,10 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	if !found {
 		t.Fatal("recall-1 guarantee: the querying trajectory itself must match")
 	}
-	exact := eng.ExactRangeQuery(qp, tr.Start+3)
+	exact, err := eng.ExactRangeQuery(qp, tr.Start+3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if exact.Visited == 0 {
 		t.Fatal("exact query should visit candidates")
 	}

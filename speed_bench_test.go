@@ -146,6 +146,6 @@ func BenchmarkSTRQ(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j := i % len(pts)
-		eng.STRQ(pts[j], ticks[j], false, nil)
+		eng.STRQ(pts[j], ticks[j], false, nil) //nolint:errcheck // approximate mode never errors
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -71,7 +72,7 @@ func main() {
 		d.Len(), d.NumPoints(), float64(sum.SizeBytes())/1e3, sum.MAEMeters())
 
 	p := geo.Pt(*x, *y)
-	res, err := eng.STRQ(p, *t, *exact, nil)
+	res, err := eng.STRQ(context.Background(), p, *t, *exact, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

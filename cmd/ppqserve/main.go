@@ -13,11 +13,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ppqtraj/internal/core"
@@ -40,8 +43,17 @@ func main() {
 	epsP := flag.Float64("epsp", 0.1, "partition radius ε_p")
 	preload := flag.Int("preload", 0, "ingest this many synthetic Porto trajectories at startup")
 	seed := flag.Int64("seed", 42, "synthetic preload seed")
+	cacheMB := flag.Int64("cache-mb", 64, "decoded-cell cache budget in MiB (0 disables)")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second,
+		"default per-request query deadline (0 = none; clients override with ?timeout=)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"graceful-shutdown drain window for in-flight requests")
 	flag.Parse()
 
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // Options.CacheBytes: negative disables, 0 means default
+	}
 	bopts := core.DefaultOptions(partition.Spatial, *epsP)
 	bopts.Epsilon1 = *eps1
 	bopts.Seed = *seed
@@ -54,10 +66,12 @@ func main() {
 			EpsD: 0.5,
 			Seed: *seed,
 		},
-		Dir:             *dir,
-		HotTicks:        *hotTicks,
-		KeepHotTicks:    *keepHot,
-		CompactInterval: *interval,
+		Dir:                 *dir,
+		HotTicks:            *hotTicks,
+		KeepHotTicks:        *keepHot,
+		CompactInterval:     *interval,
+		CacheBytes:          cacheBytes,
+		DefaultQueryTimeout: *queryTimeout,
 	}
 
 	repo, err := serve.Open(opts)
@@ -65,7 +79,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer repo.Close()
 
 	if *preload > 0 {
 		d := gen.Porto(gen.Config{NumTrajectories: *preload, MinLen: 30, MaxLen: 200, Seed: *seed})
@@ -90,8 +103,29 @@ func main() {
 		Handler:           repo.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("ppqserve listening on %s (dir=%q hot=%d)", *addr, *dir, *hotTicks)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatal(err)
+	log.Printf("ppqserve listening on %s (dir=%q hot=%d cache=%dMiB timeout=%v)",
+		*addr, *dir, *hotTicks, *cacheMB, *queryTimeout)
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests, flush the
+	// hot tail (the final compact + manifest swap), and close. A bare kill
+	// used to skip all of that: the deferred Close never ran, losing
+	// whatever the compactor had not yet sealed to disk.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			repo.Close()
+			log.Fatal(err)
+		}
+	case sig := <-sigCh:
+		log.Printf("received %v: draining (up to %v), then flushing", sig, *drainTimeout)
+		signal.Stop(sigCh) // a second signal kills immediately, the default disposition
+		if err := serve.DrainAndClose(srv, repo, *drainTimeout); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Printf("shutdown complete")
 	}
 }

@@ -2,6 +2,7 @@ package ppqtraj
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -81,7 +82,7 @@ func TestRecallOracleAcrossModes(t *testing.T) {
 			tr := d.Get(traj.ID(rng.Intn(d.Len())))
 			tick := tr.Start + rng.Intn(tr.Len())
 			qp, _ := tr.At(tick)
-			res, _ := eng.STRQ(qp, tick, false, nil)
+			res, _ := eng.STRQ(context.Background(), qp, tick, false, nil)
 			if !res.Covered {
 				continue
 			}

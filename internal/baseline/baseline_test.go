@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"ppqtraj/internal/gen"
@@ -109,7 +110,7 @@ func TestFlatSummaryIsQuerySource(t *testing.T) {
 	}
 	tr := d.Get(0)
 	qp, _ := tr.At(tr.Start + 5)
-	res, _ := eng.STRQ(qp, tr.Start+5, false, nil)
+	res, _ := eng.STRQ(context.Background(), qp, tr.Start+5, false, nil)
 	_ = res // shape only: coverage depends on reconstruction drift
 }
 

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+)
+
+// CacheRun is one cached-vs-cold measurement of the repository's
+// decoded-cell cache: the same skewed repeated-STRQ workload is replayed
+// against freshly sealed segments, so the first pass decodes every probed
+// posting (cold, cache filling) and later passes ride the cache (warm).
+// The speedup is the hit-path win a skewed production workload sees after
+// warm-up.
+type CacheRun struct {
+	Label          string  `json:"label"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	Points         int     `json:"points"`
+	DistinctProbes int     `json:"distinct_probes"`
+	WarmPasses     int     `json:"warm_passes"`
+	ColdMicros     float64 `json:"cold_us_per_query"`
+	WarmMicros     float64 `json:"warm_us_per_query"`
+	Speedup        float64 `json:"speedup_cold_over_warm"`
+	HitRate        float64 `json:"hit_rate"`
+	CacheEntries   int64   `json:"cache_entries"`
+	CacheBytes     int64   `json:"cache_bytes"`
+}
+
+// cacheWarmPasses is how many warm replays are taken; the recorded warm
+// number is their median, so one GC pause or scheduler hiccup in a
+// millisecond-scale pass cannot poison the run (the cold pass is
+// measured once, by definition).
+const cacheWarmPasses = 5
+
+// CacheBench seals the standard SyntheticPorto(2000, 42) stream into
+// repository segments, then replays a fixed set of distinct STRQ probes
+// (real dataset positions, so every probe decodes populated cells)
+// 1 + cacheWarmPasses times. probes ≤ 0 selects the 512-probe default.
+// Human-readable lines go to w (nil for silent).
+func CacheBench(label string, probes int, w io.Writer) CacheRun {
+	d, cols := perfData()
+	if probes <= 0 {
+		probes = 512
+	}
+	run := CacheRun{
+		Label:          label,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Points:         d.NumPoints(),
+		DistinctProbes: probes,
+		WarmPasses:     cacheWarmPasses,
+	}
+
+	repo, err := serve.Open(serve.Options{
+		Build:           perfOpts(partition.Spatial),
+		Index:           indexOptions(Porto),
+		HotTicks:        48,
+		CompactInterval: time.Hour, // compaction driven by the final Flush only
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer repo.Close()
+	for _, col := range cols {
+		if err := repo.IngestColumn(col); err != nil {
+			panic(err)
+		}
+	}
+	if err := repo.Flush(); err != nil {
+		panic(err)
+	}
+
+	// The probe set models a skewed workload's hot set: distinct (point,
+	// tick) pairs drawn from the data, replayed verbatim every pass.
+	rng := rand.New(rand.NewSource(777))
+	reqs := make([]serve.STRQRequest, probes)
+	for i := range reqs {
+		col := cols[rng.Intn(len(cols))]
+		reqs[i] = serve.STRQRequest{P: col.Points[rng.Intn(col.Len())], Tick: col.Tick}
+	}
+	ctx := context.Background()
+	pass := func() float64 {
+		start := time.Now()
+		for i := range reqs {
+			if _, err := repo.STRQ(ctx, reqs[i]); err != nil {
+				panic(err)
+			}
+		}
+		return time.Since(start).Seconds() * 1e6 / float64(len(reqs))
+	}
+
+	run.ColdMicros = pass()
+	warm := make([]float64, cacheWarmPasses)
+	for p := range warm {
+		warm[p] = pass()
+	}
+	sort.Float64s(warm)
+	run.WarmMicros = warm[len(warm)/2]
+	if run.WarmMicros > 0 {
+		run.Speedup = run.ColdMicros / run.WarmMicros
+	}
+	st := repo.Stats()
+	if total := st.Cache.Hits + st.Cache.Misses; total > 0 {
+		run.HitRate = float64(st.Cache.Hits) / float64(total)
+	}
+	run.CacheEntries = st.Cache.Entries
+	run.CacheBytes = st.Cache.Bytes
+
+	fprintf(w, "== cache: %s (GOMAXPROCS=%d, %d points, %d distinct probes) ==\n",
+		label, run.GoMaxProcs, run.Points, run.DistinctProbes)
+	fprintf(w, "  cold STRQ        %12.2f µs/query (decode + cache fill)\n", run.ColdMicros)
+	fprintf(w, "  warm STRQ        %12.2f µs/query (median of %d passes)\n", run.WarmMicros, run.WarmPasses)
+	fprintf(w, "  speedup          %12.2fx cold/warm\n", run.Speedup)
+	fprintf(w, "  hit rate         %12.1f%%  (%d entries, %.1f KB)\n",
+		100*run.HitRate, run.CacheEntries, float64(run.CacheBytes)/1e3)
+	return run
+}
+
+// AppendCache runs CacheBench and appends the result to the JSON history
+// at path (sharing the file with the perf and serve runs).
+func AppendCache(path, label string, probes int, w io.Writer) error {
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.CacheRuns = append(pf.CacheRuns, CacheBench(label, probes, w))
+	return writePerfFile(path, &pf)
+}

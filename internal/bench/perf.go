@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -34,12 +35,15 @@ type PerfRun struct {
 
 // PerfFile is the on-disk shape of BENCH_PPQ.json: one run per recorded
 // state of the code, oldest first. ServeRuns tracks the repository
-// serving layer's mixed-workload numbers (ppqbench -experiment serve).
+// serving layer's mixed-workload numbers (ppqbench -experiment serve);
+// CacheRuns the decoded-cell cache's cached-vs-cold replay numbers
+// (ppqbench -experiment cache).
 type PerfFile struct {
 	Dataset   string     `json:"dataset"`
 	Note      string     `json:"note,omitempty"`
 	Runs      []PerfRun  `json:"runs"`
 	ServeRuns []ServeRun `json:"serve_runs,omitempty"`
+	CacheRuns []CacheRun `json:"cache_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.
@@ -104,7 +108,7 @@ func Perf(label string, w io.Writer) PerfRun {
 	start = time.Now()
 	n := 0
 	for _, col := range cols {
-		eng.STRQ(col.Points[len(col.Points)/2], col.Tick, false, nil) //nolint:errcheck // approximate mode never errors
+		eng.STRQ(context.Background(), col.Points[len(col.Points)/2], col.Tick, false, nil) //nolint:errcheck // approximate mode never errors
 		n++
 	}
 	run.STRQApproxMicros = time.Since(start).Seconds() * 1e6 / float64(n)

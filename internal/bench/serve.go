@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -92,7 +93,7 @@ func ServeBench(label string, w io.Writer) ServeRun {
 				col := cols[ci]
 				p := col.Points[rng.Intn(col.Len())]
 				start := time.Now()
-				if _, err := repo.STRQ(serve.STRQRequest{P: p, Tick: col.Tick, PathLen: 4}); err != nil {
+				if _, err := repo.STRQ(context.Background(), serve.STRQRequest{P: p, Tick: col.Tick, PathLen: 4}); err != nil {
 					panic(err)
 				}
 				lats[wk] = append(lats[wk], time.Since(start).Seconds()*1e6)

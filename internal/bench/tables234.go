@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"io"
 
 	"ppqtraj/internal/query"
@@ -50,7 +51,7 @@ func Table2(s Scale, w io.Writer) []Table2Row {
 			var psum, rsum float64
 			n := 0
 			for i := range qp {
-				res, _ := eng.STRQ(qp[i], qt[i], false, nil)
+				res, _ := eng.STRQ(context.Background(), qp[i], qt[i], false, nil)
 				if !res.Covered {
 					continue
 				}
@@ -192,7 +193,7 @@ func Table4(s Scale, w io.Writer) []Table4Row {
 				var ratioSum float64
 				n := 0
 				for i := range qp {
-					res, err := eng.STRQ(qp[i], qt[i], true, nil)
+					res, err := eng.STRQ(context.Background(), qp[i], qt[i], true, nil)
 					if err != nil {
 						panic(err)
 					}

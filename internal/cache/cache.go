@@ -1,0 +1,268 @@
+// Package cache provides the repository's shared decoded-cell cache: a
+// sharded, size-bounded LRU sitting in front of the sealed segments'
+// compressed posting lists. Sealed postings are delta+Huffman coded, so
+// every STRQ/window probe of a cell pays a decode; under skewed traffic
+// (the FASTER/F2 observation) the same hot cells are probed over and
+// over, and a small cache of decoded ID lists makes repeated-workload
+// throughput scale with skew instead of with decode cost.
+//
+// Entries are keyed by (owner, PI, region, cell, tick-chunk): owner is a
+// cache-issued token naming one immutable sealed index (a repository
+// segment), and a tick chunk covers ChunkTicks consecutive ticks of one
+// cell, so window scans probing adjacent ticks amortize one decode.
+// Owners are invalidated wholesale when their segment leaves the serving
+// view.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkTicks is the tick span of one cached entry: a miss decodes every
+// posting of the cell inside the chunk, so consecutive-tick probes (the
+// window-query access pattern) hit on all but the first.
+const ChunkTicks = 8
+
+// Chunk maps a tick to its cache chunk index.
+func Chunk(tick int) int32 {
+	if tick < 0 {
+		// Floor division: ticks are non-negative in practice, but a key
+		// must never collide across the zero boundary.
+		return int32((tick - (ChunkTicks - 1)) / ChunkTicks)
+	}
+	return int32(tick / ChunkTicks)
+}
+
+// Key addresses one cached decode: a tick chunk of one cell of one region
+// of one PI of one owner (sealed segment).
+type Key struct {
+	Owner uint64
+	PI    uint32
+	Reg   uint32
+	Cell  int32
+	Chunk int32
+}
+
+// hash mixes the key into a shard index (fibonacci hashing over the
+// fields; shard counts are powers of two).
+func (k Key) hash() uint64 {
+	h := k.Owner
+	h = h*0x9e3779b97f4a7c15 + uint64(k.PI)
+	h = h*0x9e3779b97f4a7c15 + uint64(k.Reg)
+	h = h*0x9e3779b97f4a7c15 + uint64(uint32(k.Cell))
+	h = h*0x9e3779b97f4a7c15 + uint64(uint32(k.Chunk))
+	h ^= h >> 29
+	return h * 0x9e3779b97f4a7c15
+}
+
+// entry is one resident value with its intrusive LRU links.
+type entry struct {
+	key        Key
+	val        any
+	cost       int64
+	prev, next *entry // LRU list; next = more recent
+}
+
+// shard is one independently locked slice of the cache.
+type shard struct {
+	mu      sync.Mutex
+	items   map[Key]*entry
+	head    *entry // least recently used
+	tail    *entry // most recently used
+	bytes   int64
+	maxCost int64
+}
+
+const numShards = 16
+
+// Cache is the sharded LRU. The zero value is not usable; call New. A nil
+// *Cache is a valid no-op cache: Get always misses and Put discards, so
+// callers need no nil checks at the probe sites.
+type Cache struct {
+	shards [numShards]shard
+
+	owners    atomic.Uint64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+}
+
+// New creates a cache bounded to roughly maxBytes of cached value cost
+// (as reported by callers on Put). maxBytes below the shard count is
+// clamped so every shard can hold at least something.
+func New(maxBytes int64) *Cache {
+	if maxBytes < numShards {
+		maxBytes = numShards
+	}
+	c := &Cache{}
+	per := maxBytes / numShards
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*entry)
+		c.shards[i].maxCost = per
+	}
+	return c
+}
+
+// NewOwner issues a fresh owner token. Tokens are never reused, so a
+// future owner can never observe a stale entry left by a past one.
+func (c *Cache) NewOwner() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.owners.Add(1)
+}
+
+// Get returns the cached value for key, promoting it to most recent.
+func (c *Cache) Get(key Key) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := &c.shards[key.hash()%numShards]
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.moveToTail(e)
+	v := e.val
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put inserts (or replaces) the value for key with the given cost in
+// bytes, evicting least-recently-used entries of the shard until the
+// shard is back under budget. Values must be treated as immutable by all
+// readers once cached.
+func (c *Cache) Put(key Key, val any, cost int64) {
+	if c == nil {
+		return
+	}
+	if cost <= 0 {
+		cost = 1
+	}
+	s := &c.shards[key.hash()%numShards]
+	if cost > s.maxCost {
+		// Larger than the whole shard budget: caching it would just evict
+		// everything else and then itself on the next oversized Put.
+		return
+	}
+	s.mu.Lock()
+	if e, ok := s.items[key]; ok {
+		s.bytes += cost - e.cost
+		c.bytes.Add(cost - e.cost)
+		e.val, e.cost = val, cost
+		s.moveToTail(e)
+	} else {
+		e := &entry{key: key, val: val, cost: cost}
+		s.items[key] = e
+		s.pushTail(e)
+		s.bytes += cost
+		c.bytes.Add(cost)
+		c.entries.Add(1)
+	}
+	evicted := 0
+	for s.bytes > s.maxCost && s.head != nil {
+		old := s.head
+		s.unlink(old)
+		delete(s.items, old.key)
+		s.bytes -= old.cost
+		c.bytes.Add(-old.cost)
+		c.entries.Add(-1)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// InvalidateOwner drops every entry belonging to owner — called when a
+// sealed segment leaves the serving view (trim, close, or replacement),
+// so its decoded cells stop occupying budget the moment they can no
+// longer be probed.
+func (c *Cache) InvalidateOwner(owner uint64) {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for k, e := range s.items {
+			if k.Owner != owner {
+				continue
+			}
+			s.unlink(e)
+			delete(s.items, k)
+			s.bytes -= e.cost
+			c.bytes.Add(-e.cost)
+			c.entries.Add(-1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// Snapshot returns the current counters (zero-valued for a nil cache).
+func (c *Cache) Snapshot() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+	}
+}
+
+// moveToTail promotes e to most recently used.
+func (s *shard) moveToTail(e *entry) {
+	if s.tail == e {
+		return
+	}
+	s.unlink(e)
+	s.pushTail(e)
+}
+
+// unlink removes e from the LRU list.
+func (s *shard) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushTail appends e as most recently used.
+func (s *shard) pushTail(e *entry) {
+	e.prev = s.tail
+	e.next = nil
+	if s.tail != nil {
+		s.tail.next = e
+	}
+	s.tail = e
+	if s.head == nil {
+		s.head = e
+	}
+}

@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New(1 << 20)
+	k := Key{Owner: 1, Cell: 3, Chunk: 2}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache should miss")
+	}
+	c.Put(k, "v", 10)
+	v, ok := c.Get(k)
+	if !ok || v.(string) != "v" {
+		t.Fatalf("get = %v, %v", v, ok)
+	}
+	st := c.Snapshot()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Replacement updates cost, not entry count.
+	c.Put(k, "w", 25)
+	if st := c.Snapshot(); st.Entries != 1 || st.Bytes != 25 {
+		t.Fatalf("after replace: %+v", st)
+	}
+}
+
+func TestEvictionKeepsShardUnderBudget(t *testing.T) {
+	// numShards × 64 bytes per shard; same-shard keys by fixing everything
+	// except Chunk is not shard-stable, so count globally instead.
+	c := New(numShards * 64)
+	for i := 0; i < 10_000; i++ {
+		c.Put(Key{Owner: 7, Cell: int32(i)}, i, 16)
+	}
+	st := c.Snapshot()
+	if st.Evictions == 0 {
+		t.Fatal("flooding a tiny cache must evict")
+	}
+	if st.Bytes > numShards*64 {
+		t.Fatalf("resident bytes %d exceed budget", st.Bytes)
+	}
+	if st.Entries <= 0 {
+		t.Fatalf("entries = %d", st.Entries)
+	}
+	// LRU order: re-touch one key, flood its shard, expect the untouched
+	// ones to leave first. (Coarse check: the cache keeps working.)
+	if _, ok := c.Get(Key{Owner: 7, Cell: 9_999}); !ok {
+		t.Fatal("most recent insert should be resident")
+	}
+}
+
+func TestOversizedValueIsNotCached(t *testing.T) {
+	c := New(numShards * 32)
+	c.Put(Key{Owner: 1}, "huge", 1<<20)
+	if st := c.Snapshot(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized value was cached: %+v", st)
+	}
+}
+
+func TestInvalidateOwner(t *testing.T) {
+	c := New(1 << 20)
+	for i := 0; i < 100; i++ {
+		c.Put(Key{Owner: 1, Cell: int32(i)}, i, 8)
+		c.Put(Key{Owner: 2, Cell: int32(i)}, i, 8)
+	}
+	c.InvalidateOwner(1)
+	st := c.Snapshot()
+	if st.Entries != 100 || st.Bytes != 800 {
+		t.Fatalf("after invalidate: %+v", st)
+	}
+	if _, ok := c.Get(Key{Owner: 1, Cell: 5}); ok {
+		t.Fatal("invalidated owner still resident")
+	}
+	if _, ok := c.Get(Key{Owner: 2, Cell: 5}); !ok {
+		t.Fatal("surviving owner was dropped")
+	}
+}
+
+func TestNilCacheIsNoop(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(Key{}); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(Key{}, 1, 1) // must not panic
+	c.InvalidateOwner(0)
+	if st := c.Snapshot(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	if c.NewOwner() != 0 {
+		t.Fatal("nil owner token")
+	}
+}
+
+func TestOwnersAreUnique(t *testing.T) {
+	c := New(1 << 10)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		o := c.NewOwner()
+		if seen[o] {
+			t.Fatalf("owner %d reissued", o)
+		}
+		seen[o] = true
+	}
+}
+
+func TestChunkFloors(t *testing.T) {
+	for _, tc := range []struct {
+		tick  int
+		chunk int32
+	}{
+		{0, 0}, {ChunkTicks - 1, 0}, {ChunkTicks, 1},
+		{-1, -1}, {-ChunkTicks, -1}, {-ChunkTicks - 1, -2},
+	} {
+		if got := Chunk(tc.tick); got != tc.chunk {
+			t.Fatalf("Chunk(%d) = %d, want %d", tc.tick, got, tc.chunk)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines; run with
+// -race.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1 << 14)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{Owner: uint64(g % 3), Cell: int32(i % 97), Chunk: int32(i % 11)}
+				if v, ok := c.Get(k); ok {
+					if _, isStr := v.(string); !isStr {
+						panic(fmt.Sprintf("foreign value %v", v))
+					}
+				} else {
+					c.Put(k, "x", 32)
+				}
+				if i%500 == 0 {
+					c.InvalidateOwner(uint64(g % 3))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

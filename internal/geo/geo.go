@@ -123,6 +123,11 @@ func NewRect(x0, y0, x1, y1 float64) Rect {
 // Empty reports whether r has zero (or negative) area.
 func (r Rect) Empty() bool { return r.MaxX <= r.MinX || r.MaxY <= r.MinY }
 
+// IsFinite reports whether all four bounds are finite numbers.
+func (r Rect) IsFinite() bool {
+	return (Point{X: r.MinX, Y: r.MinY}).IsFinite() && (Point{X: r.MaxX, Y: r.MaxY}).IsFinite()
+}
+
 // Width returns the horizontal extent of r.
 func (r Rect) Width() float64 { return r.MaxX - r.MinX }
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ppqtraj/internal/cache"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/store"
 	"ppqtraj/internal/traj"
@@ -340,5 +341,79 @@ func TestLookupOracle(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestCachedLookupsMatchCold builds a sealed TPI, attaches a decoded-cell
+// cache, and checks every LookupArea/Lookup answer is identical to the
+// cold decode — and that repeated probes actually hit.
+func TestCachedLookupsMatchCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	tpi := NewTPI(Options{EpsS: 3, GC: 0.25, EpsC: 0.5, EpsD: 0.5, Seed: 21})
+	n := 60
+	pts := clusterPoints(rng, []geo.Point{geo.Pt(0, 0), geo.Pt(8, 8)}, n/2, 0.5)
+	for tick := 0; tick < 25; tick++ {
+		for i := range pts {
+			pts[i] = geo.Pt(pts[i].X+rng.NormFloat64()*0.05, pts[i].Y+rng.NormFloat64()*0.05)
+		}
+		tpi.Append(idsSeq(n), pts, tick)
+	}
+	if err := tpi.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	type probe struct {
+		area geo.Rect
+		tick int
+	}
+	var probes []probe
+	for q := 0; q < 120; q++ {
+		c := pts[rng.Intn(len(pts))]
+		probes = append(probes, probe{
+			area: geo.NewRect(c.X-0.4, c.Y-0.4, c.X+0.4, c.Y+0.4),
+			tick: rng.Intn(25),
+		})
+	}
+	cold := make([][]traj.ID, len(probes))
+	for i, p := range probes {
+		cold[i] = append([]traj.ID(nil), tpi.LookupArea(p.area, p.tick, nil)...)
+	}
+
+	cc := cache.New(1 << 22)
+	tpi.SetCache(cc, cc.NewOwner())
+	for pass := 0; pass < 2; pass++ {
+		for i, p := range probes {
+			got := tpi.LookupArea(p.area, p.tick, nil)
+			if len(got) != len(cold[i]) {
+				t.Fatalf("pass %d probe %d: %d ids vs cold %d", pass, i, len(got), len(cold[i]))
+			}
+			for j := range got {
+				if got[j] != cold[i][j] {
+					t.Fatalf("pass %d probe %d: ids diverge at %d: %v vs %v", pass, i, j, got, cold[i])
+				}
+			}
+		}
+	}
+	st := cc.Snapshot()
+	if st.Hits == 0 {
+		t.Fatalf("repeated probes should hit the cache: %+v", st)
+	}
+	if st.Misses == 0 || st.Entries == 0 {
+		t.Fatalf("cache never filled: %+v", st)
+	}
+
+	// Point lookups agree too, and chunk-level caching means a probe at an
+	// adjacent tick of an already-decoded chunk is a hit.
+	ids1, cell, ok := tpi.Lookup(pts[0], 24)
+	if !ok {
+		t.Fatal("point should be covered")
+	}
+	if !cell.Contains(pts[0]) {
+		t.Fatal("cell does not contain the point")
+	}
+	tpi.SetCache(nil, 0)
+	ids2, _, _ := tpi.Lookup(pts[0], 24)
+	if len(ids1) != len(ids2) {
+		t.Fatalf("cached point lookup %v vs cold %v", ids1, ids2)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"slices"
 	"sort"
 
+	"ppqtraj/internal/cache"
 	"ppqtraj/internal/cluster"
 	"ppqtraj/internal/codec"
 	"ppqtraj/internal/geo"
@@ -235,6 +236,13 @@ type PI struct {
 	coder   *codec.PostingCoder // shared posting coder (built by Seal)
 	sealed  bool
 
+	// Decoded-cell cache (optional, set via SetCache on an immutable
+	// sealed index): decoded posting lists are looked up / stored per
+	// (owner, cacheID, region, cell, tick-chunk).
+	cellCache  *cache.Cache
+	cacheOwner uint64
+	cacheID    uint32
+
 	idArena    []traj.ID // shared backing of all raw posting lists
 	postArena  []byte    // shared backing of all sealed postings
 	pairs      []kiPair  // batch-insert scratch
@@ -339,10 +347,8 @@ func partitionFeatures(points []geo.Point) [][]float64 {
 
 // regionOf returns the region covering p (regions are disjoint).
 func (pi *PI) regionOf(p geo.Point) *Region {
-	for _, r := range pi.Regions {
-		if r.Rect.Contains(p) {
-			return r
-		}
+	if i := pi.regionIndexOf(p); i >= 0 {
+		return pi.Regions[i]
 	}
 	return nil
 }
@@ -557,38 +563,119 @@ func (pi *PI) Seal() error {
 
 // Lookup returns the trajectory IDs indexed in the cell containing p at
 // the given tick, plus the cell rectangle. ok is false when p is not
-// covered by any region.
+// covered by any region. The returned slice may be shared with the
+// decoded-cell cache; callers must not modify it.
 func (pi *PI) Lookup(p geo.Point, tick int) (ids []traj.ID, cell geo.Rect, ok bool) {
-	r := pi.regionOf(p)
-	if r == nil {
+	ri := pi.regionIndexOf(p)
+	if ri < 0 {
 		return nil, geo.Rect{}, false
 	}
+	r := pi.Regions[ri]
 	cell = r.CellRect(p)
-	c := r.cellAt(r.cellOf(p))
-	if c == nil {
+	ci, exists := r.cells[r.cellOf(p)]
+	if !exists {
 		return nil, cell, true
 	}
-	return pi.decodeCell(c, tick), cell, true
+	return pi.decodeCell(int32(ri), ci, r.cellPtr(ci), tick), cell, true
 }
 
-func (pi *PI) decodeCell(c *cellData, tick int) []traj.ID {
-	if pi.sealed {
-		tp, ok := c.sealedAt(tick)
-		if !ok {
-			return nil
-		}
-		pl := codec.PostingList{
-			N:    int(tp.n),
-			Bits: int(tp.bits),
-			Data: pi.postArena[tp.off : int(tp.off)+(int(tp.bits)+7)/8],
-		}
-		ids, err := pi.coder.Decode(&pl) // []uint32 is []traj.ID (alias)
-		if err != nil {
-			return nil
-		}
-		return ids
+// SetCache attaches a shared decoded-cell cache. owner names this PI's
+// owner (typically a sealed repository segment) in cache keys and id
+// disambiguates sibling PIs of the same owner (the TPI period index).
+// Attach only to an index that will no longer be mutated or re-sealed:
+// cached decodes are never invalidated by Append/Seal, so a post-attach
+// mutation would serve stale posting lists.
+func (pi *PI) SetCache(c *cache.Cache, owner uint64, id uint32) {
+	pi.cellCache = c
+	pi.cacheOwner = owner
+	pi.cacheID = id
+}
+
+// decodedChunk is one cached value: the decoded posting lists of a single
+// cell for every present tick of one cache chunk, ascending by tick. The
+// slices are shared between the cache and every reader, immutable by
+// contract.
+type decodedChunk struct {
+	ticks []int32
+	ids   [][]traj.ID
+	cost  int64
+}
+
+// at returns the decoded list for tick (nil when the cell has no posting
+// at that tick).
+func (d *decodedChunk) at(tick int) []traj.ID {
+	i := sort.Search(len(d.ticks), func(i int) bool { return int(d.ticks[i]) >= tick })
+	if i < len(d.ticks) && int(d.ticks[i]) == tick {
+		return d.ids[i]
 	}
-	return append([]traj.ID(nil), c.rawAt(tick)...)
+	return nil
+}
+
+// decodePosting decodes one sealed posting entry (nil on a corrupt
+// posting).
+func (pi *PI) decodePosting(tp tickPosting) []traj.ID {
+	pl := codec.PostingList{
+		N:    int(tp.n),
+		Bits: int(tp.bits),
+		Data: pi.postArena[tp.off : int(tp.off)+(int(tp.bits)+7)/8],
+	}
+	ids, err := pi.coder.Decode(&pl) // []uint32 is []traj.ID (alias)
+	if err != nil {
+		return nil
+	}
+	return ids
+}
+
+// decodeSealed decodes one sealed posting list by tick (nil on absence).
+func (pi *PI) decodeSealed(c *cellData, tick int) []traj.ID {
+	tp, ok := c.sealedAt(tick)
+	if !ok {
+		return nil
+	}
+	return pi.decodePosting(tp)
+}
+
+// decodeChunk decodes every posting of the cell whose tick falls in the
+// given cache chunk.
+func (pi *PI) decodeChunk(c *cellData, chunk int32) *decodedChunk {
+	lo := int(chunk) * cache.ChunkTicks
+	hi := lo + cache.ChunkTicks
+	i := sort.Search(len(c.sealed), func(i int) bool { return int(c.sealed[i].tick) >= lo })
+	d := &decodedChunk{cost: 64}
+	for ; i < len(c.sealed) && int(c.sealed[i].tick) < hi; i++ {
+		ids := pi.decodePosting(c.sealed[i])
+		d.ticks = append(d.ticks, c.sealed[i].tick)
+		d.ids = append(d.ids, ids)
+		d.cost += 4 + 24 + 4*int64(len(ids))
+	}
+	return d
+}
+
+// decodeCell returns the IDs of one (cell, tick) posting. ri and ci are
+// the cell's region and dense-cell indices, which key the decoded-cell
+// cache when one is attached; on a cache miss the cell's whole tick chunk
+// is decoded and cached, so adjacent-tick probes (window scans) hit.
+// Returned slices are shared with the cache and must not be modified.
+func (pi *PI) decodeCell(ri, ci int32, c *cellData, tick int) []traj.ID {
+	if !pi.sealed {
+		return append([]traj.ID(nil), c.rawAt(tick)...)
+	}
+	if pi.cellCache == nil {
+		return pi.decodeSealed(c, tick)
+	}
+	key := cache.Key{
+		Owner: pi.cacheOwner,
+		PI:    pi.cacheID,
+		Reg:   uint32(ri),
+		Cell:  ci,
+		Chunk: cache.Chunk(tick),
+	}
+	if v, ok := pi.cellCache.Get(key); ok {
+		return v.(*decodedChunk).at(tick)
+	}
+	d := pi.decodeChunk(c, key.Chunk)
+	pi.cellCache.Put(key, d, d.cost)
+	return d.at(tick)
 }
 
 // LookupArea returns all IDs at the given tick whose indexed position
@@ -597,7 +684,7 @@ func (pi *PI) decodeCell(c *cellData, tick int) []traj.ID {
 // when a ReadTracker is supplied (disk mode).
 func (pi *PI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.ID {
 	var out []traj.ID
-	for _, r := range pi.Regions {
+	for ri, r := range pi.Regions {
 		if !r.Rect.Intersects(area) {
 			continue
 		}
@@ -617,7 +704,7 @@ func (pi *PI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.
 				if rt != nil && int(ci) < len(r.pages) {
 					rt.Read(r.pages[ci])
 				}
-				out = append(out, pi.decodeCell(r.cellPtr(ci), tick)...)
+				out = append(out, pi.decodeCell(int32(ri), ci, r.cellPtr(ci), tick)...)
 			}
 		}
 	}

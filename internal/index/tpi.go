@@ -3,6 +3,7 @@ package index
 import (
 	"time"
 
+	"ppqtraj/internal/cache"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/store"
 	"ppqtraj/internal/traj"
@@ -224,6 +225,16 @@ func (t *TPI) Seal() error {
 	return nil
 }
 
+// SetCache attaches a shared decoded-cell cache to every period's PI,
+// keyed under the given owner token. Call only after the final Seal, on
+// an index that will no longer be mutated: cached decodes are never
+// invalidated by Append/Seal. A nil cache detaches.
+func (t *TPI) SetCache(c *cache.Cache, owner uint64) {
+	for i := range t.Periods {
+		t.Periods[i].PI.SetCache(c, owner, uint32(i))
+	}
+}
+
 // PeriodOf returns the period containing the tick, or nil.
 func (t *TPI) PeriodOf(tick int) *Period {
 	// Periods are ordered and non-overlapping; binary search would do, but
@@ -238,7 +249,9 @@ func (t *TPI) PeriodOf(tick int) *Period {
 }
 
 // Lookup returns the IDs in the g_c cell containing p at the given tick,
-// with the cell rectangle.
+// with the cell rectangle. With a cache attached the returned slice may
+// be shared with the decoded-cell cache (and so with concurrent readers);
+// callers must not modify it.
 func (t *TPI) Lookup(p geo.Point, tick int) (ids []traj.ID, cell geo.Rect, ok bool) {
 	period := t.PeriodOf(tick)
 	if period == nil {

@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -61,4 +62,20 @@ func For(workers, n, grain int, body func(w, lo, hi int)) {
 		}(w, lo, hi)
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: an already-done context
+// skips the fan-out entirely, and the body receives ctx so each chunk can
+// bail out between items. ForCtx still waits for every launched chunk to
+// return — cancellation is a request to stop early, not an abandonment of
+// running workers — and returns ctx.Err() when the context was done
+// before or during the run.
+func ForCtx(ctx context.Context, workers, n, grain int, body func(ctx context.Context, w, lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	For(workers, n, grain, func(w, lo, hi int) {
+		body(ctx, w, lo, hi)
+	})
+	return ctx.Err()
 }

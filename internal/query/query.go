@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -137,13 +138,15 @@ func distToRect(p geo.Point, r geo.Rect) float64 {
 // With exact=true each candidate's raw trajectory is consulted and the
 // result has precision and recall 1; the accesses are counted in Visited.
 // rt, when non-nil, charges page I/Os for the index probes (Table 9).
-// Exact mode on an engine without raw access returns ErrNoRaw.
-func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
+// Exact mode on an engine without raw access returns ErrNoRaw. ctx bounds
+// the work: a cancelled or expired context aborts the search and returns
+// ctx.Err() (use context.Background() when no bound is wanted).
+func (e *Engine) STRQ(ctx context.Context, p geo.Point, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
 	cell, ok := e.Idx.CellRect(p, tick)
 	if !ok {
 		return &STRQResult{}, nil
 	}
-	return e.searchRect(cell, tick, exact, rt)
+	return e.searchRect(ctx, cell, tick, exact, rt)
 }
 
 // STRQRect answers the rectangle-anchored STRQ variant: which trajectories
@@ -152,17 +155,25 @@ func (e *Engine) STRQ(p geo.Point, tick int, exact bool, rt *store.ReadTracker) 
 // layout, so two engines built over different shardings of the same data
 // agree on the exact-mode answer — the contract the serving layer's
 // segment fan-out relies on. Covered is false when the tick falls outside
-// every indexed period.
-func (e *Engine) STRQRect(rect geo.Rect, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
+// every indexed period. ctx bounds the work as in STRQ.
+func (e *Engine) STRQRect(ctx context.Context, rect geo.Rect, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
 	if e.Idx.PeriodOf(tick) == nil {
 		return &STRQResult{}, nil
 	}
-	return e.searchRect(rect, tick, exact, rt)
+	return e.searchRect(ctx, rect, tick, exact, rt)
 }
+
+// ctxCheckEvery is how many exact-mode raw verifications run between
+// context checks: frequent enough that a cancelled query stops within
+// microseconds, rare enough that the check never shows in a profile.
+const ctxCheckEvery = 64
 
 // searchRect is the shared local-search + filter + (optional) verification
 // pipeline of STRQ and STRQRect over an explicit query rectangle.
-func (e *Engine) searchRect(cell geo.Rect, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
+func (e *Engine) searchRect(ctx context.Context, cell geo.Rect, tick int, exact bool, rt *store.ReadTracker) (*STRQResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res := &STRQResult{Covered: true, Cell: cell}
 	m := e.Margin()
 	// Local search (§5.2): scan every cell within the Lemma 3 margin of
@@ -176,7 +187,15 @@ func (e *Engine) searchRect(cell geo.Rect, tick int, exact bool, rt *store.ReadT
 	// result belongs to the index and may one day be a cached posting
 	// list; filtering in place would corrupt it.
 	kept := make([]traj.ID, 0, len(cand))
-	for _, id := range cand {
+	for i, id := range cand {
+		// The candidate list can span a whole region's population on wide
+		// rects; without a periodic check a blown deadline could not
+		// interrupt an approximate-mode scan at all.
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		rp, ok := e.Sum.ReconstructedPoint(id, tick)
 		if !ok {
 			continue
@@ -193,7 +212,12 @@ func (e *Engine) searchRect(cell geo.Rect, tick int, exact bool, rt *store.ReadT
 	if e.Raw == nil {
 		return nil, ErrNoRaw
 	}
-	for _, id := range kept {
+	for i, id := range kept {
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		res.Visited++
 		e.RawAccesses.Add(1)
 		tr, ok := e.Raw.Lookup(id)
@@ -219,14 +243,21 @@ type TPQResult struct {
 
 // TPQ answers Definition 5.3: run STRQ at (p, tick), then reproduce the
 // next l positions of every matched trajectory directly from the indexed
-// summary — no raw access, no full reconstruction.
-func (e *Engine) TPQ(p geo.Point, tick, l int, exact bool, rt *store.ReadTracker) (*TPQResult, error) {
-	s, err := e.STRQ(p, tick, exact, rt)
+// summary — no raw access, no full reconstruction. ctx bounds the work as
+// in STRQ; a context error can surface after the range step, mid-way
+// through path reproduction.
+func (e *Engine) TPQ(ctx context.Context, p geo.Point, tick, l int, exact bool, rt *store.ReadTracker) (*TPQResult, error) {
+	s, err := e.STRQ(ctx, p, tick, exact, rt)
 	if err != nil {
 		return nil, err
 	}
 	out := &TPQResult{STRQ: s, Paths: make(map[traj.ID][]geo.Point, len(s.IDs))}
-	for _, id := range s.IDs {
+	for i, id := range s.IDs {
+		if i%ctxCheckEvery == ctxCheckEvery-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		out.Paths[id] = e.Sum.ReconstructPath(id, tick, l)
 	}
 	return out, nil

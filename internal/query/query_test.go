@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -47,7 +48,7 @@ func TestSTRQRecallIsOne(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
-		res, _ := eng.STRQ(qp, tick, false, nil)
+		res, _ := eng.STRQ(context.Background(), qp, tick, false, nil)
 		if !res.Covered {
 			continue
 		}
@@ -67,7 +68,7 @@ func TestSTRQExactPrecisionAndRecallOne(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
-		res, _ := eng.STRQ(qp, tick, true, nil)
+		res, _ := eng.STRQ(context.Background(), qp, tick, true, nil)
 		if !res.Covered {
 			continue
 		}
@@ -95,7 +96,7 @@ func TestSTRQCandidateListSmall(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
-		res, _ := eng.STRQ(qp, tick, false, nil)
+		res, _ := eng.STRQ(context.Background(), qp, tick, false, nil)
 		if !res.Covered {
 			continue
 		}
@@ -113,7 +114,7 @@ func TestSTRQCandidateListSmall(t *testing.T) {
 
 func TestSTRQUncoveredPoint(t *testing.T) {
 	eng, _ := testEngine(t, true)
-	res, _ := eng.STRQ(geo.Pt(0, 0), 10, false, nil) // far outside Porto
+	res, _ := eng.STRQ(context.Background(), geo.Pt(0, 0), 10, false, nil) // far outside Porto
 	if res.Covered || len(res.IDs) != 0 {
 		t.Fatalf("uncovered query should be empty: %+v", res)
 	}
@@ -124,10 +125,10 @@ func TestSTRQExactWithoutRawReturnsError(t *testing.T) {
 	eng.Raw = nil
 	tr := d.Get(0)
 	qp, _ := tr.At(tr.Start)
-	if _, err := eng.STRQ(qp, tr.Start, true, nil); !errors.Is(err, ErrNoRaw) {
+	if _, err := eng.STRQ(context.Background(), qp, tr.Start, true, nil); !errors.Is(err, ErrNoRaw) {
 		t.Fatalf("want ErrNoRaw, got %v", err)
 	}
-	if _, err := eng.TPQ(qp, tr.Start, 5, true, nil); !errors.Is(err, ErrNoRaw) {
+	if _, err := eng.TPQ(context.Background(), qp, tr.Start, 5, true, nil); !errors.Is(err, ErrNoRaw) {
 		t.Fatalf("TPQ: want ErrNoRaw, got %v", err)
 	}
 }
@@ -154,7 +155,7 @@ func TestTPQPathsBoundedDeviation(t *testing.T) {
 		tr := d.Get(traj.ID(rng.Intn(d.Len())))
 		tick := tr.Start + rng.Intn(tr.Len()/2)
 		qp, _ := tr.At(tick)
-		res, _ := eng.TPQ(qp, tick, 10, false, nil)
+		res, _ := eng.TPQ(context.Background(), qp, tick, 10, false, nil)
 		for id, path := range res.Paths {
 			found++
 			rtr := d.Get(id)
@@ -258,7 +259,7 @@ func TestDiskModeChargesIOs(t *testing.T) {
 		tick := tr.Start + rng.Intn(tr.Len())
 		qp, _ := tr.At(tick)
 		rt := ps.BeginRead()
-		res, _ := eng.STRQ(qp, tick, false, rt)
+		res, _ := eng.STRQ(context.Background(), qp, tick, false, rt)
 		if res.Covered {
 			asked++
 			if rt.PagesTouched() == 0 {
@@ -305,7 +306,7 @@ func TestEngineConcurrentSTRQTPQ(t *testing.T) {
 				qp, _ := tr.At(tick)
 				switch q % 3 {
 				case 0:
-					res, err := eng.STRQ(qp, tick, false, nil)
+					res, err := eng.STRQ(context.Background(), qp, tick, false, nil)
 					if err != nil {
 						errCh <- err
 						return
@@ -318,7 +319,7 @@ func TestEngineConcurrentSTRQTPQ(t *testing.T) {
 						}
 					}
 				case 1:
-					res, err := eng.STRQ(qp, tick, true, nil)
+					res, err := eng.STRQ(context.Background(), qp, tick, true, nil)
 					if err != nil {
 						errCh <- err
 						return
@@ -331,7 +332,7 @@ func TestEngineConcurrentSTRQTPQ(t *testing.T) {
 						}
 					}
 				default:
-					if _, err := eng.TPQ(qp, tick, 8, false, nil); err != nil {
+					if _, err := eng.TPQ(context.Background(), qp, tick, 8, false, nil); err != nil {
 						errCh <- err
 						return
 					}
@@ -366,7 +367,7 @@ func TestSTRQRectMatchesGroundTruthExact(t *testing.T) {
 			MinX: math.Floor(qp.X/gc) * gc, MinY: math.Floor(qp.Y/gc) * gc,
 			MaxX: math.Floor(qp.X/gc)*gc + gc, MaxY: math.Floor(qp.Y/gc)*gc + gc,
 		}
-		res, err := eng.STRQRect(rect, tick, true, nil)
+		res, err := eng.STRQRect(context.Background(), rect, tick, true, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -381,5 +382,29 @@ func TestSTRQRectMatchesGroundTruthExact(t *testing.T) {
 	}
 	if checked == 0 {
 		t.Fatal("no covered rect queries")
+	}
+}
+
+// TestQueryContextCancellation checks the engine primitives observe their
+// context: a cancelled context aborts STRQ/STRQRect/TPQ with the context
+// error, and context.Background() answers normally.
+func TestQueryContextCancellation(t *testing.T) {
+	eng, d := testEngine(t, true)
+	tr := d.Get(0)
+	qp, _ := tr.At(tr.Start)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.STRQ(ctx, qp, tr.Start, false, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("STRQ on cancelled ctx: want context.Canceled, got %v", err)
+	}
+	if _, err := eng.STRQRect(ctx, geo.NewRect(qp.X-0.01, qp.Y-0.01, qp.X+0.01, qp.Y+0.01), tr.Start, true, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("STRQRect on cancelled ctx: want context.Canceled, got %v", err)
+	}
+	if _, err := eng.TPQ(ctx, qp, tr.Start, 5, false, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TPQ on cancelled ctx: want context.Canceled, got %v", err)
+	}
+	res, err := eng.STRQ(context.Background(), qp, tr.Start, false, nil)
+	if err != nil || !res.Covered {
+		t.Fatalf("background ctx should answer: %+v, %v", res, err)
 	}
 }

@@ -1,9 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/traj"
@@ -22,11 +27,30 @@ import (
 //	GET  /healthz    → 200 "ok"
 //
 // Batch sizes are capped so one request cannot monopolize the server.
+//
+// Deadlines: /v1/query and /v1/window accept a ?timeout= query parameter
+// (a Go duration, e.g. ?timeout=250ms) that bounds the request; without
+// it, Options.DefaultQueryTimeout applies when set. A request that blows
+// its deadline returns 504 with the context error; a request whose client
+// went away returns 499 (the nginx convention). Request bodies are parsed
+// strictly: unknown fields and trailing data are 400s, so a misspelled
+// field can never silently zero-value into a different query than the
+// caller meant.
 
 const (
 	maxBatchQueries = 4096
 	maxIngestPoints = 1 << 20
 	maxBodyBytes    = 64 << 20
+
+	// maxQueryTimeout caps client-supplied ?timeout= values when the
+	// operator configured no default deadline; with a configured default,
+	// that default is the cap instead — a deadline is a protection for
+	// the server, so a client may shorten it but never extend it.
+	maxQueryTimeout = 10 * time.Minute
+
+	// statusClientClosedRequest is the de-facto standard (nginx) status
+	// for "the client cancelled the request"; net/http has no name for it.
+	statusClientClosedRequest = 499
 )
 
 // IngestPoint is one trajectory position in an ingest payload.
@@ -94,13 +118,72 @@ type httpError struct {
 	Error string `json:"error"`
 }
 
+// readBody decodes the request body strictly: unknown fields are
+// rejected (a misspelled "tick" would otherwise zero-value silently and,
+// say, ingest at tick 0), and so is trailing data after the JSON value
+// (a second concatenated document is a malformed request, not ignorable
+// noise).
 func readBody(w http.ResponseWriter, req *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad request body: %v", err)})
 		return false
 	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad request body: trailing data after JSON value"})
+		return false
+	}
 	return true
+}
+
+// queryContext derives the request's working context: the client's
+// ?timeout= wins, clamped to the operator's configured default (or to
+// maxQueryTimeout when no default is set — a client can shorten the
+// server's deadline, never extend it); either way the context also dies
+// with the client connection.
+func (r *Repository) queryContext(w http.ResponseWriter, req *http.Request) (context.Context, context.CancelFunc, bool) {
+	timeout := r.opts.DefaultQueryTimeout
+	if raw := req.URL.Query().Get("timeout"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest,
+				httpError{Error: fmt.Sprintf("bad timeout %q: want a positive Go duration like 250ms", raw)})
+			return nil, nil, false
+		}
+		limit := r.opts.DefaultQueryTimeout
+		if limit <= 0 {
+			limit = maxQueryTimeout
+		}
+		if d > limit {
+			d = limit
+		}
+		timeout = d
+	}
+	if timeout <= 0 {
+		return req.Context(), func() {}, true
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), timeout)
+	return ctx, cancel, true
+}
+
+// writeQueryError maps a failed query to its transport status: deadline
+// blown → 504, client gone → 499, anything else → 422 (the request was
+// well-formed but the repository could not answer it).
+func writeQueryError(w http.ResponseWriter, req *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, httpError{Error: err.Error()})
+	case errors.Is(err, context.Canceled):
+		// The client is usually gone; the status is for logs and proxies.
+		if req.Context().Err() != nil {
+			writeJSON(w, statusClientClosedRequest, httpError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusGatewayTimeout, httpError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, httpError{Error: err.Error()})
+	}
 }
 
 func (r *Repository) handleQuery(w http.ResponseWriter, req *http.Request) {
@@ -117,7 +200,41 @@ func (r *Repository) handleQuery(w http.ResponseWriter, req *http.Request) {
 			httpError{Error: fmt.Sprintf("batch of %d exceeds the %d-query cap", len(in.Queries), maxBatchQueries)})
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Answers: r.Batch(in.Queries)})
+	// Validate up front and as a unit: a malformed probe deep in the batch
+	// must 400 the request, not surface as a per-answer engine artifact.
+	for i, q := range in.Queries {
+		if err := q.Validate(); err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("query %d: %v", i, err)})
+			return
+		}
+	}
+	ctx, cancel, ok := r.queryContext(w, req)
+	if !ok {
+		return
+	}
+	defer cancel()
+	answers := r.Batch(ctx, in.Queries)
+	if err := ctx.Err(); err != nil && batchLostAnswers(answers, err) {
+		// The deadline actually cost answers → the whole request fails
+		// with the transport mapping. A batch that completed just before
+		// the deadline fired returns its answers; per-answer failures ride
+		// in the answers' error fields either way.
+		writeQueryError(w, req, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Answers: answers})
+}
+
+// batchLostAnswers reports whether any answer of the batch was lost to
+// the given (context) error, i.e. carries it in its error field.
+func batchLostAnswers(answers []STRQAnswer, err error) bool {
+	msg := err.Error()
+	for i := range answers {
+		if answers[i].Err != "" && strings.Contains(answers[i].Err, msg) {
+			return true
+		}
+	}
+	return false
 }
 
 func (r *Repository) handleWindow(w http.ResponseWriter, req *http.Request) {
@@ -125,9 +242,18 @@ func (r *Repository) handleWindow(w http.ResponseWriter, req *http.Request) {
 	if !readBody(w, req, &in) {
 		return
 	}
-	res, err := r.Window(in.Rect, in.From, in.To, in.Exact)
+	if err := validateWindow(in.Rect, in.From, in.To); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	ctx, cancel, ok := r.queryContext(w, req)
+	if !ok {
+		return
+	}
+	defer cancel()
+	res, err := r.Window(ctx, in.Rect, in.From, in.To, in.Exact)
 	if err != nil {
-		writeJSON(w, http.StatusUnprocessableEntity, httpError{Error: err.Error()})
+		writeQueryError(w, req, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

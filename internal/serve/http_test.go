@@ -2,8 +2,10 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -129,7 +131,7 @@ func TestHTTPIngestQueryStats(t *testing.T) {
 }
 
 func TestHTTPValidation(t *testing.T) {
-	_, srv := httpRepo(t)
+	repo, srv := httpRepo(t)
 
 	resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte("{not json")))
 	if err != nil {
@@ -165,9 +167,36 @@ func TestHTTPValidation(t *testing.T) {
 		t.Fatalf("gapped ingest response = %+v", out)
 	}
 
-	// Inverted window.
-	if code := postJSON(t, srv.URL+"/v1/window", WindowRequest{From: 5, To: 1}, nil); code != http.StatusUnprocessableEntity {
+	// Inverted window ticks and rect, and non-finite coordinates, are
+	// caller mistakes: consistent 400s, not engine artifacts.
+	if code := postJSON(t, srv.URL+"/v1/window", WindowRequest{From: 5, To: 1}, nil); code != http.StatusBadRequest {
 		t.Fatalf("inverted window: status %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/v1/window",
+		WindowRequest{Rect: geo.Rect{MinX: 2, MinY: 0, MaxX: 1, MaxY: 1}, From: 0, To: 1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("inverted rect: status %d", code)
+	}
+	// Non-finite coordinates cannot ride in as JSON numbers (the decoder
+	// rejects out-of-range literals with a 400), and the handlers guard
+	// the same condition for programmatic request structs.
+	for _, raw := range []string{
+		`{"rect":{"MinX":1e999,"MinY":0,"MaxX":1,"MaxY":1},"from":0,"to":1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/window", "application/json", bytes.NewReader([]byte(raw)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("out-of-range rect literal: status %d", resp.StatusCode)
+		}
+	}
+	if _, err := repo.Window(context.Background(), geo.Rect{MinX: math.NaN(), MaxX: 1, MaxY: 1}, 0, 1, false); err == nil {
+		t.Fatal("non-finite rect should be rejected at the Go API too")
+	}
+	if code := postJSON(t, srv.URL+"/v1/query",
+		QueryRequest{Queries: []STRQRequest{{P: geo.Pt(0, 0), Tick: 0, PathLen: -3}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative path_len: status %d", code)
 	}
 
 	// Method guards from the routing patterns.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ppqtraj/internal/cache"
 	"ppqtraj/internal/core"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/index"
@@ -55,7 +57,22 @@ type Options struct {
 	Raw *traj.Dataset
 	// Workers bounds batch-query fan-out (0 = GOMAXPROCS).
 	Workers int
+	// CacheBytes budgets the shared decoded-cell cache sitting in front
+	// of every sealed segment's compressed postings: repeated STRQ/window
+	// probes of hot cells reuse decoded ID lists instead of re-running the
+	// Huffman decode. 0 means the 64 MiB default; negative disables the
+	// cache entirely.
+	CacheBytes int64
+	// DefaultQueryTimeout bounds every HTTP query request. A client's
+	// ?timeout= parameter is clamped to it — a request can shorten the
+	// server's deadline, never extend it. 0 means no default deadline
+	// (client values are then capped at 10 minutes).
+	DefaultQueryTimeout time.Duration
 }
+
+// DefaultCacheBytes is the decoded-cell cache budget used when
+// Options.CacheBytes is 0.
+const DefaultCacheBytes = 64 << 20
 
 func (o Options) withDefaults() (Options, error) {
 	if o.Index.GC <= 0 {
@@ -84,6 +101,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.CompactInterval <= 0 {
 		o.CompactInterval = time.Second
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = DefaultCacheBytes
 	}
 	return o, nil
 }
@@ -125,6 +145,11 @@ type Repository struct {
 
 	hot *hotTail
 
+	// cells is the shared decoded-cell cache (nil when disabled): one LRU
+	// across every sealed segment, so budget flows to whichever segments
+	// the workload actually hammers.
+	cells *cache.Cache
+
 	compactMu sync.Mutex // serializes compactions (background loop vs Flush)
 	nextSegID uint64     // guarded by compactMu
 
@@ -154,6 +179,9 @@ func Open(opts Options) (*Repository, error) {
 		sealedThrough: -1,
 		kick:          make(chan struct{}, 1),
 		stop:          make(chan struct{}),
+	}
+	if opts.CacheBytes > 0 {
+		r.cells = cache.New(opts.CacheBytes)
 	}
 	r.lastErr.Store("")
 	if opts.Dir != "" {
@@ -192,6 +220,7 @@ func (r *Repository) loadManifest() error {
 		if err != nil {
 			return err
 		}
+		r.attachCache(seg)
 		r.segs = append(r.segs, seg)
 	}
 	r.sealedThrough = m.SealedThrough
@@ -226,11 +255,30 @@ func (r *Repository) writeManifest() error {
 	return os.Rename(tmp, filepath.Join(r.opts.Dir, manifestName))
 }
 
-// Close stops the background compactor. It does not flush the hot tail;
-// call Flush first when the remaining hot points must be sealed.
+// attachCache wires the shared decoded-cell cache to a freshly built or
+// reloaded segment's engine under a fresh owner token (no-op when the
+// cache is disabled). Must run before the segment is published — engines
+// are only safe for concurrent readers once their fields stop changing.
+func (r *Repository) attachCache(seg *Segment) {
+	if r.cells == nil {
+		return
+	}
+	seg.CacheOwner = r.cells.NewOwner()
+	seg.Eng.Idx.SetCache(r.cells, seg.CacheOwner)
+}
+
+// Close stops the background compactor and drops the closed segments'
+// decoded-cell cache entries. It does not flush the hot tail; call Flush
+// first when the remaining hot points must be sealed.
 func (r *Repository) Close() error {
 	close(r.stop)
 	r.wg.Wait()
+	if r.cells != nil {
+		segs, _ := r.view()
+		for _, s := range segs {
+			r.cells.InvalidateOwner(s.CacheOwner)
+		}
+	}
 	return nil
 }
 
@@ -327,6 +375,7 @@ func (r *Repository) compactOnce(force bool) error {
 		if err != nil {
 			return err
 		}
+		r.attachCache(seg)
 		if r.opts.Dir != "" {
 			if err := seg.persist(r.opts.Dir); err != nil {
 				return err
@@ -403,6 +452,34 @@ type STRQRequest struct {
 	PathLen int       `json:"path_len"` // > 0: also reconstruct each match's next positions
 }
 
+// Validate is the single copy of the request's admission rules, enforced
+// by Repository.STRQ (as an error) and by the HTTP layer (as a 400).
+func (q STRQRequest) Validate() error {
+	if !q.P.IsFinite() {
+		return fmt.Errorf("non-finite query point %v", q.P)
+	}
+	if q.PathLen < 0 {
+		return fmt.Errorf("negative path length %d", q.PathLen)
+	}
+	return nil
+}
+
+// validateWindow is the single copy of the window query's admission
+// rules, enforced by Repository.Window (as an error) and by the HTTP
+// layer (as a 400).
+func validateWindow(rect geo.Rect, from, to int) error {
+	if to < from {
+		return fmt.Errorf("window [%d, %d] is empty", from, to)
+	}
+	if !rect.IsFinite() {
+		return fmt.Errorf("non-finite window rect %+v", rect)
+	}
+	if rect.MinX > rect.MaxX || rect.MinY > rect.MaxY {
+		return fmt.Errorf("inverted window rect %+v", rect)
+	}
+	return nil
+}
+
 // Path is a reconstructed sub-trajectory: Points[i] is the position at
 // tick Start+i.
 type Path struct {
@@ -428,17 +505,23 @@ type STRQAnswer struct {
 // trimmed by a concurrent compaction before the hot probe runs, in which
 // case the watermark has necessarily advanced and the retry lands on the
 // freshly published segment.
-func (r *Repository) strqTick(cell geo.Rect, tick int, exact bool) (ans STRQAnswer, err error) {
+func (r *Repository) strqTick(ctx context.Context, cell geo.Rect, tick int, exact bool) (ans STRQAnswer, err error) {
 	ans = STRQAnswer{Tick: tick, Cell: cell, Source: "none"}
 	for {
+		if err := ctx.Err(); err != nil {
+			return ans, err
+		}
 		segs, sealed := r.view()
 		if tick <= sealed {
 			seg := findSegment(segs, tick)
 			if seg == nil {
 				return ans, nil
 			}
-			res, err := seg.Eng.STRQRect(cell, tick, exact, nil)
+			res, err := seg.Eng.STRQRect(ctx, cell, tick, exact, nil)
 			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return ans, err
+				}
 				return ans, fmt.Errorf("serve: segment %d: %w", seg.ID, err)
 			}
 			ans.Covered = res.Covered
@@ -466,10 +549,17 @@ func (r *Repository) strqTick(cell geo.Rect, tick int, exact bool) (ans STRQAnsw
 // below the sealed watermark route to the covering segment's engine
 // (approximate: recall 1 by the local-search guarantee; exact: verified
 // against raw storage); fresher ticks are answered exactly from the raw
-// hot tail.
-func (r *Repository) STRQ(req STRQRequest) (*STRQAnswer, error) {
+// hot tail. ctx bounds the work: a cancelled or expired context aborts
+// the query and returns the context error.
+func (r *Repository) STRQ(ctx context.Context, req STRQRequest) (*STRQAnswer, error) {
 	r.queries.Add(1)
-	ans, err := r.strqTick(r.QueryCell(req.P), req.Tick, req.Exact)
+	// Same rules as the HTTP layer, so programmatic callers get an error
+	// instead of a silent empty answer.
+	if err := req.Validate(); err != nil {
+		r.queryErrors.Add(1)
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	ans, err := r.strqTick(ctx, r.QueryCell(req.P), req.Tick, req.Exact)
 	if err != nil {
 		r.queryErrors.Add(1)
 		return nil, err
@@ -477,7 +567,17 @@ func (r *Repository) STRQ(req STRQRequest) (*STRQAnswer, error) {
 	if req.PathLen > 0 && len(ans.IDs) > 0 {
 		ans.Paths = make(map[traj.ID]Path, len(ans.IDs))
 		for _, id := range ans.IDs {
-			ans.Paths[id] = r.Path(id, req.Tick, req.PathLen)
+			// Per-ID check: a wide match list reconstructs many paths, and
+			// cancellation latency must not grow with the match count.
+			if err := ctx.Err(); err != nil {
+				r.queryErrors.Add(1)
+				return nil, err
+			}
+			ans.Paths[id] = r.Path(ctx, id, req.Tick, req.PathLen)
+		}
+		if err := ctx.Err(); err != nil {
+			r.queryErrors.Add(1)
+			return nil, err
 		}
 	}
 	return &ans, nil
@@ -485,12 +585,13 @@ func (r *Repository) STRQ(req STRQRequest) (*STRQAnswer, error) {
 
 // Batch answers many queries concurrently on a bounded worker pool.
 // Per-query failures land in the answer's Err field instead of failing
-// the batch.
-func (r *Repository) Batch(reqs []STRQRequest) []STRQAnswer {
+// the batch; a context cancelled mid-batch marks the remaining answers
+// with the context error instead of leaving them zero-valued.
+func (r *Repository) Batch(ctx context.Context, reqs []STRQRequest) []STRQAnswer {
 	out := make([]STRQAnswer, len(reqs))
-	par.For(par.Workers(r.opts.Workers), len(reqs), 1, func(_, lo, hi int) {
+	par.ForCtx(ctx, par.Workers(r.opts.Workers), len(reqs), 1, func(ctx context.Context, _, lo, hi int) { //nolint:errcheck // context failures land per-answer
 		for i := lo; i < hi; i++ {
-			ans, err := r.STRQ(reqs[i])
+			ans, err := r.STRQ(ctx, reqs[i])
 			if err != nil {
 				out[i] = STRQAnswer{Tick: reqs[i].Tick, Cell: r.QueryCell(reqs[i].P), Err: err.Error()}
 				continue
@@ -498,19 +599,34 @@ func (r *Repository) Batch(reqs []STRQRequest) []STRQAnswer {
 			out[i] = *ans
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		// ForCtx may have skipped the fan-out entirely; make every
+		// unanswered slot carry the context error.
+		for i := range out {
+			if out[i].Source == "" && out[i].Err == "" {
+				out[i] = STRQAnswer{Tick: reqs[i].Tick, Cell: r.QueryCell(reqs[i].P), Err: err.Error()}
+			}
+		}
+	}
 	return out
 }
 
 // Path reconstructs trajectory id over ticks [from, from+l), stitching
 // the answer across every sealed segment it spans plus the hot tail.
 // Sealed ranges return the quantized reconstruction (deviation ≤ the
-// summary's bound); hot ranges return raw points.
-func (r *Repository) Path(id traj.ID, from, l int) Path {
+// summary's bound); hot ranges return raw points. Cancellation is
+// best-effort: a done context stops the stitching walk and returns the
+// (possibly partial) path built so far — callers that must surface the
+// cancellation check ctx.Err() themselves, as STRQ does.
+func (r *Repository) Path(ctx context.Context, id traj.ID, from, l int) Path {
 	for {
 		segs, sealed := r.view()
 		out := r.pathFrom(segs, sealed, id, from, l)
 		// A compaction that published mid-walk may have trimmed hot ticks
 		// the walk still expected; the moved watermark flags it.
+		if ctx.Err() != nil {
+			return out
+		}
 		if _, sealed2 := r.view(); sealed2 == sealed || len(out.Points) >= l {
 			return out
 		}
@@ -574,10 +690,22 @@ type WindowResult struct {
 // Window answers the window query by fanning out one worker per shard —
 // every sealed segment overlapping the window plus the hot tail — running
 // the per-tick probes of each shard concurrently, then merging the ID
-// sets. This is the serving layer's cross-shard scatter/gather path.
-func (r *Repository) Window(rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
-	if to < from {
-		return nil, fmt.Errorf("serve: window [%d, %d] is empty", from, to)
+// sets. This is the serving layer's cross-shard scatter/gather path. Every
+// shard worker checks ctx between tick probes, so a cancelled or expired
+// context stops the scatter mid-loop and Window returns the context
+// error; the repository's state is untouched either way (the read path
+// never mutates).
+func (r *Repository) Window(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
+	// Counted at entry like STRQ, so query_errors can never exceed
+	// queries in the stats.
+	r.queries.Add(1)
+	if err := validateWindow(rect, from, to); err != nil {
+		r.queryErrors.Add(1)
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		r.queryErrors.Add(1)
+		return nil, err
 	}
 	// Plan the shards against a stable routing view: if a compaction moves
 	// the watermark while we are reading the two tiers, replan (the ticks
@@ -623,13 +751,19 @@ func (r *Repository) Window(rect geo.Rect, from, to int, exact bool) (*WindowRes
 	results := make([][]traj.ID, len(shards))
 	errs := make([]error, len(shards))
 	ticks := make([]int, len(shards))
-	runShard := func(i int) error {
+	runShard := func(ctx context.Context, i int) error {
 		sh := shards[i]
 		seen := make(map[traj.ID]struct{})
 		for t := sh.lo; t <= sh.hi; t++ {
+			// The per-tick check is what makes cancellation prompt: a wide
+			// window over a long-lived repository probes thousands of
+			// ticks, and each probe is the natural stopping point.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			var ids []traj.ID
 			if sh.seg != nil {
-				res, err := sh.seg.Eng.STRQRect(rect, t, exact, nil)
+				res, err := sh.seg.Eng.STRQRect(ctx, rect, t, exact, nil)
 				if err != nil {
 					return err
 				}
@@ -640,7 +774,7 @@ func (r *Repository) Window(rect geo.Rect, from, to int, exact bool) (*WindowRes
 			} else {
 				// strqTick re-routes ticks a concurrent compaction
 				// sealed after the shard plan was made.
-				ans, err := r.strqTick(rect, t, exact)
+				ans, err := r.strqTick(ctx, rect, t, exact)
 				if err != nil {
 					return err
 				}
@@ -661,11 +795,14 @@ func (r *Repository) Window(rect geo.Rect, from, to int, exact bool) (*WindowRes
 		results[i] = out
 		return nil
 	}
-	par.For(par.Workers(r.opts.Workers), len(shards), 1, func(_, wlo, whi int) {
+	if err := par.ForCtx(ctx, par.Workers(r.opts.Workers), len(shards), 1, func(ctx context.Context, _, wlo, whi int) {
 		for i := wlo; i < whi; i++ {
-			errs[i] = runShard(i)
+			errs[i] = runShard(ctx, i)
 		}
-	})
+	}); err != nil {
+		r.queryErrors.Add(1)
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			r.queryErrors.Add(1)
@@ -685,7 +822,6 @@ func (r *Repository) Window(rect geo.Rect, from, to int, exact bool) (*WindowRes
 		res.IDs = append(res.IDs, id)
 	}
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
-	r.queries.Add(1)
 	return res, nil
 }
 
@@ -704,6 +840,9 @@ type Stats struct {
 	RawAccesses     int64  `json:"raw_accesses"`
 	DiskBytes       int64  `json:"disk_bytes"`
 	LastError       string `json:"last_error,omitempty"`
+	// Cache reports the shared decoded-cell cache (all-zero when the
+	// cache is disabled).
+	Cache cache.Stats `json:"cell_cache"`
 }
 
 // Stats snapshots the repository.
@@ -719,6 +858,7 @@ func (r *Repository) Stats() Stats {
 		Queries:         r.queries.Load(),
 		QueryErrors:     r.queryErrors.Load(),
 		LastError:       r.lastErr.Load().(string),
+		Cache:           r.cells.Snapshot(),
 	}
 	for _, s := range segs {
 		st.SegmentPoints += s.Points

@@ -35,6 +35,10 @@ type Segment struct {
 	File      string // manifest-relative file name; "" when memory-only
 	SizeBytes int64  // serialized size on disk (0 when memory-only)
 	Quantized bool   // false would mean a raw segment; always true today
+	// CacheOwner is the segment's token in the repository's shared
+	// decoded-cell cache (0 when the cache is disabled); invalidating it
+	// drops every cached decode of this segment.
+	CacheOwner uint64
 }
 
 // buildSegment drains one batch of columns (ascending ticks) through a

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,7 +92,7 @@ func TestConcurrentMixedWorkloadMatchesStatic(t *testing.T) {
 				}
 				col := cols[rng.Intn(int(hi)+1)]
 				p := col.Points[rng.Intn(col.Len())]
-				ans, err := repo.STRQ(STRQRequest{P: p, Tick: col.Tick, Exact: true, PathLen: 3})
+				ans, err := repo.STRQ(context.Background(), STRQRequest{P: p, Tick: col.Tick, Exact: true, PathLen: 3})
 				if err != nil {
 					errCh <- err
 					return
@@ -150,12 +151,12 @@ func TestConcurrentMixedWorkloadMatchesStatic(t *testing.T) {
 			Exact: true,
 		})
 	}
-	answers := repo.Batch(reqs)
+	answers := repo.Batch(context.Background(), reqs)
 	for i, ans := range answers {
 		if ans.Err != "" {
 			t.Fatalf("batch query %d: %s", i, ans.Err)
 		}
-		res, err := eng.STRQRect(ans.Cell, reqs[i].Tick, true, nil)
+		res, err := eng.STRQRect(context.Background(), ans.Cell, reqs[i].Tick, true, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +201,7 @@ func TestApproxRecallIsOne(t *testing.T) {
 	for q := 0; q < 300; q++ {
 		col := cols[rng.Intn(len(cols))]
 		p := col.Points[rng.Intn(col.Len())]
-		ans, err := repo.STRQ(STRQRequest{P: p, Tick: col.Tick})
+		ans, err := repo.STRQ(context.Background(), STRQRequest{P: p, Tick: col.Tick})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func TestSegmentSerializeReloadRoundTrip(t *testing.T) {
 			PathLen: 6,
 		})
 	}
-	before := repo.Batch(reqs)
+	before := repo.Batch(context.Background(), reqs)
 	nSegs := repo.Stats().Segments
 	if nSegs < 2 {
 		t.Fatalf("expected several persisted segments, got %d", nSegs)
@@ -259,7 +260,7 @@ func TestSegmentSerializeReloadRoundTrip(t *testing.T) {
 	if got := reloaded.Stats().Segments; got != nSegs {
 		t.Fatalf("reloaded %d segments, want %d", got, nSegs)
 	}
-	after := reloaded.Batch(reqs)
+	after := reloaded.Batch(context.Background(), reqs)
 	for i := range before {
 		if before[i].Err != "" || after[i].Err != "" {
 			t.Fatalf("query %d errored: %q / %q", i, before[i].Err, after[i].Err)
@@ -310,7 +311,7 @@ func TestWindowMatchesBruteForce(t *testing.T) {
 			MaxX: center.X + 0.004, MaxY: center.Y + 0.004,
 		}
 		from, to := col.Tick-6, col.Tick+6
-		res, err := repo.Window(rect, from, to, true)
+		res, err := repo.Window(context.Background(), rect, from, to, true)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -378,7 +379,7 @@ func TestIngestValidation(t *testing.T) {
 	if err := repo.Ingest(7, []traj.ID{30, 9, 20}, []geo.Point{{X: 1, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 1}}); err != nil {
 		t.Fatalf("unsorted batch: %v", err)
 	}
-	ans, err := repo.STRQ(STRQRequest{P: geo.Pt(1, 1), Tick: 7})
+	ans, err := repo.STRQ(context.Background(), STRQRequest{P: geo.Pt(1, 1), Tick: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,11 +416,11 @@ func TestExactQueryUnknownIDErrs(t *testing.T) {
 	if err := repo.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := repo.STRQ(STRQRequest{P: p, Tick: start + 1, Exact: true}); !errors.Is(err, query.ErrNoRaw) {
+	if _, err := repo.STRQ(context.Background(), STRQRequest{P: p, Tick: start + 1, Exact: true}); !errors.Is(err, query.ErrNoRaw) {
 		t.Fatalf("exact query over unknown raw ID: want ErrNoRaw class, got %v", err)
 	}
 	// Approximate mode keeps working.
-	ans, err := repo.STRQ(STRQRequest{P: p, Tick: start + 1})
+	ans, err := repo.STRQ(context.Background(), STRQRequest{P: p, Tick: start + 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +445,7 @@ func TestWindowClipsUnboundedSpan(t *testing.T) {
 	}
 	rect := geo.NewRect(-180, -90, 180, 90)
 	start := time.Now()
-	res, err := repo.Window(rect, 0, 1<<40, false)
+	res, err := repo.Window(context.Background(), rect, 0, 1<<40, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,11 +483,11 @@ func TestExactWithoutRawErrors(t *testing.T) {
 		}
 	}
 	sealedCol, hotCol := cols[0], cols[len(cols)-1]
-	_, err = repo.STRQ(STRQRequest{P: sealedCol.Points[0], Tick: sealedCol.Tick, Exact: true})
+	_, err = repo.STRQ(context.Background(), STRQRequest{P: sealedCol.Points[0], Tick: sealedCol.Tick, Exact: true})
 	if !errors.Is(err, query.ErrNoRaw) {
 		t.Fatalf("sealed exact without raw: want ErrNoRaw, got %v", err)
 	}
-	ans, err := repo.STRQ(STRQRequest{P: hotCol.Points[0], Tick: hotCol.Tick, Exact: true})
+	ans, err := repo.STRQ(context.Background(), STRQRequest{P: hotCol.Points[0], Tick: hotCol.Tick, Exact: true})
 	if err != nil {
 		t.Fatalf("hot exact: %v", err)
 	}
@@ -494,7 +495,7 @@ func TestExactWithoutRawErrors(t *testing.T) {
 		t.Fatalf("expected covered hot answer, got %+v", ans)
 	}
 	// Batch must absorb the failure per-answer instead of failing whole.
-	answers := repo.Batch([]STRQRequest{
+	answers := repo.Batch(context.Background(), []STRQRequest{
 		{P: sealedCol.Points[0], Tick: sealedCol.Tick, Exact: true},
 		{P: hotCol.Points[0], Tick: hotCol.Tick},
 	})
@@ -533,7 +534,7 @@ func TestHotTailAccountingUnderRacingCompaction(t *testing.T) {
 		rng := rand.New(rand.NewSource(8))
 		for !done.Load() {
 			col := cols[rng.Intn(len(cols))]
-			if _, err := repo.STRQ(STRQRequest{P: col.Points[0], Tick: col.Tick}); err != nil {
+			if _, err := repo.STRQ(context.Background(), STRQRequest{P: col.Points[0], Tick: col.Tick}); err != nil {
 				panic(err)
 			}
 		}
@@ -599,7 +600,7 @@ func TestPathStitchesAcrossSegments(t *testing.T) {
 		if tr.Len() < 10 {
 			continue
 		}
-		got := repo.Path(tr.ID, tr.Start, tr.Len())
+		got := repo.Path(context.Background(), tr.ID, tr.Start, tr.Len())
 		if len(got.Points) == 0 {
 			continue
 		}
@@ -637,5 +638,28 @@ func TestOpenValidatesOptions(t *testing.T) {
 		if _, err := Open(o); err == nil {
 			t.Fatalf("options %d should be rejected", i)
 		}
+	}
+}
+
+// TestGoAPIValidationMatchesHTTP checks programmatic callers get errors
+// (not silent empties) for the inputs the HTTP layer 400s.
+func TestGoAPIValidationMatchesHTTP(t *testing.T) {
+	repo, err := Open(testOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	ctx := context.Background()
+	if _, err := repo.STRQ(ctx, STRQRequest{P: geo.Pt(math.NaN(), 0), Tick: 0}); err == nil {
+		t.Fatal("non-finite STRQ point should error")
+	}
+	if _, err := repo.STRQ(ctx, STRQRequest{P: geo.Pt(1, 1), Tick: 0, PathLen: -1}); err == nil {
+		t.Fatal("negative path length should error")
+	}
+	if _, err := repo.Window(ctx, geo.Rect{MinX: 2, MinY: 0, MaxX: 1, MaxY: 1}, 0, 1, false); err == nil {
+		t.Fatal("inverted window rect should error")
+	}
+	if _, err := repo.Window(ctx, geo.Rect{MinX: math.Inf(1), MaxX: 1, MaxY: 1}, 0, 1, false); err == nil {
+		t.Fatal("non-finite window rect should error")
 	}
 }

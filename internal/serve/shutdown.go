@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// DrainAndClose is the repository server's shutdown sequence: stop
+// accepting connections and drain in-flight requests via
+// http.Server.Shutdown (bounded by drainTimeout), then seal the remaining
+// hot tail with Flush so the final compact and manifest swap land on
+// disk, and finally Close the repository. It exists so a SIGINT/SIGTERM
+// handler — where a deferred Close would never run on a bare os.Exit —
+// has one call that cannot forget the flush.
+//
+// Every step runs even when an earlier one fails (a drain timeout must
+// not leak the compactor goroutine or skip the flush); the first error is
+// returned. A Shutdown cut short by the timeout closes the remaining
+// request connections mid-flight, which is the intended bound on a
+// stuck client.
+func DrainAndClose(srv *http.Server, repo *Repository, drainTimeout time.Duration) error {
+	ctx := context.Background()
+	if drainTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, drainTimeout)
+		defer cancel()
+	}
+	err := srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The drain window closed with requests still running; cut them.
+		// The deadline error is the one worth reporting, so Close's own
+		// (rare) error is deliberately dropped.
+		srv.Close()
+	}
+	if ferr := repo.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := repo.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -29,6 +29,7 @@
 package ppqtraj
 
 import (
+	"context"
 	"fmt"
 
 	"ppqtraj/internal/core"
@@ -308,7 +309,7 @@ type RangeResult struct {
 // grid cell of p at the given tick. Recall is 1 (the local-search
 // guarantee); precision can be < 1.
 func (e *Engine) RangeQuery(p Point, tick int) *RangeResult {
-	r, _ := e.e.STRQ(p, tick, false, nil) // approximate mode never errors
+	r, _ := e.e.STRQ(context.Background(), p, tick, false, nil) // approximate mode never errors
 	return &RangeResult{IDs: r.IDs, Cell: r.Cell, Covered: r.Covered}
 }
 
@@ -317,7 +318,7 @@ func (e *Engine) RangeQuery(p Point, tick int) *RangeResult {
 // verification accesses. It errors when the engine was built without raw
 // dataset access.
 func (e *Engine) ExactRangeQuery(p Point, tick int) (*RangeResult, error) {
-	r, err := e.e.STRQ(p, tick, true, nil)
+	r, err := e.e.STRQ(context.Background(), p, tick, true, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -334,7 +335,7 @@ type PathResult struct {
 // PathQuery answers TPQ: run RangeQuery at (p, tick) and reproduce each
 // match's positions over [tick, tick+l) from the summary.
 func (e *Engine) PathQuery(p Point, tick, l int) *PathResult {
-	r, _ := e.e.TPQ(p, tick, l, false, nil) // approximate mode never errors
+	r, _ := e.e.TPQ(context.Background(), p, tick, l, false, nil) // approximate mode never errors
 	return &PathResult{
 		Range: &RangeResult{IDs: r.STRQ.IDs, Cell: r.STRQ.Cell, Covered: r.STRQ.Covered},
 		Paths: r.Paths,

@@ -6,6 +6,7 @@
 package ppqtraj
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -146,6 +147,6 @@ func BenchmarkSTRQ(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j := i % len(pts)
-		eng.STRQ(pts[j], ticks[j], false, nil) //nolint:errcheck // approximate mode never errors
+		eng.STRQ(context.Background(), pts[j], ticks[j], false, nil) //nolint:errcheck // approximate mode never errors
 	}
 }

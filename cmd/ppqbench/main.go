@@ -9,15 +9,17 @@
 //	ppqbench -experiment perf -json BENCH_PPQ.json -label my-change
 //
 // Experiments: table2 table3 table4 table56 table7 table8 table9
-// figure7 figure8 figure9 perf serve cache all. The perf experiment
+// figure7 figure8 figure9 perf serve cache wal all. The perf experiment
 // measures the three hot paths (per-tick build, engine construction,
 // STRQ) on the standard SyntheticPorto(2000, 42) workload; the serve
 // experiment drives the repository server's mixed ingest/query workload
 // (live ingestion + background compaction + concurrent STRQ traffic);
 // the cache experiment replays a skewed repeated-STRQ probe set against
 // sealed segments to measure the decoded-cell cache's cached-vs-cold
-// speedup. All three append to a machine-readable history with -json so
-// PRs track the perf trajectory.
+// speedup; the wal experiment prices the durability spectrum — ingest
+// throughput under each write-ahead-log sync policy (never / interval /
+// always) plus crash-replay speed. All four append to a machine-readable
+// history with -json so PRs track the perf trajectory.
 package main
 
 import (
@@ -30,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, all)")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
 	queries := flag.Int("queries", 0, "override query/probe count (0 = scale default)")
 	jsonPath := flag.String("json", "", "perf/serve/cache only: append the run to this JSON history file")
@@ -101,10 +103,22 @@ func main() {
 		}
 		fmt.Fprintf(w, "[cache completed in %.1fs]\n\n", time.Since(start).Seconds())
 	}
+	if *exp == "wal" {
+		start := time.Now()
+		if *jsonPath != "" {
+			if err := bench.AppendWAL(*jsonPath, *label, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.WALBench(*label, w)
+		}
+		fmt.Fprintf(w, "[wal completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache":
+		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -1,12 +1,16 @@
 // Command ppqserve runs the sharded trajectory repository server: live
-// HTTP ingestion into a raw hot tail, background compaction into sealed
-// quantized segments (persisted under -dir with a crash-safe manifest),
-// and batch STRQ/TPQ/window queries over the whole store.
+// HTTP ingestion into a raw hot tail made durable by a write-ahead log,
+// background compaction into sealed quantized segments (persisted under
+// -dir with a crash-safe manifest), and batch STRQ/TPQ/window queries
+// over the whole store. On restart the WAL is replayed above the sealed
+// watermark, so with -fsync=always a crash at any instant loses zero
+// acknowledged ingests.
 //
 // Usage:
 //
-//	ppqserve -addr :8080 -dir ./data            # persistent repository
-//	ppqserve -addr :8080 -preload 500           # memory-only, synthetic warm-up data
+//	ppqserve -addr :8080 -dir ./data              # persistent repository
+//	ppqserve -addr :8080 -dir ./data -fsync=always # every ack fsynced
+//	ppqserve -addr :8080 -preload 500             # memory-only, synthetic warm-up data
 //
 // See the README's "Repository server" section for the endpoint
 // reference.
@@ -30,6 +34,7 @@ import (
 	"ppqtraj/internal/partition"
 	"ppqtraj/internal/serve"
 	"ppqtraj/internal/traj"
+	"ppqtraj/internal/wal"
 )
 
 func main() {
@@ -44,6 +49,11 @@ func main() {
 	preload := flag.Int("preload", 0, "ingest this many synthetic Porto trajectories at startup")
 	seed := flag.Int64("seed", 42, "synthetic preload seed")
 	cacheMB := flag.Int64("cache-mb", 64, "decoded-cell cache budget in MiB (0 disables)")
+	fsync := flag.String("fsync", "interval",
+		"WAL sync policy: always (no acknowledged ingest is ever lost), interval (background fsync), never (OS decides)")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync=interval")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory (default <dir>/wal; ignored without -dir)")
+	walSegMB := flag.Int64("wal-segment-mb", 16, "WAL file size before rotation, in MiB")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second,
 		"default per-request query deadline (0 = none; clients override with ?timeout=)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
@@ -53,6 +63,11 @@ func main() {
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // Options.CacheBytes: negative disables, 0 means default
+	}
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	bopts := core.DefaultOptions(partition.Spatial, *epsP)
 	bopts.Epsilon1 = *eps1
@@ -72,6 +87,10 @@ func main() {
 		CompactInterval:     *interval,
 		CacheBytes:          cacheBytes,
 		DefaultQueryTimeout: *queryTimeout,
+		WALDir:              *walDir,
+		WALSync:             policy,
+		WALSyncInterval:     *fsyncEvery,
+		WALSegmentBytes:     *walSegMB << 20,
 	}
 
 	repo, err := serve.Open(opts)
@@ -103,8 +122,8 @@ func main() {
 		Handler:           repo.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("ppqserve listening on %s (dir=%q hot=%d cache=%dMiB timeout=%v)",
-		*addr, *dir, *hotTicks, *cacheMB, *queryTimeout)
+	log.Printf("ppqserve listening on %s (dir=%q hot=%d cache=%dMiB timeout=%v fsync=%s)",
+		*addr, *dir, *hotTicks, *cacheMB, *queryTimeout, *fsync)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests, flush the
 	// hot tail (the final compact + manifest swap), and close. A bare kill

@@ -44,6 +44,9 @@ type PerfFile struct {
 	Runs      []PerfRun  `json:"runs"`
 	ServeRuns []ServeRun `json:"serve_runs,omitempty"`
 	CacheRuns []CacheRun `json:"cache_runs,omitempty"`
+	// WALRuns tracks ingest throughput under each WAL sync policy plus
+	// crash-replay speed (ppqbench -experiment wal).
+	WALRuns []WALRun `json:"wal_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.

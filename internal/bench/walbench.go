@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+	"ppqtraj/internal/wal"
+)
+
+// WALRun is one durability measurement: the standard ingest stream driven
+// through a persistent repository under one WAL sync policy. The three
+// policies price the durability spectrum — "never" is the no-WAL-cost
+// ceiling, "interval" the production default, "always" the
+// zero-acknowledged-loss floor (one fsync per ingested tick batch). The
+// replay number is recovery speed: the whole unflushed stream read back
+// from the log into the hot tail on reopen.
+type WALRun struct {
+	Label              string  `json:"label"`
+	Policy             string  `json:"policy"`
+	GoMaxProcs         int     `json:"gomaxprocs"`
+	Points             int     `json:"points"`
+	IngestPointsPerSec float64 `json:"ingest_points_per_sec"`
+	Syncs              int64   `json:"syncs"`
+	WALBytes           int64   `json:"wal_bytes"`
+	WALSegments        int     `json:"wal_segments"`
+	ReplayPointsPerSec float64 `json:"replay_points_per_sec"`
+	ReplaySeconds      float64 `json:"replay_seconds"`
+}
+
+// WALBench runs the ingest stream once per sync policy, with compaction
+// disabled so every append pays the WAL and nothing else — the numbers
+// isolate the durability tax. After each ingest pass the repository is
+// closed un-flushed and reopened, timing the full WAL replay. Human
+// readable lines go to w (nil for silent).
+func WALBench(label string, w io.Writer) []WALRun {
+	d, cols := perfData()
+	var runs []WALRun
+	for _, policy := range []wal.SyncPolicy{wal.SyncNever, wal.SyncEvery, wal.SyncAlways} {
+		dir, err := os.MkdirTemp("", "ppq-walbench-")
+		if err != nil {
+			panic(err)
+		}
+		opts := serve.Options{
+			Build:   perfOpts(partition.Spatial),
+			Index:   indexOptions(Porto),
+			Dir:     dir,
+			WALSync: policy,
+			// No compaction: the hot tail holds the full stream, so the
+			// measured cost is append+log (and the replay covers every
+			// point).
+			HotTicks:        1 << 30,
+			CompactInterval: time.Hour,
+			Logf:            func(string, ...any) {},
+		}
+		repo, err := serve.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		for _, col := range cols {
+			if err := repo.IngestColumn(col); err != nil {
+				panic(err)
+			}
+		}
+		ingestSecs := time.Since(start).Seconds()
+		st := repo.Stats()
+		if err := repo.Close(); err != nil { // no Flush: the WAL holds everything
+			panic(err)
+		}
+
+		start = time.Now()
+		repo, err = serve.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		replaySecs := time.Since(start).Seconds()
+		rst := repo.Stats()
+		if rst.WALReplayedPoints != int64(d.NumPoints()) {
+			panic(fmt.Sprintf("walbench: replay restored %d of %d points", rst.WALReplayedPoints, d.NumPoints()))
+		}
+		if err := repo.Close(); err != nil {
+			panic(err)
+		}
+		os.RemoveAll(dir)
+
+		run := WALRun{
+			Label:              label,
+			Policy:             string(policy),
+			GoMaxProcs:         runtime.GOMAXPROCS(0),
+			Points:             d.NumPoints(),
+			IngestPointsPerSec: float64(d.NumPoints()) / ingestSecs,
+			Syncs:              st.WAL.Syncs,
+			WALBytes:           st.WAL.Bytes,
+			WALSegments:        st.WAL.Segments,
+			ReplayPointsPerSec: float64(d.NumPoints()) / replaySecs,
+			ReplaySeconds:      replaySecs,
+		}
+		runs = append(runs, run)
+		fprintf(w, "== wal: %s policy=%-8s (GOMAXPROCS=%d, %d points) ==\n",
+			label, run.Policy, run.GoMaxProcs, run.Points)
+		fprintf(w, "  ingest           %12.0f points/s (%d fsyncs)\n", run.IngestPointsPerSec, run.Syncs)
+		fprintf(w, "  log size         %12.1f MB in %d segment(s)\n", float64(run.WALBytes)/1e6, run.WALSegments)
+		fprintf(w, "  crash replay     %12.0f points/s (%.2fs to rebuild the hot tail)\n",
+			run.ReplayPointsPerSec, run.ReplaySeconds)
+	}
+	return runs
+}
+
+// AppendWAL runs WALBench and appends the results to the JSON history at
+// path (sharing the file with the perf, serve, and cache runs).
+func AppendWAL(path, label string, w io.Writer) error {
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.WALRuns = append(pf.WALRuns, WALBench(label, w)...)
+	return writePerfFile(path, &pf)
+}

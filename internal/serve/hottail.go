@@ -63,7 +63,13 @@ func (h *hotTail) freeze(bound int) {
 // per-trajectory entry indexing of the segment the compactor later
 // builds). Validation runs before any mutation, so a rejected column
 // leaves the tail untouched.
-func (h *hotTail) ingest(tick int, ids []traj.ID, pts []geo.Point) error {
+//
+// logged, when non-nil, runs after validation and before any mutation —
+// the repository's write-ahead hook. Running it under the tail's lock
+// pins the WAL's append order to the tail's application order, which is
+// what lets a crash replay reproduce this exact state; a logged error
+// aborts the ingest with the tail untouched.
+func (h *hotTail) ingest(tick int, ids []traj.ID, pts []geo.Point, logged func() error) error {
 	if len(ids) != len(pts) {
 		return fmt.Errorf("serve: ingest tick %d: %d ids vs %d points", tick, len(ids), len(pts))
 	}
@@ -97,6 +103,11 @@ func (h *hotTail) ingest(tick int, ids []traj.ID, pts []geo.Point) error {
 				return fmt.Errorf("serve: trajectory %d appears twice in the tick-%d batch", id, tick)
 			}
 			inBatch[id] = struct{}{}
+		}
+	}
+	if logged != nil {
+		if err := logged(); err != nil {
+			return err
 		}
 	}
 	col := h.cols[tick]

@@ -23,7 +23,9 @@ import (
 //	POST /v1/ingest  {"ticks":[{"tick":99,"points":[{"id":7,"x":-8.61,"y":41.15}]}]}
 //	                 → {"accepted_points":1}
 //	POST /v1/flush   → compacts the whole hot tail synchronously
-//	GET  /v1/stats   → Stats JSON
+//	GET  /v1/stats   → Stats JSON (includes the "wal" section: segments,
+//	                   bytes, syncs, appended/replayed records — all-zero
+//	                   on a memory-only repository)
 //	GET  /healthz    → 200 "ok"
 //
 // Batch sizes are capped so one request cannot monopolize the server.

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"ppqtraj/internal/index"
 	"ppqtraj/internal/par"
 	"ppqtraj/internal/traj"
+	"ppqtraj/internal/wal"
 )
 
 // Options configures a Repository.
@@ -68,6 +71,26 @@ type Options struct {
 	// server's deadline, never extend it. 0 means no default deadline
 	// (client values are then capped at 10 minutes).
 	DefaultQueryTimeout time.Duration
+	// WALDir holds the hot tail's write-ahead log (default Dir + "/wal").
+	// Only meaningful when Dir is set — a memory-only repository has
+	// nothing durable for the log to recover into.
+	WALDir string
+	// WALSync is the log's sync policy: wal.SyncAlways (fsync before every
+	// ingest ack — a crash at any instant loses zero acknowledged writes),
+	// wal.SyncEvery (background fsync each WALSyncInterval — a crash loses
+	// at most one interval), or wal.SyncNever (the OS flushes when it
+	// pleases — a process crash loses nothing, a machine crash may).
+	// Default wal.SyncEvery.
+	WALSync wal.SyncPolicy
+	// WALSyncInterval is the background fsync period under wal.SyncEvery
+	// (default 100ms).
+	WALSyncInterval time.Duration
+	// WALSegmentBytes caps one WAL file's size before rotation (default
+	// 16 MiB); smaller files let compaction reclaim log space sooner.
+	WALSegmentBytes int64
+	// Logf receives operational log lines (orphan cleanup, WAL replay).
+	// Defaults to log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // DefaultCacheBytes is the decoded-cell cache budget used when
@@ -104,6 +127,15 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.CacheBytes == 0 {
 		o.CacheBytes = DefaultCacheBytes
+	}
+	if o.WALDir == "" && o.Dir != "" {
+		o.WALDir = filepath.Join(o.Dir, "wal")
+	}
+	if o.WALSync == "" {
+		o.WALSync = wal.SyncEvery
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
 	}
 	return o, nil
 }
@@ -145,6 +177,11 @@ type Repository struct {
 
 	hot *hotTail
 
+	// wal is the hot tail's write-ahead log (nil when the repository is
+	// memory-only): every ingest is appended before the tail mutates, so
+	// Open can rebuild the un-sealed tail after a crash.
+	wal *wal.Log
+
 	// cells is the shared decoded-cell cache (nil when disabled): one LRU
 	// across every sealed segment, so budget flows to whichever segments
 	// the workload actually hammers.
@@ -157,6 +194,10 @@ type Repository struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
+	// Set once during Open, before any goroutine starts.
+	replayedPoints int64 // WAL points re-applied to the hot tail
+	orphansRemoved int64 // unreferenced files deleted at startup
+
 	ingested        atomic.Int64
 	compactions     atomic.Int64
 	compactedPoints atomic.Int64
@@ -168,6 +209,13 @@ type Repository struct {
 // Open creates a repository (reloading persisted segments when opts.Dir
 // holds a manifest) and starts its background compactor. Close must be
 // called to stop it.
+//
+// Recovery sequence for a persistent repository: load the manifest
+// (sealed segments), delete orphaned files a crash between segment write
+// and manifest swap left behind, then replay the write-ahead log above
+// the manifest's sealed watermark to rebuild the hot tail — including
+// the per-trajectory lastSeen map, so the contiguity contract survives
+// the restart exactly as if the process had never died.
 func Open(opts Options) (*Repository, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
@@ -191,11 +239,88 @@ func Open(opts Options) (*Repository, error) {
 		if err := r.loadManifest(); err != nil {
 			return nil, err
 		}
+		if err := r.gcOrphans(); err != nil {
+			return nil, err
+		}
 	}
+	// The floor must be in place before replay: it is what routes sealed
+	// WAL records (already covered by segments) around the hot tail.
 	r.hot.floor = r.sealedThrough
+	if opts.Dir != "" {
+		l, err := wal.Open(wal.Options{
+			Dir:          opts.WALDir,
+			Policy:       opts.WALSync,
+			Interval:     opts.WALSyncInterval,
+			SegmentBytes: opts.WALSegmentBytes,
+		}, r.replayRecord)
+		if err != nil {
+			return nil, err
+		}
+		r.wal = l
+		if r.replayedPoints > 0 {
+			opts.Logf("serve: WAL replayed %d points above sealed tick %d", r.replayedPoints, r.sealedThrough)
+		}
+	}
 	r.wg.Add(1)
 	go r.compactLoop()
 	return r, nil
+}
+
+// replayRecord applies one WAL record during Open. Records at or below
+// the sealed watermark are already served by sealed segments — the
+// compactor reclaims whole WAL files only once every record in them is
+// sealed, so a surviving file can straddle the watermark. Records above
+// it re-run the full ingest admission path: the WAL holds them in the
+// exact order they originally passed it, so validation cannot fail on an
+// intact log, and a record that fails anyway means the log does not match
+// the manifest — refusing to open beats serving a silently diverged tail.
+func (r *Repository) replayRecord(rec wal.Record) error {
+	if rec.Tick <= r.sealedThrough {
+		return nil
+	}
+	if err := r.hot.ingest(rec.Tick, rec.IDs, rec.Points, nil); err != nil {
+		return err
+	}
+	r.replayedPoints += int64(len(rec.IDs))
+	return nil
+}
+
+// gcOrphans deletes files in the data dir that the manifest does not
+// reference: a crash between a segment persist and the manifest swap
+// leaks the freshly written .ppqs file (and possibly a temp file), and
+// nothing would ever reclaim it — reopening always starts from the
+// manifest. Only files this package itself names are touched.
+func (r *Repository) gcOrphans() error {
+	entries, err := os.ReadDir(r.opts.Dir)
+	if err != nil {
+		return err
+	}
+	referenced := make(map[string]bool, len(r.segs))
+	for _, s := range r.segs {
+		referenced[s.File] = true
+	}
+	removed := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		ours := (strings.HasPrefix(name, "seg-") && strings.Contains(name, ".ppqs")) ||
+			strings.HasPrefix(name, manifestName+".tmp")
+		if !ours || referenced[name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(r.opts.Dir, name)); err != nil {
+			return fmt.Errorf("serve: removing orphaned %s: %w", name, err)
+		}
+		r.opts.Logf("serve: removed orphaned file %s (not referenced by the manifest)", name)
+		removed++
+	}
+	r.orphansRemoved = int64(removed)
+	if removed > 0 {
+		return wal.SyncDir(r.opts.Dir)
+	}
+	return nil
 }
 
 // loadManifest restores the sealed-segment view from disk.
@@ -248,11 +373,18 @@ func (r *Repository) writeManifest() error {
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(r.opts.Dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
-		return err
+	// durableSwap fsyncs the temp file before the rename (or a crash can
+	// publish a manifest whose bytes never made it) and the directory
+	// after it (or the rename itself can be lost and the old manifest
+	// resurrected alongside already-reclaimed WAL files).
+	_, err = durableSwap(r.opts.Dir, manifestName, func(f *os.File) (int64, error) {
+		n, err := f.Write(append(blob, '\n'))
+		return int64(n), err
+	})
+	if err != nil {
+		return fmt.Errorf("serve: writing manifest: %w", err)
 	}
-	return os.Rename(tmp, filepath.Join(r.opts.Dir, manifestName))
+	return nil
 }
 
 // attachCache wires the shared decoded-cell cache to a freshly built or
@@ -267,27 +399,62 @@ func (r *Repository) attachCache(seg *Segment) {
 	seg.Eng.Idx.SetCache(r.cells, seg.CacheOwner)
 }
 
-// Close stops the background compactor and drops the closed segments'
-// decoded-cell cache entries. It does not flush the hot tail; call Flush
-// first when the remaining hot points must be sealed.
+// Close stops the background compactor, fsyncs and closes the
+// write-ahead log, and drops the closed segments' decoded-cell cache
+// entries. It does not flush the hot tail; call Flush first when the
+// remaining hot points must be sealed — an unflushed tail is still safe
+// on a persistent repository, because the WAL replays it on the next
+// Open.
 func (r *Repository) Close() error {
 	close(r.stop)
 	r.wg.Wait()
+	var err error
+	if r.wal != nil {
+		err = r.wal.Close()
+	}
 	if r.cells != nil {
 		segs, _ := r.view()
 		for _, s := range segs {
 			r.cells.InvalidateOwner(s.CacheOwner)
 		}
 	}
-	return nil
+	return err
 }
 
 // Ingest adds one tick of points (parallel id/point slices). Ticks at or
 // below the sealed watermark are rejected, as are non-finite positions
 // and per-trajectory sampling gaps; a rejected batch changes nothing.
+//
+// On a persistent repository the validated batch is appended to the
+// write-ahead log before the hot tail mutates, and under wal.SyncAlways
+// the append is fsynced before Ingest returns — an acknowledged batch
+// then survives a crash at any instant. A WAL append failure rejects
+// the batch untouched; a WAL commit (fsync) failure fail-stops the log:
+// the batch is resident but reported failed, and every subsequent
+// ingest is rejected with the latched disk error — after a disk lies
+// about an fsync, nothing further can honestly be acknowledged.
 func (r *Repository) Ingest(tick int, ids []traj.ID, pts []geo.Point) error {
-	if err := r.hot.ingest(tick, ids, pts); err != nil {
+	var lsn int64
+	var logged func() error
+	if r.wal != nil {
+		logged = func() (err error) {
+			lsn, err = r.wal.Append(wal.Record{Tick: tick, IDs: ids, Points: pts})
+			return err
+		}
+	}
+	if err := r.hot.ingest(tick, ids, pts, logged); err != nil {
 		return err
+	}
+	if r.wal != nil {
+		// The durability barrier runs outside the hot-tail lock so queries
+		// proceed during the fsync, and after the mutation so the ack still
+		// gates on it: a Commit error fails the ingest even though the
+		// points are resident — an fsync failure means the disk is lying,
+		// and the caller must not believe the write is durable.
+		if err := r.wal.Commit(lsn); err != nil {
+			r.lastErr.Store(err.Error())
+			return err
+		}
 	}
 	r.ingested.Add(int64(len(ids)))
 	if lo, hi, ok := r.hot.tickSpan(); ok && hi-lo+1 > r.opts.HotTicks {
@@ -401,14 +568,29 @@ func (r *Repository) compactOnce(force bool) error {
 	}
 
 	// Empty trailing ticks up to bound are sealed too (there is nothing
-	// there to serve, but the watermark must not regress on reload).
+	// there to serve, but the watermark must not regress on reload). In
+	// the common case the last chunk ends exactly at bound and its
+	// writeManifest above already published this watermark — rewriting a
+	// byte-identical manifest would cost two more fsyncs per compaction.
 	r.mu.Lock()
-	if bound > r.sealedThrough {
+	advanced := bound > r.sealedThrough
+	if advanced {
 		r.sealedThrough = bound
 	}
+	sealed := r.sealedThrough
 	r.mu.Unlock()
 	if r.opts.Dir != "" {
-		return r.writeManifest()
+		if advanced {
+			if err := r.writeManifest(); err != nil {
+				return err
+			}
+		}
+		// Only after the manifest durably references the new segments may
+		// the WAL records covering their ticks be reclaimed — the reverse
+		// order would leave a crash window with the points in neither tier.
+		if r.wal != nil {
+			return r.wal.TruncateThrough(sealed)
+		}
 	}
 	return nil
 }
@@ -843,22 +1025,33 @@ type Stats struct {
 	// Cache reports the shared decoded-cell cache (all-zero when the
 	// cache is disabled).
 	Cache cache.Stats `json:"cell_cache"`
+	// WAL reports the hot tail's write-ahead log (all-zero when the
+	// repository is memory-only).
+	WAL wal.Stats `json:"wal"`
+	// WALReplayedPoints is how many logged points this process re-applied
+	// to the hot tail at startup (0 after a graceful flush+close).
+	WALReplayedPoints int64 `json:"wal_replayed_points"`
+	// OrphansRemoved is how many unreferenced data files startup deleted.
+	OrphansRemoved int64 `json:"orphans_removed"`
 }
 
 // Stats snapshots the repository.
 func (r *Repository) Stats() Stats {
 	segs, sealed := r.view()
 	st := Stats{
-		Segments:        len(segs),
-		SealedThrough:   sealed,
-		HotPoints:       r.hot.numPoints(),
-		IngestedPoints:  r.ingested.Load(),
-		Compactions:     r.compactions.Load(),
-		CompactedPoints: r.compactedPoints.Load(),
-		Queries:         r.queries.Load(),
-		QueryErrors:     r.queryErrors.Load(),
-		LastError:       r.lastErr.Load().(string),
-		Cache:           r.cells.Snapshot(),
+		Segments:          len(segs),
+		SealedThrough:     sealed,
+		HotPoints:         r.hot.numPoints(),
+		IngestedPoints:    r.ingested.Load(),
+		Compactions:       r.compactions.Load(),
+		CompactedPoints:   r.compactedPoints.Load(),
+		Queries:           r.queries.Load(),
+		QueryErrors:       r.queryErrors.Load(),
+		LastError:         r.lastErr.Load().(string),
+		Cache:             r.cells.Snapshot(),
+		WAL:               r.wal.Stats(),
+		WALReplayedPoints: r.replayedPoints,
+		OrphansRemoved:    r.orphansRemoved,
 	}
 	for _, s := range segs {
 		st.SegmentPoints += s.Points

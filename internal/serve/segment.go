@@ -19,6 +19,7 @@ import (
 	"ppqtraj/internal/index"
 	"ppqtraj/internal/query"
 	"ppqtraj/internal/traj"
+	"ppqtraj/internal/wal"
 )
 
 // Segment is one sealed, immutable shard of the repository: the quantized
@@ -76,15 +77,20 @@ func (s *Segment) Covers(tick int) bool {
 // segmentFileName is the canonical on-disk name of a segment.
 func segmentFileName(id uint64) string { return fmt.Sprintf("seg-%06d.ppqs", id) }
 
-// persist writes the segment's summary blob to dir under its canonical
-// name, atomically (temp file + rename), and records File/SizeBytes.
-func (s *Segment) persist(dir string) error {
-	name := segmentFileName(s.ID)
+// durableSwap atomically and durably replaces dir/name: write fills a
+// temp file in dir, which is fsynced, closed, renamed over name, and
+// the directory fsynced after the rename — the full crash-safe publish
+// sequence shared by segment blobs and the manifest. The contents are
+// on stable storage before the new name exists, and the rename itself
+// is durable when durableSwap returns, so a crash at any instant leaves
+// either the complete old file or the complete new one (plus, at worst,
+// an orphaned temp file for startup GC). Returns write's byte count.
+func durableSwap(dir, name string, write func(*os.File) (int64, error)) (int64, error) {
 	tmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
-		return err
+		return 0, err
 	}
-	n, err := s.Sum.WriteTo(tmp)
+	n, err := write(tmp)
 	if err == nil {
 		err = tmp.Sync()
 	}
@@ -93,11 +99,25 @@ func (s *Segment) persist(dir string) error {
 	}
 	if err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("serve: persisting segment %d: %w", s.ID, err)
+		return n, err
 	}
 	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return n, err
+	}
+	return n, wal.SyncDir(dir)
+}
+
+// persist writes the segment's summary blob to dir under its canonical
+// name via durableSwap, so by the time the manifest references the
+// file, both its contents and its directory entry are on stable
+// storage — a crash can never publish a manifest pointing at a hollow
+// or missing segment.
+func (s *Segment) persist(dir string) error {
+	name := segmentFileName(s.ID)
+	n, err := durableSwap(dir, name, func(f *os.File) (int64, error) { return s.Sum.WriteTo(f) })
+	if err != nil {
+		return fmt.Errorf("serve: persisting segment %d: %w", s.ID, err)
 	}
 	s.File = name
 	s.SizeBytes = n

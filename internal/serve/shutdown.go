@@ -11,9 +11,12 @@ import (
 // accepting connections and drain in-flight requests via
 // http.Server.Shutdown (bounded by drainTimeout), then seal the remaining
 // hot tail with Flush so the final compact and manifest swap land on
-// disk, and finally Close the repository. It exists so a SIGINT/SIGTERM
-// handler — where a deferred Close would never run on a bare os.Exit —
-// has one call that cannot forget the flush.
+// disk, and finally Close the repository (which fsyncs and closes the
+// write-ahead log). It exists so a SIGINT/SIGTERM handler — where a
+// deferred Close would never run on a bare os.Exit — has one call that
+// cannot forget the flush. On a persistent repository even a skipped or
+// failed Flush no longer loses the hot tail: the WAL replays it on the
+// next Open; the flush just converts it to sealed, compressed form.
 //
 // Every step runs even when an earlier one fails (a drain timeout must
 // not leak the compactor goroutine or skip the flush); the first error is

@@ -1,0 +1,680 @@
+// Package wal is the repository's durable hot tail: a segmented,
+// checksummed, append-only write-ahead log of ingested tick batches. The
+// serving layer appends every validated ingest before mutating its
+// in-memory hot tail, so a crash loses no acknowledged write: on restart
+// the log is replayed above the manifest's sealed watermark to rebuild the
+// hot tail exactly, and segments whose records are all covered by sealed
+// repository segments are reclaimed after compaction.
+//
+// Format: the log is a sequence of files wal-<seq>.log (seq ascending,
+// records in append order across files). Each record is
+//
+//	[u32 payload length][u32 CRC32-C of payload][payload]
+//
+// with the payload encoding one ingested tick batch: i64 tick, u32 count,
+// count × u32 trajectory ID, count × (f64 x, f64 y), all little-endian.
+// A torn write (crash mid-append) leaves a short or checksum-failing
+// record at the very end of the last file; Open truncates it away and the
+// log continues from the last good record. Corruption anywhere else is a
+// hard error — that data was acknowledged and cannot be silently dropped.
+//
+// Durability is governed by the sync policy: SyncAlways fsyncs before an
+// append commits (no acknowledged write is ever lost, even to a power
+// failure), SyncEvery fsyncs on a background interval (a crash loses at
+// most one interval of acknowledged writes), SyncNever leaves flushing to
+// the OS (a process crash loses nothing — records are written straight to
+// the file, unbuffered — but a machine crash can lose whatever the kernel
+// had not written back).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// SyncPolicy selects when appended records are fsynced to stable storage.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs before every append is acknowledged.
+	SyncAlways SyncPolicy = "always"
+	// SyncEvery fsyncs on a background interval (Options.Interval).
+	SyncEvery SyncPolicy = "interval"
+	// SyncNever never fsyncs explicitly (rotation and Close still do).
+	SyncNever SyncPolicy = "never"
+)
+
+// ParsePolicy converts a flag string into a SyncPolicy.
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncEvery, SyncNever:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("wal: unknown sync policy %q (want always, interval, or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// Dir holds the log's segment files; created if absent.
+	Dir string
+	// Policy is the sync policy (default SyncEvery).
+	Policy SyncPolicy
+	// Interval is the background fsync period under SyncEvery
+	// (default 100ms).
+	Interval time.Duration
+	// SegmentBytes caps one log file's size before rotation
+	// (default 16 MiB). Smaller segments reclaim space sooner after
+	// compaction; each rotation costs one fsync and one file creation.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, errors.New("wal: Dir must be set")
+	}
+	if o.Policy == "" {
+		o.Policy = SyncEvery
+	}
+	if _, err := ParsePolicy(string(o.Policy)); err != nil {
+		return o, err
+	}
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	return o, nil
+}
+
+// Record is one logged ingest batch: the points of one tick. IDs and
+// Points are parallel slices, exactly as handed to Repository.Ingest.
+type Record struct {
+	Tick   int
+	IDs    []traj.ID
+	Points []geo.Point
+}
+
+// Stats is a point-in-time snapshot of the log (the /v1/stats wal
+// section).
+type Stats struct {
+	Segments        int   `json:"segments"`
+	Bytes           int64 `json:"bytes"`
+	Syncs           int64 `json:"syncs"`
+	Appends         int64 `json:"appended_records"`
+	ReplayedRecords int64 `json:"replayed_records"`
+	ReplayedPoints  int64 `json:"replayed_points"`
+	Reclaimed       int64 `json:"reclaimed_segments"`
+	// Failed carries the latched disk-failure error, if any: once set the
+	// log is fail-stopped and rejects every further append and commit.
+	Failed string `json:"failed,omitempty"`
+}
+
+// segment is one log file's in-memory metadata. maxTick drives
+// reclamation: once every record's tick is at or below the repository's
+// sealed watermark, the file's contents are fully covered by sealed
+// segments and the file can go.
+type segment struct {
+	seq     uint64
+	path    string
+	bytes   int64
+	records int64
+	maxTick int
+}
+
+// Log is the write-ahead log. Append/Commit/TruncateThrough/Stats are
+// safe for concurrent use.
+type Log struct {
+	opts Options
+
+	mu     sync.Mutex // guards file ops, rotation, and the segment list
+	f      *os.File   // active segment, open for append
+	segs   []*segment // ascending seq; last is the active one
+	closed bool
+	failed error // first fsync/write failure; latched, poisons the log
+
+	written int64 // LSN: total bytes appended over the log's lifetime
+	synced  int64 // highest LSN known durable
+
+	// syncMu serializes fsyncs; it is held across the Sync call itself so
+	// mu (which Append needs, inside the serving layer's hot-tail lock)
+	// never is. Lock order: syncMu before mu, never the reverse.
+	syncMu sync.Mutex
+
+	syncs        atomic.Int64
+	appends      atomic.Int64
+	reclaimed    atomic.Int64
+	replayedRecs atomic.Int64
+	replayedPts  atomic.Int64
+
+	stopSync chan struct{} // closes the SyncEvery ticker goroutine
+	syncWG   sync.WaitGroup
+
+	scratch []byte // append encode buffer, reused under mu
+}
+
+const (
+	recHeaderLen  = 8 // u32 length + u32 crc
+	segPrefix     = "wal-"
+	segSuffix     = ".log"
+	maxRecordSize = 64 << 20 // sanity bound when reading lengths back
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segName is the canonical file name of segment seq.
+func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+// parseSegName extracts the sequence number from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// Open scans dir for log segments, replays every intact record through
+// replay in append order, truncates a torn tail left by a crash, and
+// returns the log positioned for appending. A replay error aborts the
+// open — the caller's state would otherwise silently diverge from the
+// acknowledged history.
+func Open(opts Options, replay func(Record) error) (*Log, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{opts: opts, stopSync: make(chan struct{})}
+
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSegName(e.Name()); ok {
+			l.segs = append(l.segs, &segment{seq: seq, path: filepath.Join(opts.Dir, e.Name()), maxTick: math.MinInt})
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].seq < l.segs[j].seq })
+
+	for i, s := range l.segs {
+		last := i == len(l.segs)-1
+		if err := l.replaySegment(s, last, replay); err != nil {
+			return nil, err
+		}
+		l.written += s.bytes
+	}
+	l.synced = l.written // everything read back from disk is durable
+
+	// Open (or create) the active segment for append.
+	var active *segment
+	if n := len(l.segs); n > 0 {
+		active = l.segs[n-1]
+	} else {
+		active = &segment{seq: 1, path: filepath.Join(opts.Dir, segName(1)), maxTick: math.MinInt}
+		l.segs = append(l.segs, active)
+	}
+	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l.f = f
+	if len(l.segs) == 1 && active.bytes == 0 {
+		// First-ever segment: make its directory entry durable too, so a
+		// crash right after Open cannot resurrect an empty directory.
+		if err := SyncDir(opts.Dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+
+	if l.opts.Policy == SyncEvery {
+		l.syncWG.Add(1)
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// replaySegment streams one file's records through replay. Only the last
+// segment may end in a torn record (rotation fsyncs a file before moving
+// on), which is truncated away; corruption anywhere else is fatal.
+func (l *Log) replaySegment(s *segment, last bool, replay func(Record) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var (
+		hdr    [recHeaderLen]byte
+		buf    []byte
+		offset int64
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				break // clean end
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) && last {
+				return l.truncateTorn(s, offset, "short record header")
+			}
+			return fmt.Errorf("wal: %s: reading record header at offset %d: %w", s.path, offset, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxRecordSize {
+			if last {
+				return l.truncateTorn(s, offset, "implausible record length")
+			}
+			return fmt.Errorf("wal: %s: implausible record length %d at offset %d", s.path, length, offset)
+		}
+		if int(length) > cap(buf) {
+			buf = make([]byte, length)
+		}
+		buf = buf[:length]
+		if _, err := io.ReadFull(f, buf); err != nil {
+			if last && (err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF)) {
+				return l.truncateTorn(s, offset, "short record payload")
+			}
+			return fmt.Errorf("wal: %s: reading record payload at offset %d: %w", s.path, offset, err)
+		}
+		if crc32.Checksum(buf, castagnoli) != sum {
+			if last {
+				return l.truncateTorn(s, offset, "checksum mismatch")
+			}
+			return fmt.Errorf("wal: %s: checksum mismatch at offset %d", s.path, offset)
+		}
+		rec, err := decodeRecord(buf)
+		if err != nil {
+			if last {
+				return l.truncateTorn(s, offset, err.Error())
+			}
+			return fmt.Errorf("wal: %s: offset %d: %w", s.path, offset, err)
+		}
+		if err := replay(rec); err != nil {
+			return fmt.Errorf("wal: replaying %s record at offset %d (tick %d): %w", s.path, offset, rec.Tick, err)
+		}
+		offset += recHeaderLen + int64(length)
+		s.records++
+		if rec.Tick > s.maxTick {
+			s.maxTick = rec.Tick
+		}
+		l.replayedRecs.Add(1)
+		l.replayedPts.Add(int64(len(rec.IDs)))
+	}
+	s.bytes = offset
+	return nil
+}
+
+// truncateTorn cuts the (last) segment back to the end of its final good
+// record: the bytes beyond it are a half-written append from the crash —
+// never acknowledged, so dropping them is correct, and keeping them would
+// poison every future read of the file.
+func (l *Log) truncateTorn(s *segment, offset int64, why string) error {
+	if err := os.Truncate(s.path, offset); err != nil {
+		return fmt.Errorf("wal: truncating torn tail of %s (%s): %w", s.path, why, err)
+	}
+	s.bytes = offset
+	return nil
+}
+
+// decodeRecord parses one checksum-verified payload.
+func decodeRecord(buf []byte) (Record, error) {
+	if len(buf) < 12 {
+		return Record{}, fmt.Errorf("wal: record payload of %d bytes is too short", len(buf))
+	}
+	tick := int(int64(binary.LittleEndian.Uint64(buf[0:8])))
+	n := int(binary.LittleEndian.Uint32(buf[8:12]))
+	want := 12 + n*4 + n*16
+	if n < 0 || len(buf) != want {
+		return Record{}, fmt.Errorf("wal: record payload of %d bytes does not match %d points", len(buf), n)
+	}
+	rec := Record{Tick: tick, IDs: make([]traj.ID, n), Points: make([]geo.Point, n)}
+	off := 12
+	for i := 0; i < n; i++ {
+		rec.IDs[i] = traj.ID(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	for i := 0; i < n; i++ {
+		rec.Points[i].X = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		rec.Points[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+		off += 16
+	}
+	return rec, nil
+}
+
+// encodeRecord encodes rec into l.scratch (header included).
+func (l *Log) encodeRecord(rec Record) []byte {
+	n := len(rec.IDs)
+	payload := 12 + n*4 + n*16
+	total := recHeaderLen + payload
+	if cap(l.scratch) < total {
+		l.scratch = make([]byte, total)
+	}
+	b := l.scratch[:total]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
+	binary.LittleEndian.PutUint64(b[8:16], uint64(int64(rec.Tick)))
+	binary.LittleEndian.PutUint32(b[16:20], uint32(n))
+	off := 20
+	for _, id := range rec.IDs {
+		binary.LittleEndian.PutUint32(b[off:], uint32(id))
+		off += 4
+	}
+	for _, p := range rec.Points {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(p.X))
+		binary.LittleEndian.PutUint64(b[off+8:], math.Float64bits(p.Y))
+		off += 16
+	}
+	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[recHeaderLen:], castagnoli))
+	return b
+}
+
+// Append writes one record to the active segment (rotating first when it
+// is full) and returns the record's LSN. The write lands in the OS
+// immediately — Append never buffers in user space, so a process crash
+// cannot lose it — but it is only durable against machine crashes once
+// Commit(lsn) returns (SyncAlways) or the next background/rotation sync
+// covers it. Callers that serialize Appends (the repository appends under
+// its hot-tail lock) get log order identical to application order, which
+// is what makes replay reproduce the exact pre-crash state.
+func (l *Log) Append(rec Record) (lsn int64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errors.New("wal: append on closed log")
+	}
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	if payload := 12 + len(rec.IDs)*20; payload > maxRecordSize {
+		// Replay rejects payloads above the bound, so writing one would
+		// acknowledge a batch that recovery then discards as a torn tail.
+		return 0, fmt.Errorf("wal: record of %d points (%d bytes) exceeds the %d-byte record cap",
+			len(rec.IDs), payload, maxRecordSize)
+	}
+	active := l.segs[len(l.segs)-1]
+	if active.bytes >= l.opts.SegmentBytes && active.records > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+		active = l.segs[len(l.segs)-1]
+	}
+	b := l.encodeRecord(rec)
+	if _, err := l.f.Write(b); err != nil {
+		// A short write leaves a torn record in the file; nothing after
+		// it could be replayed, so the log must fail-stop.
+		return 0, l.fail(fmt.Errorf("wal: append: %w", err))
+	}
+	active.bytes += int64(len(b))
+	active.records++
+	if rec.Tick > active.maxTick {
+		active.maxTick = rec.Tick
+	}
+	l.written += int64(len(b))
+	l.appends.Add(1)
+	return l.written, nil
+}
+
+// Commit makes the record at lsn durable under the log's policy: under
+// SyncAlways it fsyncs (batching with any concurrent commits that the
+// same sync happens to cover); under SyncEvery/SyncNever it only
+// reports a latched disk failure — the caller accepted the policy's
+// loss window, but not a log that is known to be losing writes.
+func (l *Log) Commit(lsn int64) error {
+	if l.opts.Policy != SyncAlways {
+		l.mu.Lock()
+		err := l.failed
+		l.mu.Unlock()
+		return err
+	}
+	return l.syncTo(lsn)
+}
+
+// fail latches the first disk failure. Once an fsync or write has
+// failed, the durable prefix of the log is unknowable — the kernel may
+// have dropped the dirty pages and cleared the error state, so a later
+// "successful" fsync proves nothing about earlier bytes. The only safe
+// behavior is fail-stop: every subsequent Append/Commit/Sync returns the
+// latched error instead of acknowledging writes that may never land.
+// Called with mu held.
+func (l *Log) fail(err error) error {
+	if l.failed == nil {
+		l.failed = err
+	}
+	return err
+}
+
+// Sync forces an fsync of everything appended so far, regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	lsn := l.written
+	l.mu.Unlock()
+	return l.syncTo(lsn)
+}
+
+// syncTo fsyncs until the durable watermark covers lsn. Rotation fsyncs
+// a file before switching, so the active file always holds every byte
+// past the watermark.
+//
+// The fsync itself runs with mu RELEASED: Append runs under the serving
+// layer's hot-tail write lock, so holding mu through a multi-millisecond
+// fsync would stall every hot-tail query behind the disk. Only syncMu is
+// held across the fsync, which both serializes the syncers and gives
+// group commit its batching point — a committer that waited here
+// re-checks the watermark and usually finds its LSN already covered.
+func (l *Log) syncTo(lsn int64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.failed != nil {
+		l.mu.Unlock()
+		return l.failed
+	}
+	if l.synced >= lsn || l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	cur := l.written
+	f := l.f
+	l.mu.Unlock()
+
+	err := f.Sync()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		// A rotation or Close may have synced past our LSN and closed the
+		// file under us (os.File makes the race safe, the Sync just loses);
+		// that is success, not a disk failure.
+		if l.synced >= lsn {
+			return nil
+		}
+		return l.fail(fmt.Errorf("wal: fsync: %w", err))
+	}
+	l.syncs.Add(1)
+	if cur > l.synced {
+		l.synced = cur
+	}
+	return nil
+}
+
+// rotateLocked seals the active segment (fsync + close) and starts the
+// next one. Called with mu held.
+func (l *Log) rotateLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return l.fail(fmt.Errorf("wal: rotate fsync: %w", err))
+	}
+	l.syncs.Add(1)
+	if l.synced < l.written {
+		l.synced = l.written
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: rotate close: %w", err)
+	}
+	next := &segment{
+		seq:     l.segs[len(l.segs)-1].seq + 1,
+		maxTick: math.MinInt,
+	}
+	next.path = filepath.Join(l.opts.Dir, segName(next.seq))
+	f, err := os.OpenFile(next.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: rotate create: %w", err)
+	}
+	l.f = f
+	l.segs = append(l.segs, next)
+	// The new file's directory entry must be durable before records in it
+	// are acknowledged; one directory sync at rotation covers them all. A
+	// failure must latch: the swap to the new file already happened, so
+	// without the latch later appends would be acknowledged into a file a
+	// machine crash can unlink entirely.
+	if err := SyncDir(l.opts.Dir); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// TruncateThrough reclaims segments made redundant by compaction: every
+// file whose records all have tick ≤ sealedTick is deleted (those points
+// are now served by published sealed segments, and replay skips them
+// anyway). An active segment that qualifies and holds records is rotated
+// first so its file can go too — this is what keeps the log's disk
+// footprint proportional to the hot tail instead of the full history.
+func (l *Log) TruncateThrough(sealedTick int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	active := l.segs[len(l.segs)-1]
+	if active.records > 0 && active.maxTick <= sealedTick {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	kept := l.segs[:0]
+	removed := false
+	for i, s := range l.segs {
+		last := i == len(l.segs)-1
+		if !last && s.records > 0 && s.maxTick <= sealedTick {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: reclaiming %s: %w", s.path, err)
+			}
+			l.reclaimed.Add(1)
+			removed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	if removed {
+		return SyncDir(l.opts.Dir)
+	}
+	return nil
+}
+
+// syncLoop is the SyncEvery background fsync.
+func (l *Log) syncLoop() {
+	defer l.syncWG.Done()
+	ticker := time.NewTicker(l.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stopSync:
+			return
+		case <-ticker.C:
+			// An error here latches via fail(), so it is not lost: every
+			// subsequent Commit (any policy) and Append returns it.
+			l.Sync() //nolint:errcheck // latched; surfaced by the next Commit/Append
+		}
+	}
+}
+
+// Close fsyncs and closes the active segment and stops the background
+// sync. The log must not be used afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.mu.Unlock()
+	close(l.stopSync)
+	l.syncWG.Wait()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	err := l.f.Sync()
+	if err == nil {
+		l.syncs.Add(1)
+		l.synced = l.written
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	l.mu.Lock()
+	st := Stats{Segments: len(l.segs)}
+	for _, s := range l.segs {
+		st.Bytes += s.bytes
+	}
+	if l.failed != nil {
+		st.Failed = l.failed.Error()
+	}
+	l.mu.Unlock()
+	st.Syncs = l.syncs.Load()
+	st.Appends = l.appends.Load()
+	st.ReplayedRecords = l.replayedRecs.Load()
+	st.ReplayedPoints = l.replayedPts.Load()
+	st.Reclaimed = l.reclaimed.Load()
+	return st
+}
+
+// SyncDir fsyncs a directory, making renames, creations, and removals in
+// it durable. Exported because the serving layer needs the same barrier
+// around its manifest and segment rename-swaps.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,394 @@
+package wal
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// testRecord builds a deterministic record for tick t with n points.
+func testRecord(t, n int) Record {
+	rec := Record{Tick: t}
+	for i := 0; i < n; i++ {
+		rec.IDs = append(rec.IDs, traj.ID(1000*t+i))
+		rec.Points = append(rec.Points, geo.Pt(float64(t)+float64(i)/100, -float64(i)))
+	}
+	return rec
+}
+
+func sameRecord(a, b Record) bool {
+	if a.Tick != b.Tick || len(a.IDs) != len(b.IDs) {
+		return false
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] || a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func openCollect(t *testing.T, opts Options) (*Log, []Record) {
+	t.Helper()
+	var got []Record
+	l, err := Open(opts, func(rec Record) error {
+		got = append(got, rec)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, got
+}
+
+// TestAppendReplayRoundTrip appends across several rotations and checks
+// the replay returns every record, in order, bit for bit.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncNever, SegmentBytes: 512}
+	l, got := openCollect(t, opts)
+	if len(got) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(got))
+	}
+	var want []Record
+	for tick := 0; tick < 40; tick++ {
+		rec := testRecord(tick, 1+tick%7)
+		want = append(want, rec)
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected rotation with %d-byte segments, got %d segment(s)", opts.SegmentBytes, st.Segments)
+	}
+	if st.Appends != 40 {
+		t.Fatalf("appends = %d, want 40", st.Appends)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, got := openCollect(t, opts)
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if st := l2.Stats(); st.ReplayedRecords != int64(len(want)) {
+		t.Fatalf("ReplayedRecords = %d, want %d", st.ReplayedRecords, len(want))
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: garbage after the
+// last good record must be truncated away on reopen, the good prefix
+// preserved, and the log appendable afterwards.
+func TestTornTailTruncated(t *testing.T) {
+	for _, tear := range []string{"partial-header", "partial-payload", "bad-crc"} {
+		t.Run(tear, func(t *testing.T) {
+			dir := t.TempDir()
+			opts := Options{Dir: dir, Policy: SyncAlways}
+			l, _ := openCollect(t, opts)
+			for tick := 0; tick < 5; tick++ {
+				if _, err := l.Append(testRecord(tick, 3)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, segName(1))
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch tear {
+			case "partial-header":
+				blob = append(blob, 0x55, 0x66, 0x77)
+			case "partial-payload":
+				// A plausible header promising more bytes than exist.
+				blob = append(blob, 40, 0, 0, 0, 1, 2, 3, 4, 0xAA)
+			case "bad-crc":
+				// Flip a byte inside the final record's payload.
+				blob[len(blob)-1] ^= 0xFF
+			}
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, got := openCollect(t, opts)
+			wantRecs := 5
+			if tear == "bad-crc" {
+				wantRecs = 4 // the corrupted final record is gone too
+			}
+			if len(got) != wantRecs {
+				t.Fatalf("replayed %d records after torn tail, want %d", len(got), wantRecs)
+			}
+			// The log must keep working where it left off.
+			if _, err := l2.Append(testRecord(99, 2)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l3, got := openCollect(t, opts)
+			defer l3.Close()
+			if len(got) != wantRecs+1 || got[len(got)-1].Tick != 99 {
+				t.Fatalf("post-recovery append not replayed: %d records", len(got))
+			}
+		})
+	}
+}
+
+// TestCorruptionInSealedSegmentIsFatal: a checksum failure anywhere but
+// the last file means acknowledged history is damaged — Open must refuse
+// rather than silently drop data.
+func TestCorruptionInSealedSegmentIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncNever, SegmentBytes: 256}
+	l, _ := openCollect(t, opts)
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(testRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Stats().Segments < 2 {
+		t.Fatal("test needs at least two segments")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xFF
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(opts, func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("Open on mid-log corruption: err = %v, want checksum error", err)
+	}
+}
+
+// TestTruncateThroughReclaims checks that segments fully covered by the
+// sealed watermark are deleted — including the active one, via rotation —
+// and that replay after reclamation returns exactly the surviving suffix.
+func TestTruncateThroughReclaims(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncNever, SegmentBytes: 256}
+	l, _ := openCollect(t, opts)
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(testRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats()
+	if before.Segments < 3 {
+		t.Fatalf("test needs ≥ 3 segments, got %d", before.Segments)
+	}
+	if err := l.TruncateThrough(14); err != nil {
+		t.Fatal(err)
+	}
+	mid := l.Stats()
+	if mid.Reclaimed == 0 || mid.Segments >= before.Segments {
+		t.Fatalf("no reclamation: before %d segments, after %d (reclaimed %d)",
+			before.Segments, mid.Segments, mid.Reclaimed)
+	}
+	// Everything sealed: every record tick ≤ 29, so only the fresh active
+	// file may survive, and it must be empty.
+	if err := l.TruncateThrough(29); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 || st.Bytes != 0 {
+		t.Fatalf("after full truncation: %d segments, %d bytes; want 1 empty segment", st.Segments, st.Bytes)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, opts)
+	defer l2.Close()
+	if len(got) != 0 {
+		t.Fatalf("replay after full truncation returned %d records", len(got))
+	}
+}
+
+// TestReplaySurvivesPartialTruncation: records below the watermark in a
+// surviving segment are still replayed (the consumer filters by tick);
+// reclamation only ever drops whole files whose every tick is sealed.
+func TestReplaySurvivesPartialTruncation(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncNever, SegmentBytes: 1 << 20}
+	l, _ := openCollect(t, opts)
+	for tick := 0; tick < 10; tick++ {
+		if _, err := l.Append(testRecord(tick, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Watermark in the middle of the single segment: nothing reclaimable.
+	if err := l.TruncateThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Reclaimed != 0 {
+		t.Fatalf("reclaimed %d segments holding live ticks", st.Reclaimed)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, got := openCollect(t, opts)
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records, want all 10", len(got))
+	}
+}
+
+// TestSyncPolicies exercises the three policies' observable behavior.
+func TestSyncPolicies(t *testing.T) {
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted garbage")
+	}
+	t.Run("always", func(t *testing.T) {
+		l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncAlways})
+		defer l.Close()
+		lsn, err := l.Append(testRecord(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.Stats(); st.Syncs == 0 {
+			t.Fatal("SyncAlways commit did not fsync")
+		}
+		// A second commit of the same LSN is already covered: no new sync.
+		n := l.Stats().Syncs
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.Stats(); st.Syncs != n {
+			t.Fatalf("covered commit fsynced again (%d → %d)", n, st.Syncs)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncEvery, Interval: 5 * time.Millisecond})
+		defer l.Close()
+		lsn, err := l.Append(testRecord(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil { // no-op under interval
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for l.Stats().Syncs == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("background interval sync never fired")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncNever})
+		lsn, err := l.Append(testRecord(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.Stats(); st.Syncs != 0 {
+			t.Fatalf("SyncNever fsynced %d times before close", st.Syncs)
+		}
+		if err := l.Close(); err != nil { // close still syncs
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestOversizedRecordRejected: a batch whose payload replay would refuse
+// must be rejected at append time — acknowledging it and then discarding
+// it as a torn tail on restart would be silent loss.
+func TestOversizedRecordRejected(t *testing.T) {
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncNever})
+	defer l.Close()
+	n := maxRecordSize/20 + 1 // payload = 12 + 20n > maxRecordSize
+	rec := Record{Tick: 1, IDs: make([]traj.ID, n), Points: make([]geo.Point, n)}
+	if _, err := l.Append(rec); err == nil || !strings.Contains(err.Error(), "record cap") {
+		t.Fatalf("oversized append: err = %v, want record-cap rejection", err)
+	}
+	// The log is still usable for sane batches.
+	if _, err := l.Append(testRecord(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFailStopLatch: after a disk failure (simulated by closing the
+// active file under the log), every Append and Commit must return the
+// latched error instead of acknowledging writes that may never land.
+func TestFailStopLatch(t *testing.T) {
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncAlways})
+	if _, err := l.Append(testRecord(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	l.f.Close() // simulate the device failing out from under the log
+	lsn, err := l.Append(testRecord(2, 2))
+	if err == nil {
+		err = l.Commit(lsn)
+	}
+	if err == nil {
+		t.Fatal("append+commit on a dead file succeeded")
+	}
+	if _, err := l.Append(testRecord(3, 2)); err == nil {
+		t.Fatal("append after latched failure succeeded")
+	}
+	if err := l.Commit(0); err == nil {
+		t.Fatal("commit after latched failure succeeded (SyncAlways)")
+	}
+	if st := l.Stats(); st.Failed == "" {
+		t.Fatal("latched failure not surfaced in Stats")
+	}
+}
+
+// TestEmptyRecordAndExtremes round-trips edge-case payloads.
+func TestEmptyRecordAndExtremes(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncNever}
+	l, _ := openCollect(t, opts)
+	recs := []Record{
+		{Tick: -3},
+		{Tick: math.MaxInt32, IDs: []traj.ID{math.MaxUint32}, Points: []geo.Point{geo.Pt(-180, 90)}},
+		testRecord(7, 1),
+	}
+	for _, rec := range recs {
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, opts)
+	defer l2.Close()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !sameRecord(got[i], recs[i]) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}

@@ -9,17 +9,20 @@
 //	ppqbench -experiment perf -json BENCH_PPQ.json -label my-change
 //
 // Experiments: table2 table3 table4 table56 table7 table8 table9
-// figure7 figure8 figure9 perf serve cache wal all. The perf experiment
-// measures the three hot paths (per-tick build, engine construction,
-// STRQ) on the standard SyntheticPorto(2000, 42) workload; the serve
-// experiment drives the repository server's mixed ingest/query workload
-// (live ingestion + background compaction + concurrent STRQ traffic);
-// the cache experiment replays a skewed repeated-STRQ probe set against
-// sealed segments to measure the decoded-cell cache's cached-vs-cold
-// speedup; the wal experiment prices the durability spectrum — ingest
-// throughput under each write-ahead-log sync policy (never / interval /
-// always) plus crash-replay speed. All four append to a machine-readable
-// history with -json so PRs track the perf trajectory.
+// figure7 figure8 figure9 perf serve cache wal window all. The perf
+// experiment measures the three hot paths (per-tick build, engine
+// construction, STRQ) on the standard SyntheticPorto(2000, 42) workload;
+// the serve experiment drives the repository server's mixed ingest/query
+// workload (live ingestion + background compaction + concurrent STRQ
+// traffic); the cache experiment replays a skewed repeated-STRQ probe
+// set against sealed segments to measure the decoded-cell cache's
+// cached-vs-cold speedup; the wal experiment prices the durability
+// spectrum — ingest throughput under each write-ahead-log sync policy
+// (never / interval / always) plus crash-replay speed; the window
+// experiment replays 512-tick window queries through the per-tick and
+// range-scan executors and records the speedup plus zone-map skip rates.
+// All five append to a machine-readable history with -json so PRs track
+// the perf trajectory.
 package main
 
 import (
@@ -32,11 +35,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, window, all)")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
-	queries := flag.Int("queries", 0, "override query/probe count (0 = scale default)")
-	jsonPath := flag.String("json", "", "perf/serve/cache only: append the run to this JSON history file")
-	label := flag.String("label", "dev", "perf/serve/cache only: label recorded with the run")
+	queries := flag.Int("queries", 0, "override query/probe/window count (0 = scale default)")
+	jsonPath := flag.String("json", "", "perf/serve/cache/wal/window only: append the run to this JSON history file")
+	label := flag.String("label", "dev", "perf/serve/cache/wal/window only: label recorded with the run")
 	flag.Parse()
 
 	s := bench.Small
@@ -115,10 +118,22 @@ func main() {
 		}
 		fmt.Fprintf(w, "[wal completed in %.1fs]\n\n", time.Since(start).Seconds())
 	}
+	if *exp == "window" {
+		start := time.Now()
+		if *jsonPath != "" {
+			if err := bench.AppendWindow(*jsonPath, *label, *queries, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.WindowBench(*label, *queries, w)
+		}
+		fmt.Fprintf(w, "[window completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal":
+		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -47,6 +47,10 @@ type PerfFile struct {
 	// WALRuns tracks ingest throughput under each WAL sync policy plus
 	// crash-replay speed (ppqbench -experiment wal).
 	WALRuns []WALRun `json:"wal_runs,omitempty"`
+	// WindowRuns tracks the window executor's 512-tick replay: per-tick
+	// baseline vs range-scan medians and zone-map skip rates (ppqbench
+	// -experiment window).
+	WindowRuns []WindowRun `json:"window_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.

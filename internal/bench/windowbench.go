@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+	"ppqtraj/internal/traj"
+)
+
+// WindowRun is one window-replay measurement: the same set of long
+// (default 512-tick) window queries is answered by the legacy per-tick
+// executor and by the segment-native range-scan executor, cold (fresh
+// caches) and warm. The speedup is the range executor's win on the median
+// window; the skip counters report the zone-map planner's pruning rate.
+type WindowRun struct {
+	Label           string  `json:"label"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Points          int     `json:"points"`
+	Segments        int     `json:"segments"`
+	SpanTicks       int     `json:"span_ticks"`
+	Windows         int     `json:"windows"`
+	PerTickMS       float64 `json:"per_tick_ms_median"`
+	RangeColdMS     float64 `json:"range_cold_ms_median"`
+	RangeWarmMS     float64 `json:"range_warm_ms_median"`
+	Speedup         float64 `json:"speedup_per_tick_over_range_warm"`
+	SpeedupCold     float64 `json:"speedup_per_tick_over_range_cold"`
+	SegmentsScanned int64   `json:"segments_scanned"`
+	SegmentsSkipped int64   `json:"segments_skipped"`
+	CellsScanned    int64   `json:"cells_scanned"`
+	CellsSkipped    int64   `json:"cells_skipped"`
+	CellSkipRate    float64 `json:"cell_skip_rate"`
+}
+
+// windowSpanTicks is the replayed window length: long enough that the
+// per-tick executor's repeated cell resolution dominates, matching the
+// "wide monitoring window" workload the range scan exists for.
+const windowSpanTicks = 512
+
+// windowWarmPasses is how many warm replays are taken per executor; the
+// recorded number is the median.
+const windowWarmPasses = 3
+
+// windowData is the window workload: a staggered stream whose ticks span
+// comfortably more than windowSpanTicks, so a 512-tick window crosses
+// many sealed segments.
+func windowData() []*traj.Column {
+	d := gen.Porto(gen.Config{NumTrajectories: 900, MinLen: 60, MaxLen: 180, Horizon: 430, Seed: 42})
+	var cols []*traj.Column
+	_ = d.Stream(func(col *traj.Column) error {
+		cols = append(cols, &traj.Column{
+			Tick:   col.Tick,
+			IDs:    append([]traj.ID(nil), col.IDs...),
+			Points: append([]geo.Point(nil), col.Points...),
+		})
+		return nil
+	})
+	return cols
+}
+
+// WindowBench seals the staggered window workload into segments, then
+// replays `windows` fixed 512-tick window queries (rects anchored on data
+// positions, one deliberately off-data to exercise the zone-map planner)
+// through both executors. windows ≤ 0 selects the 16-window default.
+// Human-readable lines go to w (nil for silent).
+func WindowBench(label string, windows int, w io.Writer) WindowRun {
+	cols := windowData()
+	if windows <= 0 {
+		windows = 16
+	}
+	points := 0
+	for _, col := range cols {
+		points += col.Len()
+	}
+	run := WindowRun{
+		Label:      label,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Points:     points,
+		SpanTicks:  windowSpanTicks,
+		Windows:    windows,
+	}
+
+	repo, err := serve.Open(serve.Options{
+		Build:           perfOpts(partition.Spatial),
+		Index:           indexOptions(Porto),
+		HotTicks:        64,
+		MaxSegmentTicks: 64,
+		CompactInterval: time.Hour, // compaction driven by the final Flush only
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer repo.Close()
+	for _, col := range cols {
+		if err := repo.IngestColumn(col); err != nil {
+			panic(err)
+		}
+	}
+	if err := repo.Flush(); err != nil {
+		panic(err)
+	}
+	run.Segments = repo.Stats().Segments
+
+	// The window set: rects a few g_c cells wide centered on sampled data
+	// positions, replayed verbatim by both executors; the final window
+	// sits far off the data so the zone-map planner gets to prune whole
+	// segments.
+	rng := rand.New(rand.NewSource(555))
+	gc := indexOptions(Porto).GC
+	lastTick := cols[len(cols)-1].Tick
+	type win struct {
+		rect     geo.Rect
+		from, to int
+	}
+	wins := make([]win, windows)
+	for i := range wins {
+		col := cols[rng.Intn(len(cols))]
+		p := col.Points[rng.Intn(col.Len())]
+		half := gc * (2 + 2*rng.Float64())
+		from := rng.Intn(max(1, lastTick-windowSpanTicks+1))
+		wins[i] = win{
+			rect: geo.Rect{MinX: p.X - half, MinY: p.Y - half, MaxX: p.X + half, MaxY: p.Y + half},
+			from: from, to: from + windowSpanTicks - 1,
+		}
+	}
+	wins[len(wins)-1].rect = geo.Rect{MinX: 20, MinY: 20, MaxX: 20.01, MaxY: 20.01}
+
+	ctx := context.Background()
+	replay := func(perTick bool) float64 {
+		times := make([]float64, len(wins))
+		for i, wn := range wins {
+			start := time.Now()
+			var err error
+			if perTick {
+				_, err = repo.WindowPerTick(ctx, wn.rect, wn.from, wn.to, false)
+			} else {
+				_, err = repo.Window(ctx, wn.rect, wn.from, wn.to, false)
+			}
+			if err != nil {
+				panic(err)
+			}
+			times[i] = time.Since(start).Seconds() * 1e3
+		}
+		sort.Float64s(times)
+		return times[len(times)/2]
+	}
+	median := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		return xs[len(xs)/2]
+	}
+
+	// Range executor first, on completely cold caches (the fair "first
+	// query after sealing" number), then warmed. The per-tick baseline
+	// runs last, over caches the range passes already filled — any bias
+	// favors the baseline, so the recorded speedup is conservative.
+	run.RangeColdMS = replay(false)
+	warm := make([]float64, windowWarmPasses)
+	for p := range warm {
+		warm[p] = replay(false)
+	}
+	run.RangeWarmMS = median(warm)
+	pt := make([]float64, windowWarmPasses)
+	for p := range pt {
+		pt[p] = replay(true)
+	}
+	run.PerTickMS = median(pt)
+	if run.RangeWarmMS > 0 {
+		run.Speedup = run.PerTickMS / run.RangeWarmMS
+	}
+	if run.RangeColdMS > 0 {
+		run.SpeedupCold = run.PerTickMS / run.RangeColdMS
+	}
+
+	st := repo.Stats()
+	run.SegmentsScanned = st.Window.SegmentsScanned
+	run.SegmentsSkipped = st.Window.SegmentsSkipped
+	run.CellsScanned = st.Window.CellsScanned
+	run.CellsSkipped = st.Window.CellsSkipped
+	if total := run.CellsScanned + run.CellsSkipped; total > 0 {
+		run.CellSkipRate = float64(run.CellsSkipped) / float64(total)
+	}
+
+	fprintf(w, "== window: %s (GOMAXPROCS=%d, %d points, %d segments, %d windows × %d ticks) ==\n",
+		label, run.GoMaxProcs, run.Points, run.Segments, run.Windows, run.SpanTicks)
+	fprintf(w, "  per-tick         %12.2f ms/window (median, warm)\n", run.PerTickMS)
+	fprintf(w, "  range cold       %12.2f ms/window (median, empty cache)\n", run.RangeColdMS)
+	fprintf(w, "  range warm       %12.2f ms/window (median of %d passes)\n", run.RangeWarmMS, windowWarmPasses)
+	fprintf(w, "  speedup          %12.2fx per-tick/range-warm (%.2fx vs cold)\n", run.Speedup, run.SpeedupCold)
+	fprintf(w, "  zone pruning     %d/%d segments skipped, cell skip rate %.1f%% (%d scanned, %d skipped)\n",
+		run.SegmentsSkipped, run.SegmentsSkipped+run.SegmentsScanned,
+		100*run.CellSkipRate, run.CellsScanned, run.CellsSkipped)
+	return run
+}
+
+// AppendWindow runs WindowBench and appends the result to the JSON
+// history at path (sharing the file with the other experiment runs).
+func AppendWindow(path, label string, windows int, w io.Writer) error {
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.WindowRuns = append(pf.WindowRuns, WindowBench(label, windows, w))
+	return writePerfFile(path, &pf)
+}

@@ -99,6 +99,13 @@ type tickCount struct {
 	n    int
 }
 
+// cellEntry is one (key, dense index) pair of a region's sorted cell
+// directory (built by Seal, consumed by range scans).
+type cellEntry struct {
+	key cellKey
+	ci  int32
+}
+
 // Region is one indexed subregion R_{i,gc}: a rectangle gridded at g_c.
 // Cell payloads live in the dense cd slice; the map holds indices into
 // it, so creating a cell costs amortized slice growth instead of one
@@ -107,6 +114,7 @@ type Region struct {
 	Rect      geo.Rect
 	gc        float64
 	cells     map[cellKey]int32
+	dir       []cellEntry       // (X, Y)-sorted directory; rebuilt by Seal
 	cd        [][]cellData      // fixed-size chunks; index ci>>chunkShift
 	nCells    int32             // total cells across chunks
 	pages     []store.PageRange // per-cell disk placement (nil until AssignPages)
@@ -197,14 +205,7 @@ func (r *Region) cellOf(p geo.Point) cellKey {
 // region (regions partition space, so a cell never owns points beyond its
 // region's boundary).
 func (r *Region) CellRect(p geo.Point) geo.Rect {
-	k := r.cellOf(p)
-	cell := geo.Rect{
-		MinX: r.Rect.MinX + float64(k.X)*r.gc,
-		MinY: r.Rect.MinY + float64(k.Y)*r.gc,
-		MaxX: r.Rect.MinX + float64(k.X+1)*r.gc,
-		MaxY: r.Rect.MinY + float64(k.Y+1)*r.gc,
-	}
-	return cell.Intersect(r.Rect)
+	return r.cellRectOf(r.cellOf(p))
 }
 
 func (r *Region) insert(id traj.ID, p geo.Point, tick int) {
@@ -557,6 +558,24 @@ func (pi *PI) Seal() error {
 		}
 	}
 	pi.postArena = arena
+	// Rebuild each region's sorted cell directory: range scans walk the
+	// populated cells of a rectangle in key order via binary search, which
+	// beats hashing every candidate coordinate of a wide scan area.
+	for _, r := range pi.Regions {
+		r.dir = r.dir[:0]
+		if cap(r.dir) < len(r.cells) {
+			r.dir = make([]cellEntry, 0, len(r.cells))
+		}
+		for k, ci := range r.cells {
+			r.dir = append(r.dir, cellEntry{key: k, ci: ci})
+		}
+		slices.SortFunc(r.dir, func(a, b cellEntry) int {
+			if a.key.X != b.key.X {
+				return cmp.Compare(a.key.X, b.key.X)
+			}
+			return cmp.Compare(a.key.Y, b.key.Y)
+		})
+	}
 	pi.sealed = true
 	return nil
 }
@@ -683,16 +702,21 @@ func (pi *PI) decodeCell(ri, ci int32, c *cellData, tick int) []traj.ID {
 // probe of §5.2. The returned cells slice lists the page ranges touched
 // when a ReadTracker is supplied (disk mode).
 func (pi *PI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.ID {
-	var out []traj.ID
+	return pi.AppendLookupArea(nil, area, tick, rt)
+}
+
+// AppendLookupArea is LookupArea writing into dst (grown as needed) so
+// steady-state query loops can reuse one scratch slice instead of
+// allocating a candidate list per probe. The appended IDs are sorted and
+// deduplicated; dst's existing contents are preserved untouched.
+func (pi *PI) AppendLookupArea(dst []traj.ID, area geo.Rect, tick int, rt *store.ReadTracker) []traj.ID {
+	st := len(dst)
 	for ri, r := range pi.Regions {
 		if !r.Rect.Intersects(area) {
 			continue
 		}
 		// Cell range intersecting the area within this region.
-		x0 := int32(math.Floor((math.Max(area.MinX, r.Rect.MinX) - r.Rect.MinX) / r.gc))
-		y0 := int32(math.Floor((math.Max(area.MinY, r.Rect.MinY) - r.Rect.MinY) / r.gc))
-		x1 := int32(math.Floor((math.Min(area.MaxX, r.Rect.MaxX) - r.Rect.MinX) / r.gc))
-		y1 := int32(math.Floor((math.Min(area.MaxY, r.Rect.MaxY) - r.Rect.MinY) / r.gc))
+		x0, y0, x1, y1 := r.cellRange(area)
 		for x := x0; x <= x1; x++ {
 			for y := y0; y <= y1; y++ {
 				ci, ok := r.cells[cellKey{x, y}]
@@ -704,25 +728,35 @@ func (pi *PI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.
 				if rt != nil && int(ci) < len(r.pages) {
 					rt.Read(r.pages[ci])
 				}
-				out = append(out, pi.decodeCell(int32(ri), ci, r.cellPtr(ci), tick)...)
+				dst = append(dst, pi.decodeCell(int32(ri), ci, r.cellPtr(ci), tick)...)
 			}
 		}
 	}
+	out := dst[st:]
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return dedupIDs(out)
+	return dst[:st+len(traj.DedupSorted(out))]
 }
 
-func dedupIDs(ids []traj.ID) []traj.ID {
-	if len(ids) < 2 {
-		return ids
+// cellRange returns the inclusive cell-index range of the region's cells
+// intersecting area. The caller must have checked r.Rect.Intersects(area).
+func (r *Region) cellRange(area geo.Rect) (x0, y0, x1, y1 int32) {
+	x0 = int32(math.Floor((math.Max(area.MinX, r.Rect.MinX) - r.Rect.MinX) / r.gc))
+	y0 = int32(math.Floor((math.Max(area.MinY, r.Rect.MinY) - r.Rect.MinY) / r.gc))
+	x1 = int32(math.Floor((math.Min(area.MaxX, r.Rect.MaxX) - r.Rect.MinX) / r.gc))
+	y1 = int32(math.Floor((math.Min(area.MaxY, r.Rect.MaxY) - r.Rect.MinY) / r.gc))
+	return x0, y0, x1, y1
+}
+
+// cellRectOf returns the rectangle of the cell at key k, clipped to the
+// region.
+func (r *Region) cellRectOf(k cellKey) geo.Rect {
+	cell := geo.Rect{
+		MinX: r.Rect.MinX + float64(k.X)*r.gc,
+		MinY: r.Rect.MinY + float64(k.Y)*r.gc,
+		MaxX: r.Rect.MinX + float64(k.X+1)*r.gc,
+		MaxY: r.Rect.MinY + float64(k.Y+1)*r.gc,
 	}
-	out := ids[:1]
-	for _, id := range ids[1:] {
-		if id != out[len(out)-1] {
-			out = append(out, id)
-		}
-	}
-	return out
+	return cell.Intersect(r.Rect)
 }
 
 // SizeBytes estimates the serialized index size: region rectangles, cell

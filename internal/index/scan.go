@@ -1,0 +1,245 @@
+package index
+
+import (
+	"sort"
+
+	"ppqtraj/internal/cache"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+)
+
+// This file implements the segment-native range scan: the multi-tick
+// counterpart of LookupArea. A T-tick window answered by per-tick probes
+// re-resolves the candidate cells, re-walks each cell's posting list, and
+// re-decodes (or re-fetches from the cache) T times; ScanRange resolves
+// the cells once, walks each cell's tick-sorted postings once across the
+// whole span, and decodes each tick chunk at most once — so the per-tick
+// cost collapses to the emit itself.
+
+// ScanStats counts the range-scan planner's per-cell work; callers
+// accumulate it into their own zone-map skip telemetry.
+type ScanStats struct {
+	// CellsScanned is how many populated cells had postings walked.
+	CellsScanned int
+	// CellsSkipped is how many populated cells were pruned before any
+	// decode: either their per-cell tick range (the cell-level zone map)
+	// missed the span, or the caller's visit callback declined the cell.
+	CellsSkipped int
+}
+
+// Add accumulates o into s.
+func (s *ScanStats) Add(o ScanStats) {
+	s.CellsScanned += o.CellsScanned
+	s.CellsSkipped += o.CellsSkipped
+}
+
+// ScanRange walks every populated cell intersecting area exactly once,
+// emitting the decoded posting list of each (cell, tick) with
+// from ≤ tick ≤ to. For each candidate cell, visit is called with the
+// cell's rectangle before any decode; returning false skips the cell
+// (the caller's margin/zone pruning hook). emit receives the ticks of one
+// cell in ascending order (ticks restart for the next cell) and returns
+// false to abort the scan; ScanRange reports whether it ran to
+// completion. Emitted slices may be shared with the decoded-cell cache
+// and must not be modified.
+//
+// Cells whose per-cell tick range (first/last posting tick — the
+// cell-level zone map) cannot intersect [from, to] are skipped before
+// visit and counted in st.CellsSkipped.
+func (pi *PI) ScanRange(area geo.Rect, from, to int, st *ScanStats, visit func(cell geo.Rect) bool, emit func(tick int, ids []traj.ID) bool) bool {
+	if to < from {
+		return true
+	}
+	for ri, r := range pi.Regions {
+		if !r.Rect.Intersects(area) {
+			continue
+		}
+		x0, y0, x1, y1 := r.cellRange(area)
+		scan := func(k cellKey, ci int32) bool {
+			c := r.cellPtr(ci)
+			if !pi.cellMayOverlap(c, from, to) {
+				st.CellsSkipped++
+				return true
+			}
+			if visit != nil && !visit(r.cellRectOf(k)) {
+				st.CellsSkipped++
+				return true
+			}
+			st.CellsScanned++
+			return pi.scanCell(int32(ri), ci, c, from, to, emit)
+		}
+		// A sealed region carries an (X, Y)-sorted cell directory: walk
+		// the populated cells of each X column via binary search instead
+		// of hashing every candidate coordinate of the scan rectangle.
+		// Emission order across cells is unspecified either way — callers
+		// bucket per tick and sort.
+		if len(r.dir) > 0 {
+			i := sort.Search(len(r.dir), func(i int) bool {
+				k := r.dir[i].key
+				return k.X > x0 || (k.X == x0 && k.Y >= y0)
+			})
+			for i < len(r.dir) && r.dir[i].key.X <= x1 {
+				k := r.dir[i].key
+				switch {
+				case k.Y > y1:
+					// Past this column's band: jump to the next column.
+					i += sort.Search(len(r.dir)-i, func(j int) bool {
+						return r.dir[i+j].key.X > k.X
+					})
+					continue
+				case k.Y < y0:
+					// Below the band: jump to the band's start within the
+					// column (or past the column).
+					i += sort.Search(len(r.dir)-i, func(j int) bool {
+						kj := r.dir[i+j].key
+						return kj.X > k.X || kj.Y >= y0
+					})
+					continue
+				}
+				if !scan(k, r.dir[i].ci) {
+					return false
+				}
+				i++
+			}
+			continue
+		}
+		for x := x0; x <= x1; x++ {
+			for y := y0; y <= y1; y++ {
+				k := cellKey{x, y}
+				ci, ok := r.cells[k]
+				if !ok {
+					continue
+				}
+				if !scan(k, ci) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// cellMayOverlap is the per-cell tick-range zone check: postings are
+// tick-sorted, so the first and last entries bound the cell's populated
+// span.
+func (pi *PI) cellMayOverlap(c *cellData, from, to int) bool {
+	if pi.sealed {
+		if n := len(c.sealed); n > 0 {
+			return int(c.sealed[0].tick) <= to && int(c.sealed[n-1].tick) >= from
+		}
+		return false
+	}
+	if n := len(c.raw); n > 0 {
+		return c.raw[0].tick <= to && c.raw[n-1].tick >= from
+	}
+	return false
+}
+
+// scanCell emits one cell's postings over [from, to], decoding each tick
+// chunk at most once. With a cache attached the chunk entries are shared
+// with (and populate) the decoded-cell cache, so a later per-tick probe
+// of the same cell hits.
+func (pi *PI) scanCell(ri, ci int32, c *cellData, from, to int, emit func(tick int, ids []traj.ID) bool) bool {
+	if !pi.sealed {
+		i := sort.Search(len(c.raw), func(i int) bool { return c.raw[i].tick >= from })
+		for ; i < len(c.raw) && c.raw[i].tick <= to; i++ {
+			if len(c.raw[i].ids) > 0 && !emit(c.raw[i].tick, c.raw[i].ids) {
+				return false
+			}
+		}
+		return true
+	}
+	i := sort.Search(len(c.sealed), func(i int) bool { return int(c.sealed[i].tick) >= from })
+	if pi.cellCache == nil {
+		for ; i < len(c.sealed) && int(c.sealed[i].tick) <= to; i++ {
+			ids := pi.decodePosting(c.sealed[i])
+			if len(ids) > 0 && !emit(int(c.sealed[i].tick), ids) {
+				return false
+			}
+		}
+		return true
+	}
+	for i < len(c.sealed) && int(c.sealed[i].tick) <= to {
+		ch := cache.Chunk(int(c.sealed[i].tick))
+		key := cache.Key{Owner: pi.cacheOwner, PI: pi.cacheID, Reg: uint32(ri), Cell: ci, Chunk: ch}
+		var d *decodedChunk
+		if v, ok := pi.cellCache.Get(key); ok {
+			d = v.(*decodedChunk)
+		} else {
+			d = pi.decodeChunk(c, ch)
+			pi.cellCache.Put(key, d, d.cost)
+		}
+		for j := range d.ticks {
+			t := int(d.ticks[j])
+			if t < from || t > to {
+				continue
+			}
+			if len(d.ids[j]) > 0 && !emit(t, d.ids[j]) {
+				return false
+			}
+		}
+		for i < len(c.sealed) && cache.Chunk(int(c.sealed[i].tick)) == ch {
+			i++
+		}
+	}
+	return true
+}
+
+// ScanRange runs the range scan over every period overlapping [from, to];
+// per-period spans are clipped, so each posting is visited at most once.
+// See PI.ScanRange for the callback contract.
+func (t *TPI) ScanRange(area geo.Rect, from, to int, st *ScanStats, visit func(cell geo.Rect) bool, emit func(tick int, ids []traj.ID) bool) bool {
+	for i := range t.Periods {
+		p := &t.Periods[i]
+		lo, hi := max(from, p.Start), min(to, p.End)
+		if lo > hi {
+			continue
+		}
+		if !p.PI.ScanRange(area, lo, hi, st, visit, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+// CoveredTicks counts the ticks of [from, to] that fall inside some
+// period — the ticks a per-tick probe loop would have reported Covered
+// for, without running any probe.
+func (t *TPI) CoveredTicks(from, to int) int {
+	n := 0
+	for i := range t.Periods {
+		p := &t.Periods[i]
+		if lo, hi := max(from, p.Start), min(to, p.End); lo <= hi {
+			n += hi - lo + 1
+		}
+	}
+	return n
+}
+
+// PopulatedCells calls emit with the clipped rectangle and populated tick
+// range of every non-empty cell across all periods — the raw material of
+// a segment-level zone map. Iteration order is unspecified.
+func (t *TPI) PopulatedCells(emit func(cell geo.Rect, tickLo, tickHi int)) {
+	for i := range t.Periods {
+		t.Periods[i].PI.PopulatedCells(emit)
+	}
+}
+
+// PopulatedCells is the per-PI form of TPI.PopulatedCells.
+func (pi *PI) PopulatedCells(emit func(cell geo.Rect, tickLo, tickHi int)) {
+	for _, r := range pi.Regions {
+		for k, ci := range r.cells {
+			c := r.cellPtr(ci)
+			var lo, hi int
+			switch {
+			case pi.sealed && len(c.sealed) > 0:
+				lo, hi = int(c.sealed[0].tick), int(c.sealed[len(c.sealed)-1].tick)
+			case !pi.sealed && len(c.raw) > 0:
+				lo, hi = c.raw[0].tick, c.raw[len(c.raw)-1].tick
+			default:
+				continue
+			}
+			emit(r.cellRectOf(k), lo, hi)
+		}
+	}
+}

@@ -270,6 +270,17 @@ func (t *TPI) LookupArea(area geo.Rect, tick int, rt *store.ReadTracker) []traj.
 	return period.PI.LookupArea(area, tick, rt)
 }
 
+// AppendLookupArea is LookupArea appending into dst (see
+// PI.AppendLookupArea); dst is returned unchanged when the tick falls
+// outside every period.
+func (t *TPI) AppendLookupArea(dst []traj.ID, area geo.Rect, tick int, rt *store.ReadTracker) []traj.ID {
+	period := t.PeriodOf(tick)
+	if period == nil {
+		return dst
+	}
+	return period.PI.AppendLookupArea(dst, area, tick, rt)
+}
+
 // CellRect returns the g_c cell rectangle that p maps to at the given
 // tick — the STRQ query granularity (Definition 5.2). ok is false when p
 // is not covered by any region of the period's PI.

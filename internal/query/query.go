@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"ppqtraj/internal/geo"
@@ -76,6 +77,29 @@ type Engine struct {
 	// RawAccesses counts trajectories fetched from raw storage for exact
 	// verification (cumulative across queries, atomic).
 	RawAccesses atomic.Int64
+
+	// scratch pools the per-probe search buffers (candidate and kept ID
+	// slices) and the range scan's column/pair buffers: a query-serving
+	// loop fires thousands of probes per second, and re-allocating the
+	// same transient slices per call dominated the allocation profile.
+	scratch sync.Pool
+}
+
+// searchScratch is one pooled set of probe buffers. The slices never
+// escape a call: results handed to the caller are always freshly sized
+// copies, so returning the scratch to the pool is unconditionally safe.
+type searchScratch struct {
+	cand []traj.ID
+	kept []traj.ID
+	rng  *rangeScratch // lazily created by STRQRange
+}
+
+// getScratch fetches (or creates) a scratch set.
+func (e *Engine) getScratch() *searchScratch {
+	if sc, ok := e.scratch.Get().(*searchScratch); ok {
+		return sc
+	}
+	return &searchScratch{}
 }
 
 // BuildEngine indexes the summary's reconstructed points into a fresh TPI
@@ -178,21 +202,23 @@ func (e *Engine) searchRect(ctx context.Context, cell geo.Rect, tick int, exact 
 	m := e.Margin()
 	// Local search (§5.2): scan every cell within the Lemma 3 margin of
 	// the query cell, so a true-resident whose reconstruction drifted into
-	// a neighboring cell is still found.
+	// a neighboring cell is still found. The candidate and kept buffers
+	// come from the engine's scratch pool; the result handed back to the
+	// caller is a right-sized copy, so the scratch is safe to reuse on the
+	// next probe.
 	area := cell.Expand(m)
-	cand := e.Idx.LookupArea(area, tick, rt)
-	// Keep candidates whose reconstruction could correspond to a true
-	// position inside the cell: dist(recon, cell) ≤ margin. The filter
-	// writes into a fresh slice — not cand[:0] — because LookupArea's
-	// result belongs to the index and may one day be a cached posting
-	// list; filtering in place would corrupt it.
-	kept := make([]traj.ID, 0, len(cand))
+	sc := e.getScratch()
+	defer e.scratch.Put(sc)
+	cand := e.Idx.AppendLookupArea(sc.cand[:0], area, tick, rt)
+	sc.cand = cand
+	kept := sc.kept[:0]
 	for i, id := range cand {
 		// The candidate list can span a whole region's population on wide
 		// rects; without a periodic check a blown deadline could not
 		// interrupt an approximate-mode scan at all.
 		if i%ctxCheckEvery == ctxCheckEvery-1 {
 			if err := ctx.Err(); err != nil {
+				sc.kept = kept
 				return nil, err
 			}
 		}
@@ -204,9 +230,10 @@ func (e *Engine) searchRect(ctx context.Context, cell geo.Rect, tick int, exact 
 			kept = append(kept, id)
 		}
 	}
+	sc.kept = kept
 	res.Candidates = len(kept)
 	if !exact {
-		res.IDs = kept
+		res.IDs = append(make([]traj.ID, 0, len(kept)), kept...)
 		return res, nil
 	}
 	if e.Raw == nil {

@@ -1,0 +1,271 @@
+package query
+
+import (
+	"cmp"
+	"context"
+	"fmt"
+	"math"
+	"slices"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/traj"
+)
+
+// This file implements the engine's multi-tick range scan: STRQRange
+// answers a whole tick span against one query rectangle in a single index
+// walk. A window served by per-tick STRQRect pays the candidate-cell
+// resolution, the posting decode (or cache round trip), and a
+// reconstruction-distance check per candidate at every tick; STRQRange
+// resolves cells once via index.ScanRange, decodes each tick chunk once,
+// classifies each candidate cell against the local-search margin once for
+// the whole span, and batches exact verification per trajectory. The
+// answers are point-for-point identical to per-tick STRQRect — the
+// equivalence suite asserts it.
+
+// RangeColumn is one tick's answer inside a range scan. Only ticks with
+// at least one matching trajectory appear; IDs are ascending.
+type RangeColumn struct {
+	Tick int
+	IDs  []traj.ID
+}
+
+// RangeResult reports one STRQRange evaluation.
+type RangeResult struct {
+	// Cols holds the non-empty per-tick answers, ascending by tick.
+	Cols []RangeColumn
+	// CoveredTicks counts the ticks of the span that fall inside an
+	// indexed period — what a per-tick loop would have seen Covered.
+	CoveredTicks int
+	// Candidates is the total candidate count across ticks after the
+	// margin filter, before exact verification.
+	Candidates int
+	// Visited counts raw trajectories fetched for exact verification.
+	// The fetch is batched per trajectory across the whole span, so this
+	// is a distinct-trajectory count — lower than the per-tick path's
+	// per-(tick, candidate) figure for the same answer.
+	Visited int
+	// Scan carries the index-level zone-map counters: cells walked and
+	// cells pruned (tick-range miss or margin full-reject).
+	Scan index.ScanStats
+}
+
+// cellClass is the once-per-cell margin classification of the range scan.
+type cellClass uint8
+
+const (
+	// cellCheck: the cell straddles the margin boundary; every resident
+	// needs the per-trajectory reconstruction-distance check.
+	cellCheck cellClass = iota
+	// cellAll: the cell lies entirely within the margin of the query
+	// rect, so every resident passes the filter without a reconstruction
+	// lookup (the reconstruction is, by construction, inside the cell).
+	cellAll
+)
+
+// minDistRectToRect is the minimum distance between two rectangles (zero
+// when they overlap or touch).
+func minDistRectToRect(a, b geo.Rect) float64 {
+	dx := math.Max(0, math.Max(b.MinX-a.MaxX, a.MinX-b.MaxX))
+	dy := math.Max(0, math.Max(b.MinY-a.MaxY, a.MinY-b.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// maxDistRectToRect is the maximum over points p of cell of dist(p, rect);
+// for axis-aligned rectangles both axis terms are maximized at a corner.
+func maxDistRectToRect(cell, rect geo.Rect) float64 {
+	dx := math.Max(0, math.Max(rect.MinX-cell.MinX, cell.MaxX-rect.MaxX))
+	dy := math.Max(0, math.Max(rect.MinY-cell.MinY, cell.MaxY-rect.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// idTick is one (trajectory, tick) verification unit of the exact batch.
+type idTick struct {
+	id   traj.ID
+	tick int32
+}
+
+// rangeScratch pools the span-sized buffers of one STRQRange call.
+type rangeScratch struct {
+	sure  [][]traj.ID // per-tick IDs from full-accept cells
+	maybe [][]traj.ID // per-tick IDs from boundary cells (need the check)
+	pairs []idTick    // exact-verification batch
+	ids   []traj.ID   // flat backing for merged per-tick candidate lists
+}
+
+// STRQRange answers the rectangle STRQ for every tick of [from, to] in
+// one index walk: which trajectories were inside rect at each tick. The
+// per-tick answers (and error behavior) are identical to calling STRQRect
+// for every tick; only the Visited accounting differs (raw trajectories
+// are fetched once per trajectory for the whole span, not once per tick).
+// With exact=true every candidate is verified against raw storage
+// (ErrNoRaw without it); ctx bounds the work as in STRQ.
+func (e *Engine) STRQRange(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*RangeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &RangeResult{CoveredTicks: e.Idx.CoveredTicks(from, to)}
+	if res.CoveredTicks == 0 || to < from {
+		return res, nil
+	}
+	if exact && e.Raw == nil {
+		return nil, ErrNoRaw
+	}
+	m := e.Margin()
+	area := rect.Expand(m)
+	span := to - from + 1
+
+	rs := e.getScratch()
+	defer e.scratch.Put(rs)
+	sc := rs.rangeScratch(span)
+
+	// Single walk: every candidate cell is classified against the margin
+	// once (full-reject cells are skipped before any decode, full-accept
+	// cells bypass the per-trajectory reconstruction check for the whole
+	// span) and its postings stream into per-tick buckets.
+	var (
+		class   cellClass
+		ctxTick int
+		ctxErr  error
+	)
+	visit := func(cell geo.Rect) bool {
+		if ctxErr != nil {
+			return false
+		}
+		if minDistRectToRect(cell, rect) > m+1e-12 {
+			// No reconstruction inside this cell can pass the margin
+			// filter: LookupArea's expanded area over-approximates the
+			// Euclidean margin at the corners.
+			return false
+		}
+		if maxDistRectToRect(cell, rect) <= m {
+			class = cellAll
+		} else {
+			class = cellCheck
+		}
+		return true
+	}
+	emit := func(tick int, ids []traj.ID) bool {
+		if ctxTick++; ctxTick%ctxCheckEvery == 0 {
+			if ctxErr = ctx.Err(); ctxErr != nil {
+				return false
+			}
+		}
+		i := tick - from
+		if class == cellAll {
+			sc.sure[i] = append(sc.sure[i], ids...)
+		} else {
+			sc.maybe[i] = append(sc.maybe[i], ids...)
+		}
+		return true
+	}
+	e.Idx.ScanRange(area, from, to, &res.Scan, visit, emit)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+
+	// Per-tick filter: boundary-cell candidates take the same
+	// reconstruction-distance check as the per-tick path; full-accept
+	// candidates join unchecked. A trajectory occupies exactly one cell
+	// per tick, so the union needs only a sort, no dedup pass — but keep
+	// the dedup for defense in depth (it is O(kept) on sorted input).
+	checked := 0
+	for i := 0; i < span; i++ {
+		if len(sc.sure[i]) == 0 && len(sc.maybe[i]) == 0 {
+			continue
+		}
+		tick := from + i
+		st := len(sc.ids)
+		sc.ids = append(sc.ids, sc.sure[i]...)
+		for _, id := range sc.maybe[i] {
+			if checked++; checked%ctxCheckEvery == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			rp, ok := e.Sum.ReconstructedPoint(id, tick)
+			if !ok {
+				continue
+			}
+			if distToRect(rp, rect) <= m+1e-12 {
+				sc.ids = append(sc.ids, id)
+			}
+		}
+		kept := sc.ids[st:]
+		slices.Sort(kept)
+		kept = traj.DedupSorted(kept)
+		sc.ids = sc.ids[:st+len(kept)]
+		if len(kept) == 0 {
+			continue
+		}
+		res.Candidates += len(kept)
+		if exact {
+			for _, id := range kept {
+				sc.pairs = append(sc.pairs, idTick{id: id, tick: int32(tick)})
+			}
+			continue
+		}
+		res.Cols = append(res.Cols, RangeColumn{Tick: tick, IDs: append(make([]traj.ID, 0, len(kept)), kept...)})
+	}
+	if !exact {
+		return res, nil
+	}
+
+	// Exact verification, batched per trajectory: one raw fetch covers
+	// every tick the trajectory is a candidate at. Grouping by (id, tick)
+	// and scattering back id-major keeps each output column ascending.
+	slices.SortFunc(sc.pairs, func(a, b idTick) int {
+		if a.id != b.id {
+			return cmp.Compare(a.id, b.id)
+		}
+		return cmp.Compare(a.tick, b.tick)
+	})
+	cols := make([][]traj.ID, span)
+	for i := 0; i < len(sc.pairs); {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		id := sc.pairs[i].id
+		res.Visited++
+		e.RawAccesses.Add(1)
+		tr, ok := e.Raw.Lookup(id)
+		if !ok {
+			return nil, fmt.Errorf("query: trajectory %d absent from raw dataset: %w", id, ErrNoRaw)
+		}
+		for ; i < len(sc.pairs) && sc.pairs[i].id == id; i++ {
+			t := int(sc.pairs[i].tick)
+			if tp, ok := tr.At(t); ok && rect.Contains(tp) {
+				cols[t-from] = append(cols[t-from], id)
+			}
+		}
+	}
+	for i, ids := range cols {
+		if len(ids) > 0 {
+			res.Cols = append(res.Cols, RangeColumn{Tick: from + i, IDs: ids})
+		}
+	}
+	return res, nil
+}
+
+// rangeScratch reinterprets the pooled search scratch for a range call,
+// sizing the per-tick buckets to span. The bucket arrays are kept on the
+// searchScratch so the pool serves both probe shapes.
+func (s *searchScratch) rangeScratch(span int) *rangeScratch {
+	if s.rng == nil {
+		s.rng = &rangeScratch{}
+	}
+	rs := s.rng
+	if cap(rs.sure) < span {
+		rs.sure = make([][]traj.ID, span)
+		rs.maybe = make([][]traj.ID, span)
+	}
+	rs.sure = rs.sure[:span]
+	rs.maybe = rs.maybe[:span]
+	for i := 0; i < span; i++ {
+		rs.sure[i] = rs.sure[i][:0]
+		rs.maybe[i] = rs.maybe[i][:0]
+	}
+	rs.pairs = rs.pairs[:0]
+	rs.ids = rs.ids[:0]
+	return rs
+}

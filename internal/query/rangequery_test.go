@@ -1,0 +1,218 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppqtraj/internal/cache"
+	"ppqtraj/internal/core"
+	"ppqtraj/internal/gen"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/index"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/traj"
+)
+
+// rangeTestEngine builds an engine over a staggered synthetic workload
+// whose ticks span several index periods and cache chunks.
+func rangeTestEngine(t testing.TB, withCache bool) (*Engine, *traj.Dataset) {
+	t.Helper()
+	d := gen.Porto(gen.Config{NumTrajectories: 70, MinLen: 30, MaxLen: 60, Horizon: 40, Seed: 5})
+	opts := core.DefaultOptions(partition.Spatial, 0.1)
+	opts.Seed = 3
+	sum := core.Build(d, opts)
+	e, err := BuildEngine(sum, index.Options{
+		EpsS: 0.1, GC: geo.MetersToDegrees(100), EpsC: 0.5, EpsD: 0.5, Seed: 3,
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCache {
+		e.Idx.SetCache(cache.New(8<<20), 1)
+	}
+	return e, d
+}
+
+// perTickIDs answers [from, to] with per-tick STRQRect probes — the
+// reference the range scan must match point for point.
+func perTickIDs(t *testing.T, e *Engine, rect geo.Rect, from, to int, exact bool) map[int][]traj.ID {
+	t.Helper()
+	out := make(map[int][]traj.ID)
+	for tick := from; tick <= to; tick++ {
+		res, err := e.STRQRect(context.Background(), rect, tick, exact, nil)
+		if err != nil {
+			t.Fatalf("STRQRect tick %d: %v", tick, err)
+		}
+		if len(res.IDs) > 0 {
+			out[tick] = res.IDs
+		}
+	}
+	return out
+}
+
+func rangeIDs(res *RangeResult) map[int][]traj.ID {
+	out := make(map[int][]traj.ID)
+	for _, col := range res.Cols {
+		if len(col.IDs) > 0 {
+			out[col.Tick] = col.IDs
+		}
+	}
+	return out
+}
+
+func TestSTRQRangeMatchesPerTick(t *testing.T) {
+	for _, withCache := range []bool{false, true} {
+		e, d := rangeTestEngine(t, withCache)
+		rng := rand.New(rand.NewSource(99))
+		gc := geo.MetersToDegrees(100)
+		ticks := e.Sum.SortedTicks()
+		for trial := 0; trial < 40; trial++ {
+			// Rects anchored on data positions so probes hit populated
+			// cells; size sweeps from sub-cell to several cells.
+			tr := d.Get(traj.ID(rng.Intn(d.Len())))
+			p := tr.Points[rng.Intn(len(tr.Points))]
+			w := gc * (0.5 + 3*rng.Float64())
+			rect := geo.Rect{MinX: p.X - w/2, MinY: p.Y - w/2, MaxX: p.X + w/2, MaxY: p.Y + w/2}
+			from := ticks[rng.Intn(len(ticks))] - 3 + rng.Intn(6)
+			to := from + rng.Intn(40)
+			for _, exact := range []bool{false, true} {
+				res, err := e.STRQRange(context.Background(), rect, from, to, exact)
+				if err != nil {
+					t.Fatalf("STRQRange(%v, %d..%d, exact=%v): %v", rect, from, to, exact, err)
+				}
+				want := perTickIDs(t, e, rect, from, to, exact)
+				if got := rangeIDs(res); !reflect.DeepEqual(got, want) {
+					t.Fatalf("cache=%v exact=%v rect %v span %d..%d:\nrange   %v\npertick %v",
+						withCache, exact, rect, from, to, got, want)
+				}
+				if exact {
+					// Exact answers are also ground truth.
+					for tick := from; tick <= to; tick++ {
+						truth := GroundTruth(d, rect, tick)
+						got := rangeIDs(res)[tick]
+						if len(truth) == 0 && len(got) == 0 {
+							continue
+						}
+						if !reflect.DeepEqual(got, truth) {
+							t.Fatalf("tick %d: exact range %v vs ground truth %v", tick, got, truth)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSTRQRangeCoveredTicksAndEmptySpans(t *testing.T) {
+	e, _ := rangeTestEngine(t, false)
+	ticks := e.Sum.SortedTicks()
+	last := ticks[len(ticks)-1]
+	// A span entirely past the data: nothing covered, nothing found.
+	res, err := e.STRQRange(context.Background(), geo.Rect{MinX: -9, MinY: 41, MaxX: -8, MaxY: 42}, last+10, last+20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoveredTicks != 0 || len(res.Cols) != 0 {
+		t.Fatalf("past-the-end span: covered %d cols %d", res.CoveredTicks, len(res.Cols))
+	}
+	// Covered ticks agree with per-tick Covered flags.
+	from, to := ticks[0]-5, last+5
+	res, err = e.STRQRange(context.Background(), geo.Rect{MinX: -9, MinY: 41, MaxX: -8, MaxY: 42}, from, to, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for tick := from; tick <= to; tick++ {
+		r, err := e.STRQRect(context.Background(), geo.Rect{MinX: -9, MinY: 41, MaxX: -8, MaxY: 42}, tick, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Covered {
+			covered++
+		}
+	}
+	if res.CoveredTicks != covered {
+		t.Fatalf("CoveredTicks %d, per-tick Covered count %d", res.CoveredTicks, covered)
+	}
+	// An inverted span is a no-op.
+	res, err = e.STRQRange(context.Background(), geo.Rect{MinX: -9, MinY: 41, MaxX: -8, MaxY: 42}, 10, 5, false)
+	if err != nil || len(res.Cols) != 0 {
+		t.Fatalf("inverted span: %v %v", res, err)
+	}
+}
+
+func TestSTRQRangeNoRaw(t *testing.T) {
+	e, _ := rangeTestEngine(t, false)
+	e.Raw = nil
+	ticks := e.Sum.SortedTicks()
+	if _, err := e.STRQRange(context.Background(), geo.Rect{MinX: -9, MinY: 41, MaxX: -8, MaxY: 42}, ticks[0], ticks[0]+5, true); err != ErrNoRaw {
+		t.Fatalf("exact without raw: err = %v, want ErrNoRaw", err)
+	}
+	// A span with no covered ticks never needs raw access.
+	last := ticks[len(ticks)-1]
+	if _, err := e.STRQRange(context.Background(), geo.Rect{MinX: -9, MinY: 41, MaxX: -8, MaxY: 42}, last+5, last+9, true); err != nil {
+		t.Fatalf("uncovered exact span without raw: %v", err)
+	}
+}
+
+func TestSTRQRangeCancellation(t *testing.T) {
+	e, _ := rangeTestEngine(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ticks := e.Sum.SortedTicks()
+	if _, err := e.STRQRange(ctx, geo.Rect{MinX: -9, MinY: 41, MaxX: -8, MaxY: 42}, ticks[0], ticks[0]+30, false); err != context.Canceled {
+		t.Fatalf("cancelled range scan: err = %v, want context.Canceled", err)
+	}
+}
+
+// BenchmarkSearchRectAllocs tracks the per-probe allocation count of the
+// shared STRQ pipeline — the scratch pool keeps the steady state at the
+// result copy plus the result struct instead of fresh candidate/kept
+// slices per call.
+func BenchmarkSearchRectAllocs(b *testing.B) {
+	e, d := rangeTestEngine(b, false)
+	tr := d.Get(0)
+	p := tr.Points[0]
+	tick := tr.Start
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.STRQ(ctx, p, tick, false, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSTRQRangeVsPerTick compares one 64-tick span answered by the
+// range scan against the same span probed per tick.
+func BenchmarkSTRQRangeVsPerTick(b *testing.B) {
+	e, d := rangeTestEngine(b, true)
+	tr := d.Get(0)
+	p := tr.Points[len(tr.Points)/2]
+	gc := geo.MetersToDegrees(100)
+	rect := geo.Rect{MinX: p.X - gc, MinY: p.Y - gc, MaxX: p.X + gc, MaxY: p.Y + gc}
+	from := tr.Start
+	to := from + 63
+	ctx := context.Background()
+	b.Run("range", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.STRQRange(ctx, rect, from, to, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pertick", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for tick := from; tick <= to; tick++ {
+				if _, err := e.STRQRect(ctx, rect, tick, false, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

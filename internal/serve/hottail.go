@@ -240,6 +240,47 @@ func (h *hotTail) strqRect(rect geo.Rect, tick int) (ids []traj.ID, covered bool
 	return ids, true
 }
 
+// hotScanCol is one tick's hot-tail answer inside a range scan.
+type hotScanCol struct {
+	tick int
+	ids  []traj.ID
+}
+
+// scanRange answers the exact rectangle query for every resident tick of
+// [from, to] under a single read lock — the hot half of the repository's
+// window executor. It returns the non-empty per-tick matches (IDs
+// ascending, fresh slices), the number of resident ticks probed (the
+// Covered count a per-tick loop would have seen), and whether the span
+// overlapped the tail's resident tick range at all (the planner's
+// "sources" accounting, which counts overlap, not residency).
+func (h *hotTail) scanRange(rect geo.Rect, from, to int) (cols []hotScanCol, covered int, overlaps bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	lo, hi, ok := h.tickSpanLocked()
+	if !ok {
+		return nil, 0, false
+	}
+	from, to = max(from, lo), min(to, hi)
+	overlaps = from <= to
+	for t := from; t <= to; t++ {
+		col := h.cols[t]
+		if col == nil {
+			continue
+		}
+		covered++
+		var ids []traj.ID
+		for i, id := range col.ids {
+			if rect.Contains(col.pts[i]) {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) > 0 {
+			cols = append(cols, hotScanCol{tick: t, ids: ids})
+		}
+	}
+	return cols, covered, overlaps
+}
+
 // pointAt returns the raw position of id at tick, if resident.
 func (h *hotTail) pointAt(id traj.ID, tick int) (geo.Point, bool) {
 	h.mu.RLock()

@@ -128,6 +128,11 @@ func TestHTTPIngestQueryStats(t *testing.T) {
 	if st2.IngestedPoints != 6 || st2.Queries == 0 {
 		t.Fatalf("stats = %+v", st2)
 	}
+	// The window above went through the range executor, so its planner
+	// telemetry must have landed in the stats' window section.
+	if st2.Window.Queries == 0 || st2.Window.SegmentsScanned == 0 {
+		t.Fatalf("window stats = %+v", st2.Window)
+	}
 }
 
 func TestHTTPValidation(t *testing.T) {

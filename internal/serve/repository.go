@@ -9,6 +9,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/index"
 	"ppqtraj/internal/par"
+	"ppqtraj/internal/query"
 	"ppqtraj/internal/traj"
 	"ppqtraj/internal/wal"
 )
@@ -204,6 +206,13 @@ type Repository struct {
 	queries         atomic.Int64
 	queryErrors     atomic.Int64
 	lastErr         atomic.Value // string
+
+	// Window range-executor telemetry (the /v1/stats "window" section).
+	winQueries      atomic.Int64
+	winSegsScanned  atomic.Int64
+	winSegsSkipped  atomic.Int64
+	winCellsScanned atomic.Int64
+	winCellsSkipped atomic.Int64
 }
 
 // Open creates a repository (reloading persisted segments when opts.Dir
@@ -295,9 +304,10 @@ func (r *Repository) gcOrphans() error {
 	if err != nil {
 		return err
 	}
-	referenced := make(map[string]bool, len(r.segs))
+	referenced := make(map[string]bool, 2*len(r.segs))
 	for _, s := range r.segs {
 		referenced[s.File] = true
+		referenced[zoneFileName(s.ID)] = true
 	}
 	removed := 0
 	for _, e := range entries {
@@ -305,7 +315,8 @@ func (r *Repository) gcOrphans() error {
 			continue
 		}
 		name := e.Name()
-		ours := (strings.HasPrefix(name, "seg-") && strings.Contains(name, ".ppqs")) ||
+		ours := (strings.HasPrefix(name, "seg-") &&
+			(strings.Contains(name, ".ppqs") || strings.Contains(name, ".zone.json"))) ||
 			strings.HasPrefix(name, manifestName+".tmp")
 		if !ours || referenced[name] {
 			continue
@@ -344,6 +355,15 @@ func (r *Repository) loadManifest() error {
 		seg, err := loadSegment(r.opts.Dir, ms, r.opts.Index, r.opts.Raw)
 		if err != nil {
 			return err
+		}
+		if seg.zoneRebuilt {
+			// Upgrade pre-zone-map directories in place — but only
+			// best-effort: the zone map is pruning metadata, already
+			// usable in memory, and a failed few-KB sidecar write must
+			// not block serving an otherwise intact repository.
+			if perr := seg.persistZone(r.opts.Dir); perr != nil {
+				r.opts.Logf("serve: %v (continuing with the in-memory zone map)", perr)
+			}
 		}
 		r.attachCache(seg)
 		r.segs = append(r.segs, seg)
@@ -545,6 +565,12 @@ func (r *Repository) compactOnce(force bool) error {
 		r.attachCache(seg)
 		if r.opts.Dir != "" {
 			if err := seg.persist(r.opts.Dir); err != nil {
+				return err
+			}
+			// The zone sidecar rides the same publish sequence: written
+			// durably before the manifest references the segment, and
+			// rebuildable from the blob if a crash lands in between.
+			if err := seg.persistZone(r.opts.Dir); err != nil {
 				return err
 			}
 		}
@@ -866,18 +892,190 @@ type WindowResult struct {
 	To      int       `json:"to"`
 	IDs     []traj.ID `json:"ids"`
 	Ticks   int       `json:"ticks_probed"`
-	Sources int       `json:"sources"` // segments + hot tails consulted
+	Sources int       `json:"sources"` // segments + hot tails overlapping the span
+	// SegmentsSkipped counts overlapping segments the zone-map planner
+	// pruned without scanning.
+	SegmentsSkipped int `json:"segments_skipped,omitempty"`
 }
 
-// Window answers the window query by fanning out one worker per shard —
-// every sealed segment overlapping the window plus the hot tail — running
-// the per-tick probes of each shard concurrently, then merging the ID
-// sets. This is the serving layer's cross-shard scatter/gather path. Every
-// shard worker checks ctx between tick probes, so a cancelled or expired
-// context stops the scatter mid-loop and Window returns the context
-// error; the repository's state is untouched either way (the read path
-// never mutates).
+// Window answers the window query with the segment-native range executor:
+// the span is split at segment boundaries, segments whose zone map cannot
+// intersect the query's local-search area are skipped outright, one
+// STRQRange per surviving segment walks its postings once for the whole
+// sub-span (fanned out on the bounded worker pool), the hot tail is
+// scanned under a single lock for the residual span above the sealed
+// watermark, and the per-tick columns are merged in tick order. The
+// routing view is snapshotted once per request; if a compaction moves the
+// sealed watermark mid-flight, the request re-plans against the new view,
+// so the answer always reflects one consistent snapshot. Answers are
+// point-for-point identical to the per-tick reference path
+// (WindowPerTick); a cancelled or expired context aborts the scatter and
+// returns the context error.
 func (r *Repository) Window(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
+	// Counted at entry like STRQ, so query_errors can never exceed
+	// queries in the stats.
+	r.queries.Add(1)
+	r.winQueries.Add(1)
+	if err := validateWindow(rect, from, to); err != nil {
+		r.queryErrors.Add(1)
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	res, err := r.windowRange(ctx, rect, from, to, exact)
+	if err != nil {
+		r.queryErrors.Add(1)
+		return nil, err
+	}
+	return res, nil
+}
+
+// maxWindowReplans bounds how many times windowRange restarts after the
+// sealed watermark moved mid-execution before handing the request to the
+// per-tick executor (whose per-probe routing tolerates a moving
+// watermark): without the cap, a wide window on a server whose
+// compactions outpace the scan could re-run its whole fan-out forever.
+const maxWindowReplans = 3
+
+// windowRange is Window's planner and executor. It retries from scratch
+// when the sealed watermark moves during execution: ticks the plan
+// expected in the hot tail may have been compacted (and trimmed) under
+// it, and the freshly published segment is the only tier still serving
+// them. Retries are rare (one per compaction at most) and capped.
+func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		segs, sealed := r.view()
+
+		type scanShard struct {
+			seg    *Segment
+			lo, hi int
+		}
+		var (
+			shards       []scanShard
+			sources      int
+			skipped      int
+			skippedTicks int
+		)
+		for _, s := range segs {
+			lo, hi := max(from, s.StartTick), min(to, s.EndTick)
+			if lo > hi {
+				continue
+			}
+			sources++
+			// Zone-map pruning: the scan's candidate cells all lie inside
+			// rect expanded by the segment's local-search margin, so a
+			// zone map disjoint from that area cannot contribute — only
+			// the covered-tick accounting survives. The extra epsilon
+			// mirrors the candidate filter's slop and absorbs any
+			// floating-point disagreement between the zone map's global
+			// grid and the index's region-anchored cell ranges.
+			if !s.Zone.MayIntersect(rect.Expand(s.Eng.Margin()+1e-12), lo, hi) {
+				skipped++
+				skippedTicks += s.Eng.Idx.CoveredTicks(lo, hi)
+				continue
+			}
+			shards = append(shards, scanShard{seg: s, lo: lo, hi: hi})
+		}
+
+		// One range scan per surviving segment, on the same bounded pool
+		// Batch uses — a wide window over a long-lived repository can
+		// overlap hundreds of segments.
+		results := make([]*query.RangeResult, len(shards))
+		errs := make([]error, len(shards))
+		if err := par.ForCtx(ctx, par.Workers(r.opts.Workers), len(shards), 1, func(ctx context.Context, _, wlo, whi int) {
+			for i := wlo; i < whi; i++ {
+				sh := shards[i]
+				results[i], errs[i] = sh.seg.Eng.STRQRange(ctx, rect, sh.lo, sh.hi, exact)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		for i, err := range errs {
+			if err != nil {
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, err
+				}
+				return nil, fmt.Errorf("serve: segment %d: %w", shards[i].seg.ID, err)
+			}
+		}
+
+		// Hot residual: only ticks above the snapshot's watermark, under
+		// a single hot-tail lock. Hot points are raw, so approximate and
+		// exact mode coincide.
+		var (
+			hotCols    []hotScanCol
+			hotCovered int
+		)
+		if to > sealed {
+			var hotOverlaps bool
+			hotCols, hotCovered, hotOverlaps = r.hot.scanRange(rect, max(from, sealed+1), to)
+			if hotOverlaps {
+				sources++
+			}
+		}
+
+		// A watermark move during execution means some planned-hot ticks
+		// may have migrated to a segment after the hot scan read (or
+		// missed) them — re-plan against the new view. Segments are
+		// immutable and the watermark only advances, so a stable
+		// comparison proves the executed plan covered every tick. Past
+		// the replan cap, the per-tick executor finishes the request: its
+		// per-probe routing re-routes freshly sealed ticks on the fly.
+		if _, sealed2 := r.view(); sealed2 != sealed {
+			if attempt+1 < maxWindowReplans {
+				continue
+			}
+			return r.windowPerTickScan(ctx, rect, from, to, exact)
+		}
+
+		// Telemetry lands only for the attempt that survived the
+		// watermark recheck, so a re-planned request counts once.
+		r.winSegsScanned.Add(int64(len(shards)))
+		r.winSegsSkipped.Add(int64(skipped))
+
+		// Merge: flatten every column and sort-dedup once. Columns are
+		// per-tick ID sets, so the flat list is mostly runs of near-equal
+		// values — a single sort beats per-ID map inserts by a wide
+		// margin at window scale.
+		probed := skippedTicks + hotCovered
+		total := 0
+		for _, rr := range results {
+			probed += rr.CoveredTicks
+			r.winCellsScanned.Add(int64(rr.Scan.CellsScanned))
+			r.winCellsSkipped.Add(int64(rr.Scan.CellsSkipped))
+			for _, col := range rr.Cols {
+				total += len(col.IDs)
+			}
+		}
+		for _, col := range hotCols {
+			total += len(col.ids)
+		}
+		flat := make([]traj.ID, 0, total)
+		for _, rr := range results {
+			for _, col := range rr.Cols {
+				flat = append(flat, col.IDs...)
+			}
+		}
+		for _, col := range hotCols {
+			flat = append(flat, col.ids...)
+		}
+		slices.Sort(flat)
+		res := &WindowResult{From: from, To: to, Ticks: probed, Sources: sources, SegmentsSkipped: skipped}
+		if len(flat) > 0 { // nil, not empty-but-allocated, keeps the JSON stable
+			res.IDs = traj.DedupSorted(flat)
+		}
+		return res, nil
+	}
+}
+
+// WindowPerTick is the legacy window executor: one worker per overlapping
+// shard, each probing its sub-span tick by tick through the same routing
+// used by single STRQs. It remains the reference implementation — the
+// equivalence suite asserts Window matches it point for point, and the
+// window benchmark uses it as the baseline. New callers should use
+// Window.
+func (r *Repository) WindowPerTick(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
 	// Counted at entry like STRQ, so query_errors can never exceed
 	// queries in the stats.
 	r.queries.Add(1)
@@ -889,6 +1087,18 @@ func (r *Repository) Window(ctx context.Context, rect geo.Rect, from, to int, ex
 		r.queryErrors.Add(1)
 		return nil, err
 	}
+	res, err := r.windowPerTickScan(ctx, rect, from, to, exact)
+	if err != nil {
+		r.queryErrors.Add(1)
+		return nil, err
+	}
+	return res, nil
+}
+
+// windowPerTickScan is the per-tick executor body, shared by
+// WindowPerTick and windowRange's replan-cap fallback (the caller owns
+// validation and error accounting).
+func (r *Repository) windowPerTickScan(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
 	// Plan the shards against a stable routing view: if a compaction moves
 	// the watermark while we are reading the two tiers, replan (the ticks
 	// it just sealed would otherwise fall between the snapshots).
@@ -982,12 +1192,10 @@ func (r *Repository) Window(ctx context.Context, rect geo.Rect, from, to int, ex
 			errs[i] = runShard(ctx, i)
 		}
 	}); err != nil {
-		r.queryErrors.Add(1)
 		return nil, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			r.queryErrors.Add(1)
 			return nil, err
 		}
 	}
@@ -1033,6 +1241,21 @@ type Stats struct {
 	WALReplayedPoints int64 `json:"wal_replayed_points"`
 	// OrphansRemoved is how many unreferenced data files startup deleted.
 	OrphansRemoved int64 `json:"orphans_removed"`
+	// Window reports the window range-executor's planner telemetry.
+	Window WindowStats `json:"window"`
+}
+
+// WindowStats counts the window executor's zone-map pruning work: how
+// many overlapping segments each window scanned versus skipped outright,
+// and how many populated index cells the surviving scans walked versus
+// pruned (per-cell tick-range miss or margin full-reject) before any
+// posting decode.
+type WindowStats struct {
+	Queries         int64 `json:"queries"`
+	SegmentsScanned int64 `json:"segments_scanned"`
+	SegmentsSkipped int64 `json:"segments_skipped"`
+	CellsScanned    int64 `json:"cells_scanned"`
+	CellsSkipped    int64 `json:"cells_skipped"`
 }
 
 // Stats snapshots the repository.
@@ -1052,6 +1275,13 @@ func (r *Repository) Stats() Stats {
 		WAL:               r.wal.Stats(),
 		WALReplayedPoints: r.replayedPoints,
 		OrphansRemoved:    r.orphansRemoved,
+		Window: WindowStats{
+			Queries:         r.winQueries.Load(),
+			SegmentsScanned: r.winSegsScanned.Load(),
+			SegmentsSkipped: r.winSegsSkipped.Load(),
+			CellsScanned:    r.winCellsScanned.Load(),
+			CellsSkipped:    r.winCellsSkipped.Load(),
+		},
 	}
 	for _, s := range segs {
 		st.SegmentPoints += s.Points

@@ -40,6 +40,13 @@ type Segment struct {
 	// decoded-cell cache (0 when the cache is disabled); invalidating it
 	// drops every cached decode of this segment.
 	CacheOwner uint64
+	// Zone is the segment's pruning summary (tick span, spatial bounds,
+	// populated-cell bitmap); the window planner skips the segment when
+	// the zone map cannot intersect the query's search area.
+	Zone *ZoneMap
+	// zoneRebuilt marks a Zone rebuilt at load time because the sidecar
+	// was missing or stale; the loader re-persists it best-effort.
+	zoneRebuilt bool
 }
 
 // buildSegment drains one batch of columns (ascending ticks) through a
@@ -58,14 +65,16 @@ func buildSegment(id uint64, cols []*traj.Column, bopts core.Options, iopts inde
 	if err != nil {
 		return nil, fmt.Errorf("serve: building segment %d engine: %w", id, err)
 	}
+	start, end := cols[0].Tick, cols[len(cols)-1].Tick
 	return &Segment{
 		ID:        id,
-		StartTick: cols[0].Tick,
-		EndTick:   cols[len(cols)-1].Tick,
+		StartTick: start,
+		EndTick:   end,
 		Points:    sum.NumPoints,
 		Sum:       sum,
 		Eng:       eng,
 		Quantized: true,
+		Zone:      buildZoneMap(eng, iopts.GC, start, end),
 	}, nil
 }
 
@@ -145,7 +154,7 @@ func loadSegment(dir string, m manifestSegment, iopts index.Options, raw *traj.D
 		return nil, fmt.Errorf("serve: rebuilding engine for %s: %w", path, err)
 	}
 	sz, _ := f.Seek(0, io.SeekEnd)
-	return &Segment{
+	seg := &Segment{
 		ID:        m.ID,
 		StartTick: m.StartTick,
 		EndTick:   m.EndTick,
@@ -155,7 +164,17 @@ func loadSegment(dir string, m manifestSegment, iopts index.Options, raw *traj.D
 		File:      m.File,
 		SizeBytes: sz,
 		Quantized: true,
-	}, nil
+	}
+	// Zone maps arrived after the first manifests: a missing or stale
+	// sidecar is rebuilt from the engine (the caller re-persists it,
+	// best-effort — the in-memory zone map is what pruning needs).
+	if z, ok := loadZoneMap(dir, m.ID, iopts.GC); ok {
+		seg.Zone = z
+	} else {
+		seg.Zone = buildZoneMap(eng, iopts.GC, m.StartTick, m.EndTick)
+		seg.zoneRebuilt = true
+	}
+	return seg, nil
 }
 
 // reconstructedPath returns the segment's reconstruction of id over

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/query"
+)
+
+// ZoneMap is a sealed segment's pruning summary: the tick span it serves,
+// the bounding rectangle of every indexed (reconstructed) position, and a
+// populated-cell bitmap over the repository's origin-anchored g_c grid.
+// The window planner consults it before dispatching a range scan — a
+// segment whose zone map cannot intersect the query's local-search area
+// is skipped without touching its engine, postings, or cache.
+//
+// Zone maps are persisted next to their segment blob (seg-NNNNNN.zone.json)
+// and rebuilt from the reloaded engine when the file is missing or stale
+// (manifests written before zone maps existed reload fine — the rebuild
+// also re-persists, upgrading the directory in place).
+type ZoneMap struct {
+	Version int `json:"version"`
+	// GC is the grid cell size the bitmap is quantized at; a zone map
+	// whose GC differs from the serving configuration is rebuilt.
+	GC float64 `json:"gc"`
+	// TickLo and TickHi bound the populated ticks.
+	TickLo int `json:"tick_lo"`
+	TickHi int `json:"tick_hi"`
+	// Bounds covers every populated index cell.
+	Bounds geo.Rect `json:"bounds"`
+	// X0/Y0/W/H frame the bitmap: bit (x, y) of the W×H grid covers the
+	// global cell (X0+x, Y0+y), i.e. the square
+	// [(X0+x)·gc, (X0+x+1)·gc) × [(Y0+y)·gc, (Y0+y+1)·gc). W and H are 0
+	// when the extent was too large to bitmap — pruning then falls back
+	// to Bounds alone.
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	W  int `json:"w"`
+	H  int `json:"h"`
+	// Bits is the row-major bitmap, packed 8 cells per byte
+	// (JSON-encoded as base64).
+	Bits []byte `json:"bits,omitempty"`
+}
+
+const (
+	zoneMapVersion = 1
+	// maxZoneBits caps the bitmap extent (512 KiB of bits); segments
+	// spanning a larger grid keep bounds-only pruning rather than an
+	// unbounded sidecar.
+	maxZoneBits = 1 << 22
+)
+
+// zoneFileName is the canonical sidecar name of a segment's zone map.
+func zoneFileName(id uint64) string { return fmt.Sprintf("seg-%06d.zone.json", id) }
+
+// buildZoneMap derives a segment's zone map from its sealed engine by
+// walking every populated index cell once. Index cells are anchored at
+// their region's corner, not at the origin, so each one is rasterized
+// onto the global grid conservatively (every global cell it overlaps is
+// marked).
+func buildZoneMap(eng *query.Engine, gc float64, startTick, endTick int) *ZoneMap {
+	z := &ZoneMap{Version: zoneMapVersion, GC: gc, TickLo: startTick, TickHi: endTick}
+	type cellSpan struct{ x0, y0, x1, y1 int }
+	var (
+		spans  []cellSpan
+		bounds geo.Rect
+		first  = true
+	)
+	eng.Idx.PopulatedCells(func(cell geo.Rect, tickLo, tickHi int) {
+		if first {
+			bounds, first = cell, false
+			z.TickLo, z.TickHi = tickLo, tickHi
+		} else {
+			bounds = bounds.Union(cell)
+			z.TickLo = min(z.TickLo, tickLo)
+			z.TickHi = max(z.TickHi, tickHi)
+		}
+		spans = append(spans, cellSpan{
+			x0: cellFloor(cell.MinX, gc), y0: cellFloor(cell.MinY, gc),
+			x1: cellLast(cell.MaxX, gc), y1: cellLast(cell.MaxY, gc),
+		})
+	})
+	if first {
+		// No populated cells: an empty zone map prunes everything.
+		z.TickLo, z.TickHi = startTick, endTick
+		return z
+	}
+	z.Bounds = bounds
+	x0, y0 := cellFloor(bounds.MinX, gc), cellFloor(bounds.MinY, gc)
+	x1, y1 := cellLast(bounds.MaxX, gc), cellLast(bounds.MaxY, gc)
+	w, h := x1-x0+1, y1-y0+1
+	if w <= 0 || h <= 0 || w*h > maxZoneBits {
+		return z // bounds-only pruning
+	}
+	z.X0, z.Y0, z.W, z.H = x0, y0, w, h
+	z.Bits = make([]byte, (w*h+7)/8)
+	for _, s := range spans {
+		for y := s.y0; y <= s.y1; y++ {
+			row := (y - y0) * w
+			for x := s.x0; x <= s.x1; x++ {
+				bit := row + (x - x0)
+				z.Bits[bit>>3] |= 1 << (bit & 7)
+			}
+		}
+	}
+	return z
+}
+
+// cellFloor maps a coordinate to its global cell index.
+func cellFloor(v, gc float64) int { return int(math.Floor(v / gc)) }
+
+// cellLast maps a half-open upper bound to the last global cell index a
+// rectangle ending there can overlap (an exact multiple of gc belongs to
+// the previous cell under the max-open convention).
+func cellLast(v, gc float64) int { return int(math.Ceil(v/gc)) - 1 }
+
+// MayIntersect reports whether any populated cell of the zone map could
+// intersect area within ticks [lo, hi]. False positives are allowed
+// (they just cost a scan that finds nothing); false negatives are not —
+// the planner drops the segment entirely on a false return.
+func (z *ZoneMap) MayIntersect(area geo.Rect, lo, hi int) bool {
+	if z == nil {
+		return true // no zone map: never prune
+	}
+	if hi < z.TickLo || lo > z.TickHi {
+		return false
+	}
+	if z.Bounds.Empty() {
+		return false // segment indexed nothing
+	}
+	if !z.Bounds.Intersects(area) {
+		return false
+	}
+	if z.W == 0 || z.H == 0 || len(z.Bits) == 0 {
+		return true // bounds-only zone map
+	}
+	ax0 := max(cellFloor(area.MinX, z.GC), z.X0)
+	ay0 := max(cellFloor(area.MinY, z.GC), z.Y0)
+	ax1 := min(cellFloor(area.MaxX, z.GC), z.X0+z.W-1)
+	ay1 := min(cellFloor(area.MaxY, z.GC), z.Y0+z.H-1)
+	for y := ay0; y <= ay1; y++ {
+		row := (y - z.Y0) * z.W
+		for x := ax0; x <= ax1; x++ {
+			bit := row + (x - z.X0)
+			if z.Bits[bit>>3]&(1<<(bit&7)) != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// persistZone writes the segment's zone map sidecar with the same
+// crash-safe publish sequence as the blob and the manifest.
+func (s *Segment) persistZone(dir string) error {
+	if s.Zone == nil {
+		return nil
+	}
+	blob, err := json.Marshal(s.Zone)
+	if err != nil {
+		return err
+	}
+	_, err = durableSwap(dir, zoneFileName(s.ID), func(f *os.File) (int64, error) {
+		n, err := f.Write(append(blob, '\n'))
+		return int64(n), err
+	})
+	if err != nil {
+		return fmt.Errorf("serve: persisting zone map for segment %d: %w", s.ID, err)
+	}
+	return nil
+}
+
+// loadZoneMap reads a segment's persisted zone map; ok is false when the
+// sidecar is missing, unparsable, or was built for a different version or
+// grid size — the caller then rebuilds from the engine.
+func loadZoneMap(dir string, id uint64, gc float64) (*ZoneMap, bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, zoneFileName(id)))
+	if err != nil {
+		return nil, false
+	}
+	var z ZoneMap
+	if err := json.Unmarshal(raw, &z); err != nil {
+		return nil, false
+	}
+	if z.Version != zoneMapVersion || z.GC != gc {
+		return nil, false
+	}
+	// Shape sanity: a corrupt-but-parseable sidecar must be rebuilt, not
+	// trusted — a malformed bitmap frame would turn MayIntersect into a
+	// permanent (and silent) segment skip.
+	if z.W < 0 || z.H < 0 || z.W*z.H > maxZoneBits ||
+		(z.W*z.H > 0 && len(z.Bits) < (z.W*z.H+7)/8) {
+		return nil, false
+	}
+	return &z, true
+}

@@ -19,6 +19,22 @@ import (
 // ID identifies a trajectory within a Dataset.
 type ID = uint32
 
+// DedupSorted removes adjacent duplicates of an ascending ID slice in
+// place and returns the shortened slice — the shared tail of every
+// sorted-merge in the query stack.
+func DedupSorted(ids []ID) []ID {
+	if len(ids) < 2 {
+		return ids
+	}
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Trajectory is a finite sequence of positions sampled at consecutive
 // ticks starting at Start (Definition 3.1). Points[i] is the position at
 // tick Start+i.

@@ -9,7 +9,7 @@
 //	ppqbench -experiment perf -json BENCH_PPQ.json -label my-change
 //
 // Experiments: table2 table3 table4 table56 table7 table8 table9
-// figure7 figure8 figure9 perf serve cache wal window all. The perf
+// figure7 figure8 figure9 perf serve cache wal window load all. The perf
 // experiment measures the three hot paths (per-tick build, engine
 // construction, STRQ) on the standard SyntheticPorto(2000, 42) workload;
 // the serve experiment drives the repository server's mixed ingest/query
@@ -20,9 +20,12 @@
 // spectrum — ingest throughput under each write-ahead-log sync policy
 // (never / interval / always) plus crash-replay speed; the window
 // experiment replays 512-tick window queries through the per-tick and
-// range-scan executors and records the speedup plus zone-map skip rates.
-// All five append to a machine-readable history with -json so PRs track
-// the perf trajectory.
+// range-scan executors and records the speedup plus zone-map skip rates;
+// the load experiment sweeps an open-loop offered-QPS ladder against a
+// fully-armed server (fsync=always, group commit, admission control)
+// recording served QPS, shed rate, and latency percentiles per rung.
+// All of these append to a machine-readable history with -json so PRs
+// track the perf trajectory.
 package main
 
 import (
@@ -35,7 +38,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, window, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, window, load, all)")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
 	queries := flag.Int("queries", 0, "override query/probe/window count (0 = scale default)")
 	jsonPath := flag.String("json", "", "perf/serve/cache/wal/window only: append the run to this JSON history file")
@@ -118,6 +121,24 @@ func main() {
 		}
 		fmt.Fprintf(w, "[wal completed in %.1fs]\n\n", time.Since(start).Seconds())
 	}
+	if *exp == "load" {
+		start := time.Now()
+		levels := bench.DefaultLoadLevels
+		perLevel := 2 * time.Second
+		if *scaleName == "small" {
+			levels = []float64{200, 1000, 4000}
+			perLevel = time.Second
+		}
+		if *jsonPath != "" {
+			if err := bench.AppendLoad(*jsonPath, *label, levels, perLevel, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.LoadBench(*label, levels, perLevel, w)
+		}
+		fmt.Fprintf(w, "[load completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 	if *exp == "window" {
 		start := time.Now()
 		if *jsonPath != "" {
@@ -133,7 +154,7 @@ func main() {
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window":
+		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window", "load":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"ppqtraj/internal/admit"
 	"ppqtraj/internal/core"
 	"ppqtraj/internal/gen"
 	"ppqtraj/internal/geo"
@@ -58,6 +59,19 @@ func main() {
 		"default per-request query deadline (0 = none; clients override with ?timeout=)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"graceful-shutdown drain window for in-flight requests")
+	groupWait := flag.Duration("group-commit-wait", 2*time.Millisecond,
+		"WAL group-commit batching window under -fsync=always (lone writers never wait; 0 disables)")
+	maxIngest := flag.Int("max-inflight-ingest", 0,
+		"concurrent ingest-class requests admitted (0 = default 64, negative = unlimited)")
+	maxQuery := flag.Int("max-inflight-query", 0,
+		"concurrent query-class requests admitted (0 = default 256, negative = unlimited)")
+	admitQueue := flag.Int("admit-queue", 0,
+		"requests allowed to wait for an in-flight slot per class (0 = 4x the cap, negative = shed instantly)")
+	admitWait := flag.Duration("admit-wait", 100*time.Millisecond,
+		"longest one request waits for an in-flight slot before a 429")
+	clientRate := flag.Float64("client-rate", 0,
+		"per-client request budget in req/s, keyed X-Client-ID or remote host (0 = no quotas)")
+	clientBurst := flag.Int("client-burst", 0, "per-client token-bucket depth (0 = 4x -client-rate)")
 	flag.Parse()
 
 	cacheBytes := *cacheMB << 20
@@ -91,6 +105,15 @@ func main() {
 		WALSync:             policy,
 		WALSyncInterval:     *fsyncEvery,
 		WALSegmentBytes:     *walSegMB << 20,
+		GroupCommitWait:     *groupWait,
+		Admit: admit.Options{
+			MaxInFlightIngest: *maxIngest,
+			MaxInFlightQuery:  *maxQuery,
+			MaxQueue:          *admitQueue,
+			MaxWait:           *admitWait,
+			ClientRate:        *clientRate,
+			ClientBurst:       *clientBurst,
+		},
 	}
 
 	repo, err := serve.Open(opts)

@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ppqtraj/internal/admit"
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+	"ppqtraj/internal/wal"
+)
+
+// LoadPoint is one rung of the offered-load ladder: requests fired at a
+// fixed open-loop rate for a fixed window, classified by outcome, with
+// latency percentiles over the served requests only — a shed request's
+// fast 429 must not flatter the tail.
+type LoadPoint struct {
+	OfferedQPS float64 `json:"offered_qps"`
+	Seconds    float64 `json:"seconds"`
+	Sent       int     `json:"sent"`
+	Served     int     `json:"served"`
+	Shed       int     `json:"shed"`     // 429: admission said come back later
+	Rejected   int     `json:"rejected"` // 4xx/5xx other than 429 (contract bugs if nonzero)
+	ServedQPS  float64 `json:"served_qps"`
+	ShedRate   float64 `json:"shed_rate"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	P999MS     float64 `json:"p999_ms"`
+}
+
+// LoadRun is one sweep of the ladder against a fully-armed server:
+// fsync=always durability, group commit, admission control. The shape to
+// look for is the knee — below capacity the shed rate is ~0 and p99 is
+// flat; above it the shed rate climbs while the served tail stays
+// bounded. A server without admission control shows the opposite: zero
+// sheds and a tail that grows without bound.
+type LoadRun struct {
+	Label          string      `json:"label"`
+	GoMaxProcs     int         `json:"gomaxprocs"`
+	IngestFraction float64     `json:"ingest_fraction"`
+	MaxInFlight    int         `json:"max_inflight_ingest"`
+	Points         []LoadPoint `json:"points"`
+}
+
+// loadStream is one ingest source: a disjoint trajectory-ID range with a
+// private tick counter. A stream is checked out of a pool for the
+// duration of one request, so its ticks arrive in order and the
+// per-trajectory contiguity contract holds with zero coordination.
+type loadStream struct {
+	base     uint32
+	nextTick int
+}
+
+// LoadBench drives the offered-load ladder. qpsLevels are the open-loop
+// rates to sweep (each held for perLevel); the generator fires on
+// schedule regardless of completions, the way real traffic does — a slow
+// server does not slow its clients down, it just accumulates their
+// requests. The mix is write-heavy: ingestFrac of requests are
+// single-tick ingests, the rest STRQ probes against recently written
+// space.
+func LoadBench(label string, qpsLevels []float64, perLevel time.Duration, w io.Writer) LoadRun {
+	const (
+		ingestFrac   = 0.8
+		streams      = 256
+		ptsPerTick   = 16
+		maxInFlight  = 16
+		fsyncCost    = 5 * time.Millisecond
+		outstanding  = 4096
+		drainTimeout = 10 * time.Second
+	)
+	dir, err := os.MkdirTemp("", "ppq-loadbench-")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	// The WAL runs on a simulated disk with a fixed fsync cost, and the
+	// ingest class gets a deliberately modest slot budget. Together they
+	// pin the server's capacity at (slots / group-commit round), i.e. a
+	// few thousand ingests per second — low enough that the ladder's top
+	// rungs exceed it and the admission knee shows, and independent of
+	// whether the host's /tmp is tmpfs (free fsyncs) or spinning rust.
+	ffs := wal.NewFaultFS()
+	ffs.SetSyncDelay(fsyncCost)
+	opts := serve.Options{
+		Build:           perfOpts(partition.Spatial),
+		Index:           indexOptions(Porto),
+		Dir:             dir,
+		WALSync:         wal.SyncAlways,
+		GroupCommitWait: 2 * time.Millisecond,
+		WALFS:           ffs,
+		Admit: admit.Options{
+			MaxInFlightIngest: maxInFlight,
+			MaxInFlightQuery:  256,
+			MaxQueue:          maxInFlight,
+			MaxWait:           10 * time.Millisecond,
+		},
+		// No compaction: the ladder isolates ingest+admission, not
+		// background sealing.
+		HotTicks:        1 << 30,
+		CompactInterval: time.Hour,
+		Logf:            func(string, ...any) {},
+	}
+	repo, err := serve.Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	defer repo.Close()
+	srv := httptest.NewServer(repo.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	client.Transport = &http.Transport{
+		MaxIdleConns:        outstanding,
+		MaxIdleConnsPerHost: outstanding,
+	}
+
+	pool := make(chan *loadStream, streams)
+	for s := 0; s < streams; s++ {
+		pool <- &loadStream{base: uint32(1 + s*10000), nextTick: 1}
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	run := LoadRun{
+		Label:          label,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		IngestFraction: ingestFrac,
+		MaxInFlight:    maxInFlight,
+	}
+	fprintf(w, "== load: %s (open loop, %d%% ingest, fsync=always + group commit) ==\n",
+		label, int(ingestFrac*100))
+	fprintf(w, "  %10s %10s %10s %9s %9s %9s %9s\n",
+		"offered", "served", "shed rate", "p50", "p99", "p99.9", "(ms)")
+
+	for _, qps := range qpsLevels {
+		var (
+			mu        sync.Mutex
+			latencies []time.Duration
+			sent      atomic.Int64
+			served    atomic.Int64
+			shed      atomic.Int64
+			rejected  atomic.Int64
+			inflight  atomic.Int64
+			wg        sync.WaitGroup
+		)
+		fire := func(isIngest bool) {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			t0 := time.Now()
+			var resp *http.Response
+			var err error
+			if isIngest {
+				var st *loadStream
+				select {
+				case st = <-pool:
+				default:
+					isIngest = false // every stream is mid-flight: probe instead
+				}
+				if st != nil {
+					pts := make([]serve.IngestPoint, ptsPerTick)
+					for i := range pts {
+						pts[i] = serve.IngestPoint{
+							ID: st.base + uint32(i),
+							X:  float64(i) * 1e-4,
+							Y:  float64(st.nextTick) * 1e-5,
+						}
+					}
+					body, _ := json.Marshal(serve.IngestRequest{
+						Ticks: []serve.IngestTick{{Tick: st.nextTick, Points: pts}},
+					})
+					resp, err = client.Post(srv.URL+"/v1/ingest", "application/json", bytes.NewReader(body))
+					if err == nil && resp.StatusCode == http.StatusOK {
+						st.nextTick++ // only an acked tick advances the stream
+					}
+					pool <- st
+				}
+			}
+			if resp == nil && err == nil {
+				body, _ := json.Marshal(serve.QueryRequest{Queries: []serve.STRQRequest{
+					{P: geo.Pt(rng.Float64()*1e-3, rng.Float64()*1e-3), Tick: 1},
+				}})
+				resp, err = client.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader(body))
+			}
+			if err != nil {
+				rejected.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				served.Add(1)
+				d := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, d)
+				mu.Unlock()
+			case resp.StatusCode == http.StatusTooManyRequests:
+				shed.Add(1)
+			default:
+				rejected.Add(1)
+			}
+		}
+
+		// Open-loop pacing: every 2ms release the quota accrued since the
+		// level started, each request on its own goroutine. The generator
+		// never waits for the server; it only refuses to let the
+		// in-flight population exceed `outstanding` (a real fleet has
+		// finitely many sockets too — past that, arrivals count as shed).
+		start := time.Now()
+		fired := 0
+		for time.Since(start) < perLevel {
+			due := int(qps * time.Since(start).Seconds())
+			for ; fired < due; fired++ {
+				sent.Add(1)
+				if inflight.Add(1) > outstanding {
+					inflight.Add(-1)
+					shed.Add(1)
+					continue
+				}
+				wg.Add(1)
+				go fire(rng.Float64() < ingestFrac)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(drainTimeout):
+			panic(fmt.Sprintf("loadbench: %v offered QPS level failed to drain in %v — requests are stuck",
+				qps, drainTimeout))
+		}
+
+		elapsed := time.Since(start).Seconds()
+		mu.Lock()
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(p float64) float64 {
+			if len(latencies) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(latencies)))
+			if i >= len(latencies) {
+				i = len(latencies) - 1
+			}
+			return latencies[i].Seconds() * 1e3
+		}
+		pt := LoadPoint{
+			OfferedQPS: qps,
+			Seconds:    elapsed,
+			Sent:       int(sent.Load()),
+			Served:     int(served.Load()),
+			Shed:       int(shed.Load()),
+			Rejected:   int(rejected.Load()),
+			ServedQPS:  float64(served.Load()) / elapsed,
+			ShedRate:   float64(shed.Load()) / float64(sent.Load()),
+			P50MS:      pct(0.50),
+			P99MS:      pct(0.99),
+			P999MS:     pct(0.999),
+		}
+		mu.Unlock()
+		run.Points = append(run.Points, pt)
+		fprintf(w, "  %10.0f %10.0f %9.1f%% %9.2f %9.2f %9.2f\n",
+			pt.OfferedQPS, pt.ServedQPS, pt.ShedRate*100, pt.P50MS, pt.P99MS, pt.P999MS)
+	}
+	return run
+}
+
+// DefaultLoadLevels is the recorded ladder: from comfortably under
+// capacity to several times over it, so the knee lands mid-sweep.
+var DefaultLoadLevels = []float64{200, 500, 1000, 2000, 4000}
+
+// AppendLoad runs LoadBench and appends the run to the JSON history at
+// path. qpsLevels nil means DefaultLoadLevels; perLevel <= 0 means 2s.
+func AppendLoad(path, label string, qpsLevels []float64, perLevel time.Duration, w io.Writer) error {
+	if qpsLevels == nil {
+		qpsLevels = DefaultLoadLevels
+	}
+	if perLevel <= 0 {
+		perLevel = 2 * time.Second
+	}
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.LoadRuns = append(pf.LoadRuns, LoadBench(label, qpsLevels, perLevel, w))
+	return writePerfFile(path, &pf)
+}

@@ -51,6 +51,10 @@ type PerfFile struct {
 	// baseline vs range-scan medians and zone-map skip rates (ppqbench
 	// -experiment window).
 	WindowRuns []WindowRun `json:"window_runs,omitempty"`
+	// LoadRuns tracks the overload ladder: open-loop offered QPS vs
+	// served QPS, shed rate, and served-latency percentiles against a
+	// fully-armed server (ppqbench -experiment load).
+	LoadRuns []LoadRun `json:"load_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.

@@ -6,10 +6,13 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
+	"ppqtraj/internal/geo"
 	"ppqtraj/internal/partition"
 	"ppqtraj/internal/serve"
+	"ppqtraj/internal/traj"
 	"ppqtraj/internal/wal"
 )
 
@@ -31,6 +34,19 @@ type WALRun struct {
 	WALSegments        int     `json:"wal_segments"`
 	ReplayPointsPerSec float64 `json:"replay_points_per_sec"`
 	ReplaySeconds      float64 `json:"replay_seconds"`
+
+	// Concurrent runs only (zero on the sequential policy sweep):
+	// Clients is how many ingest sources ran in parallel,
+	// GroupCommitWaitMS the batching window, and Commits the acked batch
+	// count — Commits/Syncs is the group-commit batching factor.
+	// SimFsyncMS, when nonzero, is a simulated per-fsync disk cost
+	// (injected through the WAL's filesystem seam) so the group-commit
+	// comparison is reproducible on any host and shows the regime the
+	// window exists for: fsync-dominated disks.
+	Clients           int     `json:"clients,omitempty"`
+	GroupCommitWaitMS float64 `json:"group_commit_wait_ms,omitempty"`
+	Commits           int64   `json:"commits,omitempty"`
+	SimFsyncMS        float64 `json:"sim_fsync_ms,omitempty"`
 }
 
 // WALBench runs the ingest stream once per sync policy, with compaction
@@ -112,8 +128,180 @@ func WALBench(label string, w io.Writer) []WALRun {
 	return runs
 }
 
-// AppendWAL runs WALBench and appends the results to the JSON history at
-// path (sharing the file with the perf, serve, and cache runs).
+// WALConcurrentBench prices fsync=always under concurrency. The standard
+// stream is sharded by trajectory ID into fixed per-source streams (a
+// trajectory always lands in the same stream and each stream replays its
+// ticks in order, so the per-trajectory contiguity contract holds with
+// no coordination), and every config ingests the SAME 8-way-sharded
+// commit sequence — only the writer count and the disk vary, so the
+// points/s numbers compare directly:
+//
+//   - clients=1 is the seed's shape: one writer, every acked batch
+//     serialized behind its own fsync. On a disk with real fsync cost
+//     this is the durability wall the paper's ingest rates crash into.
+//   - clients=8 wait=0 is concurrency alone: commits share an fsync only
+//     when they happen to pile up behind one already in flight.
+//   - clients=8 wait=2ms adds the group-commit window: a committing
+//     leader briefly holds the door open so one fsync acks many batches.
+//
+// The real-disk pair shows what the window does where fsyncs are cheap
+// (batching factor up, throughput within scheduling noise); the
+// simulated-disk runs (a fixed fsync cost injected through the FS seam)
+// show the regime the window exists for, reproducibly on any host.
+func WALConcurrentBench(label string, w io.Writer) []WALRun {
+	d, cols := perfData()
+	const streams = 8
+
+	shards := make([][]*traj.Column, streams)
+	for _, col := range cols {
+		var ids [streams][]traj.ID
+		var pts [streams][]geo.Point
+		for i, id := range col.IDs {
+			s := int(id % streams)
+			ids[s] = append(ids[s], id)
+			pts[s] = append(pts[s], col.Points[i])
+		}
+		for s := 0; s < streams; s++ {
+			if len(ids[s]) == 0 {
+				continue
+			}
+			shards[s] = append(shards[s], &traj.Column{Tick: col.Tick, IDs: ids[s], Points: pts[s]})
+		}
+	}
+
+	configs := []struct {
+		clients int
+		wait    time.Duration
+		fsync   time.Duration
+	}{
+		{streams, 0, 0},
+		{streams, 2 * time.Millisecond, 0},
+		{1, 0, 5 * time.Millisecond}, // the seed's single-writer wall
+		{streams, 0, 5 * time.Millisecond},
+		{streams, 2 * time.Millisecond, 5 * time.Millisecond},
+	}
+	var runs []WALRun
+	for _, cfg := range configs {
+		wait := cfg.wait
+		dir, err := os.MkdirTemp("", "ppq-walbench-")
+		if err != nil {
+			panic(err)
+		}
+		opts := serve.Options{
+			Build:           perfOpts(partition.Spatial),
+			Index:           indexOptions(Porto),
+			Dir:             dir,
+			WALSync:         wal.SyncAlways,
+			GroupCommitWait: wait,
+			HotTicks:        1 << 30,
+			CompactInterval: time.Hour,
+			Logf:            func(string, ...any) {},
+		}
+		if cfg.fsync > 0 {
+			ffs := wal.NewFaultFS()
+			ffs.SetSyncDelay(cfg.fsync)
+			opts.WALFS = ffs
+		}
+		repo, err := serve.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		// Worker c owns streams c, c+clients, ... and walks them
+		// tick-major, so every config issues the identical commit
+		// sequence per stream regardless of how many workers share it.
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, cfg.clients)
+		for c := 0; c < cfg.clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var mine [][]*traj.Column
+				for s := c; s < streams; s += cfg.clients {
+					mine = append(mine, shards[s])
+				}
+				for i := 0; ; i++ {
+					any := false
+					for _, shard := range mine {
+						if i >= len(shard) {
+							continue
+						}
+						any = true
+						col := shard[i]
+						if err := repo.Ingest(col.Tick, col.IDs, col.Points); err != nil {
+							errs <- err
+							return
+						}
+					}
+					if !any {
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			panic(err)
+		}
+		ingestSecs := time.Since(start).Seconds()
+		st := repo.Stats()
+		if err := repo.Close(); err != nil {
+			panic(err)
+		}
+
+		// Every acked point must replay: the concurrency gain is only
+		// interesting if durability survived it. Reopen on the real
+		// filesystem — replay speed is not under test here.
+		opts.WALFS = nil
+		repo, err = serve.Open(opts)
+		if err != nil {
+			panic(err)
+		}
+		if rst := repo.Stats(); rst.WALReplayedPoints != int64(d.NumPoints()) {
+			panic(fmt.Sprintf("walbench: concurrent replay restored %d of %d points",
+				rst.WALReplayedPoints, d.NumPoints()))
+		}
+		if err := repo.Close(); err != nil {
+			panic(err)
+		}
+		os.RemoveAll(dir)
+
+		run := WALRun{
+			Label:              label,
+			Policy:             string(wal.SyncAlways),
+			GoMaxProcs:         runtime.GOMAXPROCS(0),
+			Points:             d.NumPoints(),
+			IngestPointsPerSec: float64(d.NumPoints()) / ingestSecs,
+			Syncs:              st.WAL.Syncs,
+			WALBytes:           st.WAL.Bytes,
+			WALSegments:        st.WAL.Segments,
+			Clients:            cfg.clients,
+			GroupCommitWaitMS:  float64(wait) / 1e6,
+			Commits:            st.WAL.Commits,
+			SimFsyncMS:         float64(cfg.fsync) / 1e6,
+		}
+		runs = append(runs, run)
+		batching := float64(run.Commits)
+		if run.Syncs > 0 {
+			batching /= float64(run.Syncs)
+		}
+		disk := "real disk"
+		if cfg.fsync > 0 {
+			disk = fmt.Sprintf("simulated %v fsync", cfg.fsync)
+		}
+		fprintf(w, "== wal: %s policy=always clients=%d group-commit=%v (%s, %d points) ==\n",
+			label, cfg.clients, wait, disk, run.Points)
+		fprintf(w, "  ingest           %12.0f points/s (acked, fsync-gated)\n", run.IngestPointsPerSec)
+		fprintf(w, "  batching         %12.1f commits/fsync (%d commits, %d fsyncs)\n",
+			batching, run.Commits, run.Syncs)
+	}
+	return runs
+}
+
+// AppendWAL runs WALBench plus the concurrent group-commit comparison
+// and appends the results to the JSON history at path (sharing the file
+// with the perf, serve, and cache runs).
 func AppendWAL(path, label string, w io.Writer) error {
 	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
 	if raw, err := os.ReadFile(path); err == nil {
@@ -122,5 +310,6 @@ func AppendWAL(path, label string, w io.Writer) error {
 		}
 	}
 	pf.WALRuns = append(pf.WALRuns, WALBench(label, w)...)
+	pf.WALRuns = append(pf.WALRuns, WALConcurrentBench(label, w)...)
 	return writePerfFile(path, &pf)
 }

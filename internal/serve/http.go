@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"ppqtraj/internal/admit"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/traj"
+	"ppqtraj/internal/wal"
 )
 
 // HTTP/JSON API of the repository server:
@@ -37,12 +40,28 @@ import (
 // went away returns 499 (the nginx convention). Request bodies are parsed
 // strictly: unknown fields and trailing data are 400s, so a misspelled
 // field can never silently zero-value into a different query than the
-// caller meant.
+// caller meant. A body that overflows the transport cap is 413.
+//
+// Overload: every work endpoint passes admission control before its body
+// is even read — in-flight caps per class (ingest vs query), a bounded
+// wait queue, and per-client token buckets (keyed X-Client-ID, falling
+// back to remote host). A shed request gets 429 with a Retry-After
+// header; the server's answer to overload is to reject fast, never to
+// queue without bound. /v1/stats and /healthz bypass admission, so
+// probes can always see a struggling server's state.
+//
+// Degraded mode: once the write-ahead log latches a disk failure, every
+// ingest returns 503 with the latched error and /v1/stats reports
+// degraded:true; queries keep serving the data already resident.
+
+// maxBodyBytes caps a request body on the wire; bodies beyond it get a
+// 413. A variable (not const) only so tests can shrink it — building a
+// 64 MiB overflow per test run is pure waste.
+var maxBodyBytes int64 = 64 << 20
 
 const (
 	maxBatchQueries = 4096
 	maxIngestPoints = 1 << 20
-	maxBodyBytes    = 64 << 20
 
 	// maxQueryTimeout caps client-supplied ?timeout= values when the
 	// operator configured no default deadline; with a configured default,
@@ -129,6 +148,15 @@ func readBody(w http.ResponseWriter, req *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		// A body that overflows the transport cap is a size problem, not a
+		// syntax problem: 413 tells the client to shrink the batch, where
+		// a 400 would send it hunting for a JSON bug that is not there.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				httpError{Error: fmt.Sprintf("request body exceeds the %d-byte cap", tooBig.Limit)})
+			return false
+		}
 		writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad request body: %v", err)})
 		return false
 	}
@@ -137,6 +165,36 @@ func readBody(w http.ResponseWriter, req *http.Request, v any) bool {
 		return false
 	}
 	return true
+}
+
+// admitHTTP runs admission control for one request. On rejection it
+// writes the 429 itself — Retry-After header included, so well-behaved
+// clients spread their retries — and returns ok=false. On success the
+// caller must invoke release exactly once when the request's work is
+// done (including the response write: the slot covers the whole
+// request, or the cap would not actually bound concurrent work).
+func (r *Repository) admitHTTP(w http.ResponseWriter, req *http.Request, class admit.Class) (release func(), ok bool) {
+	release, rej, ok := r.admit.Admit(req.Context(), class, admit.ClientKey(req.Header.Get, req.RemoteAddr))
+	if ok {
+		return release, true
+	}
+	secs := int(rej.RetryAfter / time.Second)
+	if rej.RetryAfter%time.Second != 0 {
+		secs++
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusTooManyRequests, struct {
+		httpError
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+		Reason            string `json:"reason"`
+	}{
+		httpError{Error: fmt.Sprintf("overloaded: request shed (%s); retry after %ds", rej.Reason, secs)},
+		secs, rej.Reason,
+	})
+	return nil, false
 }
 
 // queryContext derives the request's working context: the client's
@@ -189,6 +247,11 @@ func writeQueryError(w http.ResponseWriter, req *http.Request, err error) {
 }
 
 func (r *Repository) handleQuery(w http.ResponseWriter, req *http.Request) {
+	release, ok := r.admitHTTP(w, req, admit.Query)
+	if !ok {
+		return
+	}
+	defer release()
 	var in QueryRequest
 	if !readBody(w, req, &in) {
 		return
@@ -240,6 +303,11 @@ func batchLostAnswers(answers []STRQAnswer, err error) bool {
 }
 
 func (r *Repository) handleWindow(w http.ResponseWriter, req *http.Request) {
+	release, ok := r.admitHTTP(w, req, admit.Query)
+	if !ok {
+		return
+	}
+	defer release()
 	var in WindowRequest
 	if !readBody(w, req, &in) {
 		return
@@ -262,6 +330,11 @@ func (r *Repository) handleWindow(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
+	release, ok := r.admitHTTP(w, req, admit.Ingest)
+	if !ok {
+		return
+	}
+	defer release()
 	var in IngestRequest
 	if !readBody(w, req, &in) {
 		return
@@ -284,9 +357,16 @@ func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
 			pts[i] = geo.Point{X: p.X, Y: p.Y}
 		}
 		if err := r.Ingest(t.Tick, ids, pts); err != nil {
+			// A fail-stopped WAL is the server's problem, not the
+			// request's: 503 with the latched error, so clients and
+			// probes can tell "fix your payload" from "the disk died".
+			status := http.StatusUnprocessableEntity
+			if errors.Is(err, wal.ErrFailStopped) {
+				status = http.StatusServiceUnavailable
+			}
 			// Ingest is transactional per tick: report what landed plus
 			// the first failure.
-			writeJSON(w, http.StatusUnprocessableEntity, struct {
+			writeJSON(w, status, struct {
 				IngestResponse
 				httpError
 			}{IngestResponse{AcceptedPoints: accepted}, httpError{Error: err.Error()}})
@@ -297,9 +377,20 @@ func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, IngestResponse{AcceptedPoints: accepted})
 }
 
-func (r *Repository) handleFlush(w http.ResponseWriter, _ *http.Request) {
+func (r *Repository) handleFlush(w http.ResponseWriter, req *http.Request) {
+	// Flush drives the compactor — mutating, heavyweight work — so it
+	// shares the ingest class's budget.
+	release, ok := r.admitHTTP(w, req, admit.Ingest)
+	if !ok {
+		return
+	}
+	defer release()
 	if err := r.Flush(); err != nil {
-		writeJSON(w, http.StatusInternalServerError, httpError{Error: err.Error()})
+		status := http.StatusInternalServerError
+		if errors.Is(err, wal.ErrFailStopped) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, httpError{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusOK, r.Stats())

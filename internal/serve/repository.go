@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ppqtraj/internal/admit"
 	"ppqtraj/internal/cache"
 	"ppqtraj/internal/core"
 	"ppqtraj/internal/geo"
@@ -90,6 +91,21 @@ type Options struct {
 	// WALSegmentBytes caps one WAL file's size before rotation (default
 	// 16 MiB); smaller files let compaction reclaim log space sooner.
 	WALSegmentBytes int64
+	// GroupCommitWait, under wal.SyncAlways, is the group-commit batching
+	// window: a committing ingest whose fsync has concurrent company
+	// holds the window open this long so one fsync acknowledges many
+	// batches. Lone writers never wait. 0 disables the window (commits
+	// still batch with fsyncs already in flight).
+	GroupCommitWait time.Duration
+	// WALFS overrides the write-ahead log's filesystem (default the real
+	// one). Tests inject wal.FaultFS here to exercise disk failures and
+	// degraded mode deterministically.
+	WALFS wal.FS
+	// Admit configures HTTP admission control: per-class in-flight caps,
+	// bounded queues, and per-client token-bucket quotas. The zero value
+	// enables generous defaults; see admit.Options to tighten or disable
+	// individual mechanisms.
+	Admit admit.Options
 	// Logf receives operational log lines (orphan cleanup, WAL replay).
 	// Defaults to log.Printf.
 	Logf func(format string, args ...any)
@@ -189,6 +205,10 @@ type Repository struct {
 	// the workload actually hammers.
 	cells *cache.Cache
 
+	// admit gates HTTP traffic before any work happens: in-flight caps
+	// per endpoint class, bounded queues, per-client quotas.
+	admit *admit.Controller
+
 	compactMu sync.Mutex // serializes compactions (background loop vs Flush)
 	nextSegID uint64     // guarded by compactMu
 
@@ -240,6 +260,7 @@ func Open(opts Options) (*Repository, error) {
 	if opts.CacheBytes > 0 {
 		r.cells = cache.New(opts.CacheBytes)
 	}
+	r.admit = admit.New(opts.Admit)
 	r.lastErr.Store("")
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -257,10 +278,12 @@ func Open(opts Options) (*Repository, error) {
 	r.hot.floor = r.sealedThrough
 	if opts.Dir != "" {
 		l, err := wal.Open(wal.Options{
-			Dir:          opts.WALDir,
-			Policy:       opts.WALSync,
-			Interval:     opts.WALSyncInterval,
-			SegmentBytes: opts.WALSegmentBytes,
+			Dir:             opts.WALDir,
+			Policy:          opts.WALSync,
+			Interval:        opts.WALSyncInterval,
+			SegmentBytes:    opts.WALSegmentBytes,
+			GroupCommitWait: opts.GroupCommitWait,
+			FS:              opts.WALFS,
 		}, r.replayRecord)
 		if err != nil {
 			return nil, err
@@ -1230,6 +1253,10 @@ type Stats struct {
 	RawAccesses     int64  `json:"raw_accesses"`
 	DiskBytes       int64  `json:"disk_bytes"`
 	LastError       string `json:"last_error,omitempty"`
+	// Degraded is true once the write-ahead log has latched a disk
+	// failure: ingest is fail-stopped (503s) while reads keep serving.
+	// Probes should alert on this bit, not string-match last_error.
+	Degraded bool `json:"degraded"`
 	// Cache reports the shared decoded-cell cache (all-zero when the
 	// cache is disabled).
 	Cache cache.Stats `json:"cell_cache"`
@@ -1243,6 +1270,9 @@ type Stats struct {
 	OrphansRemoved int64 `json:"orphans_removed"`
 	// Window reports the window range-executor's planner telemetry.
 	Window WindowStats `json:"window"`
+	// Admission reports the overload valve: per-class in-flight /
+	// shed counters and client-quota rejections.
+	Admission admit.Stats `json:"admission"`
 }
 
 // WindowStats counts the window executor's zone-map pruning work: how
@@ -1271,8 +1301,10 @@ func (r *Repository) Stats() Stats {
 		Queries:           r.queries.Load(),
 		QueryErrors:       r.queryErrors.Load(),
 		LastError:         r.lastErr.Load().(string),
+		Degraded:          r.Degraded() != nil,
 		Cache:             r.cells.Snapshot(),
 		WAL:               r.wal.Stats(),
+		Admission:         r.admit.Snapshot(),
 		WALReplayedPoints: r.replayedPoints,
 		OrphansRemoved:    r.orphansRemoved,
 		Window: WindowStats{
@@ -1289,6 +1321,15 @@ func (r *Repository) Stats() Stats {
 		st.DiskBytes += s.SizeBytes
 	}
 	return st
+}
+
+// Degraded returns the write-ahead log's latched disk error, or nil
+// while ingest is healthy. A degraded repository keeps serving reads;
+// every ingest is rejected with the latched error (HTTP 503) — after a
+// disk lies about an fsync, nothing further can honestly be
+// acknowledged.
+func (r *Repository) Degraded() error {
+	return r.wal.Failed()
 }
 
 // Segments returns the current sealed segments (immutable; do not modify).

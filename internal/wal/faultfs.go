@@ -1,0 +1,167 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultFS wraps another FS (OSFS by default) and injects disk failures on
+// command. It is the deterministic stand-in for the three ways real disks
+// die mid-flight:
+//
+//   - SetSyncErr makes every subsequent fsync (file or directory) fail —
+//     the "disk lies about durability" case that must latch the log
+//     fail-stopped.
+//   - SetSyncDelay stalls fsyncs — the "disk is dying slowly" case, used
+//     to prove appends and queries do not serialize behind a slow commit.
+//   - FailWriteAfter arms a byte budget after which a write is cut short
+//     mid-record and fails — the torn-write case recovery must truncate.
+//
+// All knobs are safe to flip concurrently with log traffic (that is the
+// point: faults land mid-burst, not between requests).
+type FaultFS struct {
+	// Base is the wrapped filesystem; nil means OSFS.
+	Base FS
+
+	mu        sync.Mutex
+	syncErr   error
+	syncDelay time.Duration
+
+	writeBudget atomic.Int64 // bytes until writes start failing; <0 = disarmed
+	writeErr    error        // under mu
+
+	syncs  atomic.Int64 // fsyncs that went through (file + dir)
+	writes atomic.Int64 // writes that went through
+}
+
+// NewFaultFS returns a FaultFS over the real filesystem with no faults
+// armed.
+func NewFaultFS() *FaultFS {
+	f := &FaultFS{Base: OSFS{}}
+	f.writeBudget.Store(-1)
+	return f
+}
+
+// SetSyncErr arms (or, with nil, disarms) fsync failure: every File.Sync
+// and SyncDir returns err after the data reaches the wrapped FS — the
+// write-back happened, the durability barrier lied.
+func (f *FaultFS) SetSyncErr(err error) {
+	f.mu.Lock()
+	f.syncErr = err
+	f.mu.Unlock()
+}
+
+// SetSyncDelay stalls every subsequent fsync by d.
+func (f *FaultFS) SetSyncDelay(d time.Duration) {
+	f.mu.Lock()
+	f.syncDelay = d
+	f.mu.Unlock()
+}
+
+// FailWriteAfter arms torn writes: the next n bytes write through, after
+// which each write stores its prefix (if any budget remains) and fails
+// with err — exactly the shape a power cut mid-append leaves on disk.
+func (f *FaultFS) FailWriteAfter(n int64, err error) {
+	if err == nil {
+		err = errors.New("faultfs: injected write failure")
+	}
+	f.mu.Lock()
+	f.writeErr = err
+	f.mu.Unlock()
+	f.writeBudget.Store(n)
+}
+
+// Syncs returns how many fsyncs reached the wrapped FS.
+func (f *FaultFS) Syncs() int64 { return f.syncs.Load() }
+
+func (f *FaultFS) base() FS {
+	if f.Base == nil {
+		return OSFS{}
+	}
+	return f.Base
+}
+
+func (f *FaultFS) syncGate() error {
+	f.mu.Lock()
+	err, delay := f.syncErr, f.syncDelay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm os.FileMode) error { return f.base().MkdirAll(dir, perm) }
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error)   { return f.base().ReadDir(dir) }
+func (f *FaultFS) Truncate(name string, size int64) error      { return f.base().Truncate(name, size) }
+func (f *FaultFS) Remove(name string) error                    { return f.base().Remove(name) }
+func (f *FaultFS) Open(name string) (File, error)              { return f.base().Open(name) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.syncGate(); err != nil {
+		return err
+	}
+	if err := f.base().SyncDir(dir); err != nil {
+		return err
+	}
+	f.syncs.Add(1)
+	return nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.base().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, File: file}, nil
+}
+
+// faultFile routes a segment file's writes and syncs through the fault
+// knobs.
+type faultFile struct {
+	fs *FaultFS
+	File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	budget := ff.fs.writeBudget.Load()
+	if budget < 0 {
+		ff.fs.writes.Add(1)
+		return ff.File.Write(p)
+	}
+	ff.fs.mu.Lock()
+	werr := ff.fs.writeErr
+	ff.fs.mu.Unlock()
+	if budget == 0 {
+		return 0, werr
+	}
+	n := len(p)
+	if int64(n) > budget {
+		n = int(budget)
+	}
+	ff.fs.writeBudget.Store(budget - int64(n))
+	wrote, err := ff.File.Write(p[:n])
+	if err != nil {
+		return wrote, err
+	}
+	if wrote < len(p) {
+		// The record is now torn on disk — the injected crash shape.
+		return wrote, werr
+	}
+	ff.fs.writes.Add(1)
+	return wrote, nil
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.syncGate(); err != nil {
+		return err
+	}
+	if err := ff.File.Sync(); err != nil {
+		return err
+	}
+	ff.fs.syncs.Add(1)
+	return nil
+}

@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestInjectedFsyncFailureLatches drives the fail-stop contract through
+// the FS seam: the first failing fsync latches the log, every later
+// Append and Commit returns the latched error (matching ErrFailStopped),
+// and no subsequent "healthy" fsync un-latches it.
+func TestInjectedFsyncFailureLatches(t *testing.T) {
+	ffs := NewFaultFS()
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncAlways, FS: ffs})
+	defer l.Close() //nolint:errcheck // latched error expected
+
+	lsn, err := l.Append(testRecord(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatalf("healthy commit failed: %v", err)
+	}
+
+	diskErr := errors.New("device reset mid-writeback")
+	ffs.SetSyncErr(diskErr)
+	lsn, err = l.Append(testRecord(2, 3))
+	if err != nil {
+		t.Fatal(err) // the append itself writes fine; the barrier fails
+	}
+	err = l.Commit(lsn)
+	if err == nil {
+		t.Fatal("commit with a failing fsync succeeded")
+	}
+	if !errors.Is(err, ErrFailStopped) || !errors.Is(err, diskErr) {
+		t.Fatalf("commit error %v does not match ErrFailStopped and the root cause", err)
+	}
+
+	// Heal the disk: the latch must hold anyway — the kernel may have
+	// dropped the dirty pages, so the durable prefix is unknowable.
+	ffs.SetSyncErr(nil)
+	if _, err := l.Append(testRecord(3, 3)); !errors.Is(err, ErrFailStopped) {
+		t.Fatalf("append after latch = %v, want ErrFailStopped", err)
+	}
+	if err := l.Commit(lsn); !errors.Is(err, ErrFailStopped) {
+		t.Fatalf("commit after latch = %v, want ErrFailStopped", err)
+	}
+	if l.Failed() == nil || l.Stats().Failed == "" {
+		t.Fatal("latched failure not surfaced by Failed()/Stats")
+	}
+}
+
+// TestInjectedTornWriteLeavesTruncatableTail arms a mid-record write
+// failure, proving (a) the append fails and latches, and (b) reopening
+// the directory truncates the torn bytes and replays exactly the records
+// acknowledged before the fault — the on-disk shape a crash mid-append
+// leaves behind, produced deterministically.
+func TestInjectedTornWriteLeavesTruncatableTail(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS()
+	l, _ := openCollect(t, Options{Dir: dir, Policy: SyncAlways, FS: ffs})
+
+	var want []Record
+	for tick := 1; tick <= 3; tick++ {
+		rec := testRecord(tick, 4)
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+
+	// The next record tears 10 bytes in: header written, payload cut.
+	ffs.FailWriteAfter(10, errors.New("injected torn write"))
+	if _, err := l.Append(testRecord(4, 4)); err == nil {
+		t.Fatal("torn append succeeded")
+	}
+	if !errors.Is(l.Failed(), ErrFailStopped) {
+		t.Fatal("torn write did not latch the log")
+	}
+	l.Close() //nolint:errcheck // the log is latched; Close may surface it
+
+	// Recovery: the torn tail must truncate away, the acked prefix must
+	// replay bit for bit.
+	l2, got := openCollect(t, Options{Dir: dir, Policy: SyncAlways})
+	defer l2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("record %d diverged after torn-tail recovery", i)
+		}
+	}
+	// And the healed log must accept appends again.
+	if _, err := l2.Append(testRecord(4, 4)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// TestSlowFsyncDoesNotBlockAppends stalls fsyncs and proves Append (the
+// call the serving layer makes under its hot-tail lock, which every
+// query contends with) completes while a commit is stuck in the disk:
+// the fsync runs under syncMu only, never under mu.
+func TestSlowFsyncDoesNotBlockAppends(t *testing.T) {
+	ffs := NewFaultFS()
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncAlways, FS: ffs})
+	defer l.Close()
+
+	lsn, err := l.Append(testRecord(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stall = 300 * time.Millisecond
+	ffs.SetSyncDelay(stall)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.Commit(lsn) //nolint:errcheck // only the stall matters here
+	}()
+
+	// Wait until the committer is inside the slow fsync, then append: it
+	// must return long before the stall elapses.
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	if _, err := l.Append(testRecord(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > stall/2 {
+		t.Fatalf("append stalled %v behind a slow fsync", d)
+	}
+	ffs.SetSyncDelay(0)
+	wg.Wait()
+}
+
+// TestGroupCommitBatchesConcurrentWriters runs many concurrent
+// append+commit pairs under SyncAlways with a batching window and checks
+// (a) every commit succeeds, (b) one fsync covered many commits — the
+// group-commit invariant the ingest path's throughput rests on.
+func TestGroupCommitBatchesConcurrentWriters(t *testing.T) {
+	ffs := NewFaultFS()
+	l, _ := openCollect(t, Options{
+		Dir:             t.TempDir(),
+		Policy:          SyncAlways,
+		GroupCommitWait: 2 * time.Millisecond,
+		FS:              ffs,
+	})
+	defer l.Close()
+
+	const writers, rounds = 8, 25
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < writers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				mu.Lock() // serialize appends like the hot-tail lock does
+				lsn, err := l.Append(testRecord(1000*wkr+i, 2))
+				mu.Unlock()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := l.Commit(lsn); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(wkr)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Commits != writers*rounds {
+		t.Fatalf("%d commits recorded, want %d", st.Commits, writers*rounds)
+	}
+	if st.Syncs >= st.Commits {
+		t.Fatalf("no batching: %d fsyncs for %d commits", st.Syncs, st.Commits)
+	}
+	t.Logf("group commit: %d commits over %d fsyncs (%.1f batches/fsync)",
+		st.Commits, st.Syncs, float64(st.Commits)/float64(st.Syncs))
+}
+
+// TestGroupCommitLoneWriterDoesNotWait times a sequential writer with a
+// large batching window: the window must never open for a lone
+// committer, so per-commit latency stays at fsync cost, not window cost.
+func TestGroupCommitLoneWriterDoesNotWait(t *testing.T) {
+	l, _ := openCollect(t, Options{
+		Dir:             t.TempDir(),
+		Policy:          SyncAlways,
+		GroupCommitWait: 250 * time.Millisecond, // absurd on purpose
+	})
+	defer l.Close()
+
+	start := time.Now()
+	const n = 5
+	for i := 1; i <= n; i++ {
+		lsn, err := l.Append(testRecord(i, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > n*250*time.Millisecond/2 {
+		t.Fatalf("lone writer paid the batching window: %d commits took %v", n, d)
+	}
+}

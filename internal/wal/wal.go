@@ -81,6 +81,17 @@ type Options struct {
 	// (default 16 MiB). Smaller segments reclaim space sooner after
 	// compaction; each rotation costs one fsync and one file creation.
 	SegmentBytes int64
+	// GroupCommitWait, under SyncAlways, is how long a committing leader
+	// holds its fsync window open for concurrent appends to pile in, so
+	// one fsync acknowledges many batches. A lone committer never waits —
+	// the window only opens when other commits are already in flight — so
+	// this caps added latency under concurrency without taxing sequential
+	// writers. 0 disables batching windows (every commit races straight
+	// to the fsync, batching only with syncs already in flight).
+	GroupCommitWait time.Duration
+	// FS is the filesystem seam (default OSFS). Tests inject FaultFS to
+	// exercise disk failures deterministically.
+	FS FS
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -99,8 +110,26 @@ func (o Options) withDefaults() (Options, error) {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 16 << 20
 	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
 	return o, nil
 }
+
+// ErrFailStopped marks every error returned by a log that has latched a
+// disk failure: once an fsync or write fails, the durable prefix is
+// unknowable and the log rejects all further appends and commits. The
+// serving layer matches this sentinel (errors.Is) to surface degraded
+// mode as 503s instead of generic failures.
+var ErrFailStopped = errors.New("wal: log is fail-stopped after a disk error")
+
+// failStopError carries the original disk error while matching
+// ErrFailStopped, so callers keep the root cause in the message and a
+// stable sentinel for control flow.
+type failStopError struct{ err error }
+
+func (e *failStopError) Error() string   { return e.err.Error() }
+func (e *failStopError) Unwrap() []error { return []error{ErrFailStopped, e.err} }
 
 // Record is one logged ingest batch: the points of one tick. IDs and
 // Points are parallel slices, exactly as handed to Repository.Ingest.
@@ -117,6 +146,9 @@ type Stats struct {
 	Bytes           int64 `json:"bytes"`
 	Syncs           int64 `json:"syncs"`
 	Appends         int64 `json:"appended_records"`
+	// Commits counts successful SyncAlways commits; Commits/Syncs is the
+	// group-commit batching factor (acked batches per fsync).
+	Commits int64 `json:"commits"`
 	ReplayedRecords int64 `json:"replayed_records"`
 	ReplayedPoints  int64 `json:"replayed_points"`
 	Reclaimed       int64 `json:"reclaimed_segments"`
@@ -141,9 +173,10 @@ type segment struct {
 // safe for concurrent use.
 type Log struct {
 	opts Options
+	fs   FS
 
 	mu     sync.Mutex // guards file ops, rotation, and the segment list
-	f      *os.File   // active segment, open for append
+	f      File       // active segment, open for append
 	segs   []*segment // ascending seq; last is the active one
 	closed bool
 	failed error // first fsync/write failure; latched, poisons the log
@@ -156,7 +189,18 @@ type Log struct {
 	// never is. Lock order: syncMu before mu, never the reverse.
 	syncMu sync.Mutex
 
+	// Group-commit leadership (SyncAlways + GroupCommitWait): one
+	// committer at a time leads a batching window, the rest wait for the
+	// round to finish and usually find their LSN already durable.
+	gcMu        sync.Mutex
+	gcCond      *sync.Cond
+	gcLeader    bool
+	gcRound     uint64
+	gcPending   atomic.Int64 // commits currently inside groupCommit
+	gcLastBatch atomic.Int64 // commits the previous round's fsync covered
+
 	syncs        atomic.Int64
+	commits      atomic.Int64
 	appends      atomic.Int64
 	reclaimed    atomic.Int64
 	replayedRecs atomic.Int64
@@ -202,12 +246,13 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{opts: opts, stopSync: make(chan struct{})}
+	l := &Log{opts: opts, fs: opts.FS, stopSync: make(chan struct{})}
+	l.gcCond = sync.NewCond(&l.gcMu)
 
-	entries, err := os.ReadDir(opts.Dir)
+	entries, err := l.fs.ReadDir(opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -238,7 +283,7 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 		active = &segment{seq: 1, path: filepath.Join(opts.Dir, segName(1)), maxTick: math.MinInt}
 		l.segs = append(l.segs, active)
 	}
-	f, err := os.OpenFile(active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(active.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +291,7 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 	if len(l.segs) == 1 && active.bytes == 0 {
 		// First-ever segment: make its directory entry durable too, so a
 		// crash right after Open cannot resurrect an empty directory.
-		if err := SyncDir(opts.Dir); err != nil {
+		if err := l.fs.SyncDir(opts.Dir); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -263,7 +308,7 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 // segment may end in a torn record (rotation fsyncs a file before moving
 // on), which is truncated away; corruption anywhere else is fatal.
 func (l *Log) replaySegment(s *segment, last bool, replay func(Record) error) error {
-	f, err := os.Open(s.path)
+	f, err := l.fs.Open(s.path)
 	if err != nil {
 		return err
 	}
@@ -334,7 +379,7 @@ func (l *Log) replaySegment(s *segment, last bool, replay func(Record) error) er
 // never acknowledged, so dropping them is correct, and keeping them would
 // poison every future read of the file.
 func (l *Log) truncateTorn(s *segment, offset int64, why string) error {
-	if err := os.Truncate(s.path, offset); err != nil {
+	if err := l.fs.Truncate(s.path, offset); err != nil {
 		return fmt.Errorf("wal: truncating torn tail of %s (%s): %w", s.path, why, err)
 	}
 	s.bytes = offset
@@ -440,7 +485,8 @@ func (l *Log) Append(rec Record) (lsn int64, err error) {
 
 // Commit makes the record at lsn durable under the log's policy: under
 // SyncAlways it fsyncs (batching with any concurrent commits that the
-// same sync happens to cover); under SyncEvery/SyncNever it only
+// same sync happens to cover, plus — with GroupCommitWait — whole
+// batching windows of them); under SyncEvery/SyncNever it only
 // reports a latched disk failure — the caller accepted the policy's
 // loss window, but not a log that is known to be losing writes.
 func (l *Log) Commit(lsn int64) error {
@@ -450,7 +496,101 @@ func (l *Log) Commit(lsn int64) error {
 		l.mu.Unlock()
 		return err
 	}
-	return l.syncTo(lsn)
+	var err error
+	if l.opts.GroupCommitWait > 0 {
+		err = l.groupCommit(lsn)
+	} else {
+		err = l.syncTo(lsn)
+	}
+	if err == nil {
+		l.commits.Add(1)
+	}
+	return err
+}
+
+// groupCommit is Commit's batching path: committers elect a leader; the
+// leader — when other commits are already in flight — holds the window
+// open for GroupCommitWait so concurrent appends pile into one fsync,
+// then syncs everything written and wakes the round's followers, who
+// find their LSNs durable without ever touching the disk. A lone
+// committer (no one else pending) skips the window entirely, so
+// sequential writers pay exactly the old one-fsync-per-commit cost.
+func (l *Log) groupCommit(lsn int64) error {
+	l.gcPending.Add(1)
+	defer l.gcPending.Add(-1)
+	for {
+		l.mu.Lock()
+		failed := l.failed
+		done := l.synced >= lsn || l.closed
+		l.mu.Unlock()
+		if failed != nil {
+			return failed
+		}
+		if done {
+			return nil
+		}
+
+		l.gcMu.Lock()
+		if l.gcLeader {
+			// Follower: wait the current round out, then re-check the
+			// durable watermark (the leader's fsync almost always covers
+			// us — our append completed before its sync read `written`).
+			round := l.gcRound
+			for l.gcLeader && l.gcRound == round {
+				l.gcCond.Wait()
+			}
+			l.gcMu.Unlock()
+			continue
+		}
+		l.gcLeader = true
+		l.gcMu.Unlock()
+
+		// Hold the window open only while company keeps arriving: sleep
+		// in slices and sync as soon as the pending population stops
+		// growing, so the window never costs throughput where fsyncs are
+		// cheap. The previous round's batch size decides whether a
+		// momentarily-alone leader waits at all — right after a crowded
+		// round the other committers are mid-ack and about to re-append,
+		// and syncing immediately would burn a one-commit fsync on them;
+		// a truly sequential writer's rounds all cover one commit, so it
+		// keeps the zero-wait fast path.
+		if l.gcPending.Load() > 1 || l.gcLastBatch.Load() > 1 {
+			slice := l.opts.GroupCommitWait / 16
+			if slice < 50*time.Microsecond {
+				slice = 50 * time.Microsecond
+			}
+			deadline := time.Now().Add(l.opts.GroupCommitWait)
+			prev := l.gcPending.Load()
+			stagnant := 0
+			for time.Now().Before(deadline) {
+				time.Sleep(slice)
+				cur := l.gcPending.Load()
+				if cur <= prev {
+					// One quiet slice can just mean a straggler is mid-ack
+					// or mid-append; two in a row means the batch is in.
+					if stagnant++; stagnant >= 2 {
+						break
+					}
+				} else {
+					stagnant = 0
+				}
+				prev = cur
+			}
+		}
+		l.gcLastBatch.Store(l.gcPending.Load())
+		err := l.Sync()
+
+		l.gcMu.Lock()
+		l.gcLeader = false
+		l.gcRound++
+		l.gcCond.Broadcast()
+		l.gcMu.Unlock()
+		if err != nil {
+			return err
+		}
+		// Loop: the sync covered everything appended before it ran, our
+		// own record included; the re-check returns nil.
+	}
 }
 
 // fail latches the first disk failure. Once an fsync or write has
@@ -459,12 +599,24 @@ func (l *Log) Commit(lsn int64) error {
 // "successful" fsync proves nothing about earlier bytes. The only safe
 // behavior is fail-stop: every subsequent Append/Commit/Sync returns the
 // latched error instead of acknowledging writes that may never land.
-// Called with mu held.
+// Called with mu held. The stored error matches ErrFailStopped, so the
+// serving layer can map it to degraded mode without string matching.
 func (l *Log) fail(err error) error {
 	if l.failed == nil {
-		l.failed = err
+		l.failed = &failStopError{err: err}
 	}
-	return err
+	return l.failed
+}
+
+// Failed returns the latched disk error, or nil while the log is
+// healthy. The serving layer polls it to expose degraded mode in stats.
+func (l *Log) Failed() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
 }
 
 // Sync forces an fsync of everything appended so far, regardless of
@@ -540,7 +692,7 @@ func (l *Log) rotateLocked() error {
 		maxTick: math.MinInt,
 	}
 	next.path = filepath.Join(l.opts.Dir, segName(next.seq))
-	f, err := os.OpenFile(next.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(next.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: rotate create: %w", err)
 	}
@@ -551,7 +703,7 @@ func (l *Log) rotateLocked() error {
 	// failure must latch: the swap to the new file already happened, so
 	// without the latch later appends would be acknowledged into a file a
 	// machine crash can unlink entirely.
-	if err := SyncDir(l.opts.Dir); err != nil {
+	if err := l.fs.SyncDir(l.opts.Dir); err != nil {
 		return l.fail(err)
 	}
 	return nil
@@ -580,7 +732,7 @@ func (l *Log) TruncateThrough(sealedTick int) error {
 	for i, s := range l.segs {
 		last := i == len(l.segs)-1
 		if !last && s.records > 0 && s.maxTick <= sealedTick {
-			if err := os.Remove(s.path); err != nil {
+			if err := l.fs.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: reclaiming %s: %w", s.path, err)
 			}
 			l.reclaimed.Add(1)
@@ -591,7 +743,7 @@ func (l *Log) TruncateThrough(sealedTick int) error {
 	}
 	l.segs = kept
 	if removed {
-		return SyncDir(l.opts.Dir)
+		return l.fs.SyncDir(l.opts.Dir)
 	}
 	return nil
 }
@@ -654,6 +806,7 @@ func (l *Log) Stats() Stats {
 	}
 	l.mu.Unlock()
 	st.Syncs = l.syncs.Load()
+	st.Commits = l.commits.Load()
 	st.Appends = l.appends.Load()
 	st.ReplayedRecords = l.replayedRecs.Load()
 	st.ReplayedPoints = l.replayedPts.Load()

@@ -151,10 +151,22 @@ func main() {
 		}
 		fmt.Fprintf(w, "[window completed in %.1fs]\n\n", time.Since(start).Seconds())
 	}
+	if *exp == "obs" {
+		start := time.Now()
+		if *jsonPath != "" {
+			if err := bench.AppendObs(*jsonPath, *label, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.ObsBench(*label, w)
+		}
+		fmt.Fprintf(w, "[obs completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window", "load":
+		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window", "load", "obs":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

@@ -20,8 +20,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -32,6 +32,7 @@ import (
 	"ppqtraj/internal/gen"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/index"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/partition"
 	"ppqtraj/internal/serve"
 	"ppqtraj/internal/traj"
@@ -72,7 +73,25 @@ func main() {
 	clientRate := flag.Float64("client-rate", 0,
 		"per-client request budget in req/s, keyed X-Client-ID or remote host (0 = no quotas)")
 	clientBurst := flag.Int("client-burst", 0, "per-client token-bucket depth (0 = 4x -client-rate)")
+	slowQueryMS := flag.Int("slow-query-ms", 0,
+		"slow-request threshold in milliseconds: any admitted request at or over it logs one JSON line with its stage breakdown (0 disables)")
+	logFormat := flag.String("log-format", "text", "operational log format: text or json")
+	logLevel := flag.String("log-level", "info", "operational log level: debug, info, warn, error")
+	pprofAddr := flag.String("pprof-addr", "",
+		"separate listen address for net/http/pprof profiling endpoints (empty disables; bind it privately)")
 	flag.Parse()
+
+	level, ok := obs.ParseLevel(*logLevel)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bad -log-level %q: want debug, info, warn, or error\n", *logLevel)
+		os.Exit(2)
+	}
+	format, ok := obs.ParseFormat(*logFormat)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bad -log-format %q: want text or json\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, format)
 
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
@@ -114,6 +133,8 @@ func main() {
 			ClientRate:        *clientRate,
 			ClientBurst:       *clientBurst,
 		},
+		Log:       logger,
+		SlowQuery: time.Duration(*slowQueryMS) * time.Millisecond,
 	}
 
 	repo, err := serve.Open(opts)
@@ -130,14 +151,28 @@ func main() {
 			return repo.IngestColumn(col)
 		})
 		if err != nil {
-			log.Fatalf("preload: %v", err)
+			logger.Error("preload failed", "err", err)
+			os.Exit(1)
 		}
 		if err := repo.Flush(); err != nil {
-			log.Fatalf("preload flush: %v", err)
+			logger.Error("preload flush failed", "err", err)
+			os.Exit(1)
 		}
 		st := repo.Stats()
-		log.Printf("preloaded %d points into %d segments (%.1f KB on disk)",
-			n, st.Segments, float64(st.DiskBytes)/1e3)
+		logger.Info("preloaded synthetic data",
+			"points", n, "segments", st.Segments, "disk_kb", st.DiskBytes/1000)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own listener (DefaultServeMux, where the blank
+		// import registered /debug/pprof/*) so profiling endpoints never
+		// share a port with the public API.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Warn("pprof server exited", "err", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{
@@ -145,8 +180,9 @@ func main() {
 		Handler:           repo.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("ppqserve listening on %s (dir=%q hot=%d cache=%dMiB timeout=%v fsync=%s)",
-		*addr, *dir, *hotTicks, *cacheMB, *queryTimeout, *fsync)
+	logger.Info("ppqserve listening", "addr", *addr, "dir", *dir, "hot", *hotTicks,
+		"cache_mib", *cacheMB, "timeout", *queryTimeout, "fsync", *fsync,
+		"slow_query_ms", *slowQueryMS)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests, flush the
 	// hot tail (the final compact + manifest swap), and close. A bare kill
@@ -160,14 +196,17 @@ func main() {
 	case err := <-errCh:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
 			repo.Close()
-			log.Fatal(err)
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 	case sig := <-sigCh:
-		log.Printf("received %v: draining (up to %v), then flushing", sig, *drainTimeout)
+		logger.Info("shutdown signal received: draining, then flushing",
+			"signal", sig, "drain_timeout", *drainTimeout)
 		signal.Stop(sigCh) // a second signal kills immediately, the default disposition
 		if err := serve.DrainAndClose(srv, repo, *drainTimeout); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			logger.Error("shutdown failed", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("shutdown complete")
+		logger.Info("shutdown complete")
 	}
 }

@@ -28,6 +28,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ppqtraj/internal/obs"
 )
 
 // Class names an endpoint family with its own in-flight budget. Ingest
@@ -77,6 +79,11 @@ type Options struct {
 	ClientRate float64
 	// ClientBurst is the bucket depth (default 4× ClientRate, min 8).
 	ClientBurst int
+	// Metrics, when set, registers a per-class admission-wait histogram
+	// (ppq_admission_wait_seconds). Fast-path admissions observe zero
+	// without reading the clock, so the uncontended path stays cheap;
+	// queued admissions observe their real wait.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +124,7 @@ type gate struct {
 	slots    chan struct{} // nil = unlimited
 	maxQueue int
 	maxWait  time.Duration
+	waitHist *obs.Histogram // nil without Options.Metrics
 
 	queued    atomic.Int64
 	inflight  atomic.Int64
@@ -143,11 +151,13 @@ func newGate(maxInFlight, maxQueue int, maxWait time.Duration) *gate {
 func (g *gate) acquire(ctx context.Context) (ok bool, rej Rejection) {
 	if g.slots == nil {
 		g.enter()
+		g.observeWait(0)
 		return true, Rejection{}
 	}
 	select {
 	case g.slots <- struct{}{}:
 		g.enter()
+		g.observeWait(0)
 		return true, Rejection{}
 	default:
 	}
@@ -157,6 +167,7 @@ func (g *gate) acquire(ctx context.Context) (ok bool, rej Rejection) {
 		g.shed.Add(1)
 		return false, Rejection{Status: 429, RetryAfter: g.retryAfter(), Reason: "queue_full"}
 	}
+	start := time.Now()
 	g.queued.Add(1)
 	defer g.queued.Add(-1)
 	timer := time.NewTimer(g.maxWait)
@@ -164,6 +175,7 @@ func (g *gate) acquire(ctx context.Context) (ok bool, rej Rejection) {
 	select {
 	case g.slots <- struct{}{}:
 		g.enter()
+		g.observeWait(time.Since(start).Seconds())
 		return true, Rejection{}
 	case <-timer.C:
 		g.shed.Add(1)
@@ -171,6 +183,14 @@ func (g *gate) acquire(ctx context.Context) (ok bool, rej Rejection) {
 	case <-ctx.Done():
 		g.shed.Add(1)
 		return false, Rejection{Status: 429, RetryAfter: g.retryAfter(), Reason: "client_gone"}
+	}
+}
+
+// observeWait records an admitted request's slot wait. The uncontended
+// path passes a constant 0 so it never reads the clock.
+func (g *gate) observeWait(seconds float64) {
+	if g.waitHist != nil {
+		g.waitHist.Observe(seconds)
 	}
 }
 
@@ -291,6 +311,13 @@ func New(opts Options) *Controller {
 	c := &Controller{opts: opts}
 	c.gates[Ingest] = newGate(opts.MaxInFlightIngest, opts.MaxQueue, opts.MaxWait)
 	c.gates[Query] = newGate(opts.MaxInFlightQuery, opts.MaxQueue, opts.MaxWait)
+	if opts.Metrics != nil {
+		hv := opts.Metrics.HistogramVec("ppq_admission_wait_seconds",
+			"Slot wait of admitted requests (0 = uncontended fast path).",
+			"class", obs.LatencyBuckets)
+		c.gates[Ingest].waitHist = hv.With(Ingest.String())
+		c.gates[Query].waitHist = hv.With(Query.String())
+	}
 	if opts.ClientRate > 0 {
 		c.quota = &buckets{rate: opts.ClientRate, burst: float64(opts.ClientBurst), m: make(map[string]*bucket)}
 	}

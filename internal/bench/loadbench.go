@@ -17,6 +17,7 @@ import (
 
 	"ppqtraj/internal/admit"
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/partition"
 	"ppqtraj/internal/serve"
 	"ppqtraj/internal/wal"
@@ -110,7 +111,7 @@ func LoadBench(label string, qpsLevels []float64, perLevel time.Duration, w io.W
 		// background sealing.
 		HotTicks:        1 << 30,
 		CompactInterval: time.Hour,
-		Logf:            func(string, ...any) {},
+		Log:             obs.Discard(),
 	}
 	repo, err := serve.Open(opts)
 	if err != nil {

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"ppqtraj/internal/obs"
+)
+
+// ObsRun records the metrics registry's hot-path overhead: what one
+// counter increment, one histogram observation, and one trace lap cost,
+// plus a full registry collection. The histogram number is the one the
+// instrumentation budget rides on — every WAL fsync, admission wait, and
+// request stage pays it, so it must stay well under 50ns/observation.
+type ObsRun struct {
+	Label      string `json:"label"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	CounterNs   float64 `json:"counter_ns_per_op"`
+	HistogramNs float64 `json:"histogram_ns_per_op"`
+	TraceLapNs  float64 `json:"trace_lap_ns_per_op"`
+	// SnapshotMicros is one full registry collection (the /metrics and
+	// /v1/stats path) over a registry shaped like the server's.
+	SnapshotMicros float64 `json:"snapshot_us"`
+}
+
+const obsBenchIters = 2_000_000
+
+// ObsBench measures the observability substrate's overhead; lines go to
+// w (nil for silent).
+func ObsBench(label string, w io.Writer) ObsRun {
+	run := ObsRun{Label: label, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	reg := obs.NewRegistry()
+
+	c := reg.Counter("bench_counter_total", "bench")
+	start := time.Now()
+	for i := 0; i < obsBenchIters; i++ {
+		c.Add(1)
+	}
+	run.CounterNs = float64(time.Since(start).Nanoseconds()) / obsBenchIters
+
+	h := reg.Histogram("bench_latency_seconds", "bench", obs.LatencyBuckets)
+	vals := [8]float64{1e-6, 3e-5, 1e-4, 2e-3, 1e-2, 0.4, 2, 11}
+	start = time.Now()
+	for i := 0; i < obsBenchIters; i++ {
+		h.Observe(vals[i&7])
+	}
+	run.HistogramNs = float64(time.Since(start).Nanoseconds()) / obsBenchIters
+
+	// A trace lap reads the clock and updates a small map under a mutex —
+	// per-request cost, not per-observation, but worth pinning too.
+	const lapIters = obsBenchIters / 10
+	tr := obs.NewTrace()
+	start = time.Now()
+	for i := 0; i < lapIters; i++ {
+		tr.Lap("stage")
+	}
+	run.TraceLapNs = float64(time.Since(start).Nanoseconds()) / lapIters
+
+	// Shape the registry like the server's before timing collection:
+	// a few dozen families, some labeled, plus a source.
+	for i := 0; i < 24; i++ {
+		reg.Counter(fmt.Sprintf("bench_family_%d_total", i), "bench").Add(int64(i))
+	}
+	hv := reg.HistogramVec("bench_stage_seconds", "bench", "stage", obs.LatencyBuckets)
+	for _, s := range []string{"plan", "scan", "merge", "write"} {
+		hv.With(s).Observe(0.001)
+	}
+	reg.Source(func(emit func(obs.Sample)) {
+		for i := 0; i < 16; i++ {
+			emit(obs.Sample{Name: fmt.Sprintf("bench_src_%d", i), Help: "bench",
+				Kind: obs.KindGauge, Value: float64(i)})
+		}
+	})
+	const snapIters = 200
+	start = time.Now()
+	for i := 0; i < snapIters; i++ {
+		reg.Snapshot()
+	}
+	run.SnapshotMicros = float64(time.Since(start).Microseconds()) / snapIters
+
+	fprintf(w, "== obs: %s (GOMAXPROCS=%d) ==\n", label, run.GoMaxProcs)
+	fprintf(w, "  counter add      %12.2f ns/op\n", run.CounterNs)
+	fprintf(w, "  histogram observe%12.2f ns/op (budget: 50)\n", run.HistogramNs)
+	fprintf(w, "  trace lap        %12.2f ns/op\n", run.TraceLapNs)
+	fprintf(w, "  registry snapshot%12.2f µs\n", run.SnapshotMicros)
+	return run
+}
+
+// AppendObs runs ObsBench and appends the result to the JSON history at
+// path (sharing the file with the other runs).
+func AppendObs(path, label string, w io.Writer) error {
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.ObsRuns = append(pf.ObsRuns, ObsBench(label, w))
+	return writePerfFile(path, &pf)
+}

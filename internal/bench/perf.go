@@ -55,6 +55,10 @@ type PerfFile struct {
 	// served QPS, shed rate, and served-latency percentiles against a
 	// fully-armed server (ppqbench -experiment load).
 	LoadRuns []LoadRun `json:"load_runs,omitempty"`
+	// ObsRuns tracks the metrics registry's hot-path overhead: ns per
+	// counter increment / histogram observation / trace lap (ppqbench
+	// -experiment obs).
+	ObsRuns []ObsRun `json:"obs_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/partition"
 	"ppqtraj/internal/serve"
 	"ppqtraj/internal/traj"
@@ -72,7 +73,7 @@ func WALBench(label string, w io.Writer) []WALRun {
 			// point).
 			HotTicks:        1 << 30,
 			CompactInterval: time.Hour,
-			Logf:            func(string, ...any) {},
+			Log:             obs.Discard(),
 		}
 		repo, err := serve.Open(opts)
 		if err != nil {
@@ -195,7 +196,7 @@ func WALConcurrentBench(label string, w io.Writer) []WALRun {
 			GroupCommitWait: wait,
 			HotTicks:        1 << 30,
 			CompactInterval: time.Hour,
-			Logf:            func(string, ...any) {},
+			Log:             obs.Discard(),
 		}
 		if cfg.fsync > 0 {
 			ffs := wal.NewFaultFS()

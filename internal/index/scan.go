@@ -2,6 +2,7 @@ package index
 
 import (
 	"sort"
+	"time"
 
 	"ppqtraj/internal/cache"
 	"ppqtraj/internal/geo"
@@ -25,12 +26,24 @@ type ScanStats struct {
 	// decode: either their per-cell tick range (the cell-level zone map)
 	// missed the span, or the caller's visit callback declined the cell.
 	CellsSkipped int
+	// CacheHits / CacheMisses count decoded-chunk cache lookups on the
+	// sealed cached path (both zero on raw or uncached scans).
+	CacheHits   int
+	CacheMisses int
+	// DecodedBytes is the cached cost of chunks decoded on misses;
+	// DecodeNanos is the time spent in those decodes.
+	DecodedBytes int64
+	DecodeNanos  int64
 }
 
 // Add accumulates o into s.
 func (s *ScanStats) Add(o ScanStats) {
 	s.CellsScanned += o.CellsScanned
 	s.CellsSkipped += o.CellsSkipped
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.DecodedBytes += o.DecodedBytes
+	s.DecodeNanos += o.DecodeNanos
 }
 
 // ScanRange walks every populated cell intersecting area exactly once,
@@ -66,7 +79,7 @@ func (pi *PI) ScanRange(area geo.Rect, from, to int, st *ScanStats, visit func(c
 				return true
 			}
 			st.CellsScanned++
-			return pi.scanCell(int32(ri), ci, c, from, to, emit)
+			return pi.scanCell(int32(ri), ci, c, from, to, st, emit)
 		}
 		// A sealed region carries an (X, Y)-sorted cell directory: walk
 		// the populated cells of each X column via binary search instead
@@ -139,7 +152,7 @@ func (pi *PI) cellMayOverlap(c *cellData, from, to int) bool {
 // chunk at most once. With a cache attached the chunk entries are shared
 // with (and populate) the decoded-cell cache, so a later per-tick probe
 // of the same cell hits.
-func (pi *PI) scanCell(ri, ci int32, c *cellData, from, to int, emit func(tick int, ids []traj.ID) bool) bool {
+func (pi *PI) scanCell(ri, ci int32, c *cellData, from, to int, st *ScanStats, emit func(tick int, ids []traj.ID) bool) bool {
 	if !pi.sealed {
 		i := sort.Search(len(c.raw), func(i int) bool { return c.raw[i].tick >= from })
 		for ; i < len(c.raw) && c.raw[i].tick <= to; i++ {
@@ -165,8 +178,13 @@ func (pi *PI) scanCell(ri, ci int32, c *cellData, from, to int, emit func(tick i
 		var d *decodedChunk
 		if v, ok := pi.cellCache.Get(key); ok {
 			d = v.(*decodedChunk)
+			st.CacheHits++
 		} else {
+			t0 := time.Now()
 			d = pi.decodeChunk(c, ch)
+			st.DecodeNanos += time.Since(t0).Nanoseconds()
+			st.DecodedBytes += d.cost
+			st.CacheMisses++
 			pi.cellCache.Put(key, d, d.cost)
 		}
 		for j := range d.ticks {

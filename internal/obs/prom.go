@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one line per series,
+// histograms as cumulative le-labeled buckets plus _sum and _count.
+// Families render sorted by name (Snapshot already sorts).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	for _, f := range s.Families {
+		if len(f.Series) == 0 {
+			continue
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, sr := range f.Series {
+			if err := writeSeries(w, f, sr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f FamilySnap, sr SeriesSnap) error {
+	if sr.Hist == nil {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, labelPart(f.Label, sr.LabelValue, ""), formatValue(sr.Value))
+		return err
+	}
+	h := sr.Hist
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatValue(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, labelPart(f.Label, sr.LabelValue, le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, labelPart(f.Label, sr.LabelValue, ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, labelPart(f.Label, sr.LabelValue, ""), h.Count)
+	return err
+}
+
+// labelPart renders the {label="value",le="bound"} section, omitting
+// empty parts.
+func labelPart(label, value, le string) string {
+	var parts []string
+	if label != "" {
+		parts = append(parts, label+`="`+escapeLabel(value)+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatValue(v float64) string {
+	// Integral values (counters, bucket bounds like 1024) render without
+	// an exponent for readability; everything else uses shortest-float.
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,322 @@
+// Package obs is the server's observability substrate: a dependency-free,
+// lock-cheap metrics registry (atomic counters, gauges, and fixed-bucket
+// histograms with quantile extraction), a per-request trace context that
+// rides context.Context through the ingest and query pipelines, a small
+// leveled structured logger, and Go-runtime collectors. The registry
+// renders itself in Prometheus text exposition format, so a scrape
+// endpoint needs no client library.
+//
+// Everything here sits on hot paths — one counter bump per ingest batch,
+// one histogram observation per request stage — so the instruments are
+// single atomics: Counter.Add is one atomic add, Histogram.Observe is a
+// branch-free binary search plus two atomic operations. No instrument
+// ever takes a lock after registration.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric family for the exposition format.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; Registry.Counter hands out registered ones.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 for the exposition contract; not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Sample is one metric value emitted by a snapshot source: external state
+// (another package's counters) folded into a registry snapshot without
+// that package holding registry instruments.
+type Sample struct {
+	Name string
+	Help string
+	Kind Kind
+	// Label/LabelValue are an optional single label pair ("" = unlabeled).
+	Label      string
+	LabelValue string
+	Value      float64
+}
+
+// family is one registered metric name with its series (one per label
+// value; "" for unlabeled).
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	label   string
+	buckets []float64
+
+	mu     sync.Mutex
+	order  []string // label values in registration order
+	series map[string]any
+}
+
+func (f *family) get(labelValue string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v, ok := f.series[labelValue]; ok {
+		return v
+	}
+	v := mk()
+	f.series[labelValue] = v
+	f.order = append(f.order, labelValue)
+	return v
+}
+
+// Registry holds metric families and snapshot sources. All methods are
+// safe for concurrent use; instrument operations after registration touch
+// only their own atomics.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	sources  []func(emit func(Sample))
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register returns the family for name, creating it on first use. A name
+// re-registered with a different kind or label is a programming error and
+// panics — the exposition format cannot express it.
+func (r *Registry) register(name, help string, kind Kind, label string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s/%q (was %s/%q)",
+				name, kind, label, f.kind, f.label))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, label: label, buckets: buckets,
+		series: make(map[string]any)}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, KindCounter, "", nil)
+	return f.get("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, KindGauge, "", nil)
+	return f.get("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is read at snapshot time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, KindGauge, "", nil)
+	f.get("", func() any { return fn })
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram with
+// the given ascending bucket upper bounds (see LatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, KindHistogram, "", buckets)
+	return f.get("", func() any { return newHistogram(buckets) }).(*Histogram)
+}
+
+// CounterVec registers a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, KindCounter, label, nil)}
+}
+
+// HistogramVec registers a histogram family keyed by one label.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, KindHistogram, label, buckets)}
+}
+
+// CounterVec hands out per-label-value counters. Callers should cache the
+// With result at setup time; With itself takes the family lock.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label value.
+func (v *CounterVec) With(labelValue string) *Counter {
+	return v.f.get(labelValue, func() any { return &Counter{} }).(*Counter)
+}
+
+// HistogramVec hands out per-label-value histograms.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label value.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	return v.f.get(labelValue, func() any { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+// Source registers a callback that contributes samples to every snapshot:
+// the bridge for counters whose source of truth lives in another
+// package's own atomics (WAL, admission, cache). Sources run exactly once
+// per Snapshot, before the registry's own instruments are read.
+func (r *Registry) Source(fn func(emit func(Sample))) {
+	r.mu.Lock()
+	r.sources = append(r.sources, fn)
+	r.mu.Unlock()
+}
+
+// SeriesSnap is one series' snapshot value.
+type SeriesSnap struct {
+	LabelValue string
+	Value      float64
+	Hist       *HistSnap // non-nil for histograms
+}
+
+// FamilySnap is one metric family's snapshot.
+type FamilySnap struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Label  string
+	Series []SeriesSnap
+}
+
+// Snapshot is a point-in-time view of every registered metric, collected
+// in one pass so values read from it are as mutually coherent as one
+// collection can make them. Build the /v1/stats payload and the /metrics
+// exposition from the same Snapshot, never from per-section re-reads.
+type Snapshot struct {
+	Families []FamilySnap
+	index    map[string]int
+}
+
+// Snapshot collects all sources and instruments once.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	sources := r.sources
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+
+	snap := &Snapshot{index: make(map[string]int)}
+	// Sources first: they may feed registry instruments (the runtime GC
+	// collector observes pauses into a registered histogram), and those
+	// must be read after the feed.
+	var sourceSamples []Sample
+	for _, src := range sources {
+		src(func(s Sample) { sourceSamples = append(sourceSamples, s) })
+	}
+
+	for _, f := range fams {
+		fs := FamilySnap{Name: f.name, Help: f.help, Kind: f.kind, Label: f.label}
+		f.mu.Lock()
+		for _, lv := range f.order {
+			switch v := f.series[lv].(type) {
+			case *Counter:
+				fs.Series = append(fs.Series, SeriesSnap{LabelValue: lv, Value: float64(v.Load())})
+			case *Gauge:
+				fs.Series = append(fs.Series, SeriesSnap{LabelValue: lv, Value: float64(v.Load())})
+			case func() float64:
+				fs.Series = append(fs.Series, SeriesSnap{LabelValue: lv, Value: v()})
+			case *Histogram:
+				h := v.snapshot()
+				fs.Series = append(fs.Series, SeriesSnap{LabelValue: lv, Hist: h, Value: h.Sum})
+			}
+		}
+		f.mu.Unlock()
+		snap.index[fs.Name] = len(snap.Families)
+		snap.Families = append(snap.Families, fs)
+	}
+
+	for _, s := range sourceSamples {
+		i, ok := snap.index[s.Name]
+		if !ok {
+			i = len(snap.Families)
+			snap.index[s.Name] = i
+			snap.Families = append(snap.Families, FamilySnap{Name: s.Name, Help: s.Help, Kind: s.Kind, Label: s.Label})
+		}
+		fs := &snap.Families[i]
+		fs.Series = append(fs.Series, SeriesSnap{LabelValue: s.LabelValue, Value: s.Value})
+	}
+
+	sort.Slice(snap.Families, func(i, j int) bool { return snap.Families[i].Name < snap.Families[j].Name })
+	for i := range snap.Families {
+		snap.index[snap.Families[i].Name] = i
+	}
+	return snap
+}
+
+// Value returns the value of name's sole (or first) series, 0 when
+// absent — counters and gauges read as their natural zero.
+func (s *Snapshot) Value(name string) float64 {
+	if i, ok := s.index[name]; ok && len(s.Families[i].Series) > 0 {
+		return s.Families[i].Series[0].Value
+	}
+	return 0
+}
+
+// Int returns Value truncated to int64 (counters are integral by
+// construction; float64 holds them exactly up to 2^53).
+func (s *Snapshot) Int(name string) int64 { return int64(s.Value(name)) }
+
+// Labeled returns the value of the series with the given label value.
+func (s *Snapshot) Labeled(name, labelValue string) float64 {
+	if i, ok := s.index[name]; ok {
+		for _, sr := range s.Families[i].Series {
+			if sr.LabelValue == labelValue {
+				return sr.Value
+			}
+		}
+	}
+	return 0
+}
+
+// Histogram returns name's sole (or first) histogram snapshot, nil when
+// absent.
+func (s *Snapshot) Histogram(name string) *HistSnap {
+	if i, ok := s.index[name]; ok && len(s.Families[i].Series) > 0 {
+		return s.Families[i].Series[0].Hist
+	}
+	return nil
+}

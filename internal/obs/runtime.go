@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntime wires Go-runtime health metrics into r: goroutine
+// count, heap sizes, GC cycle count, and a GC-pause histogram fed from
+// runtime.MemStats' pause ring at snapshot time. Costs one
+// ReadMemStats per scrape, nothing between scrapes.
+func RegisterRuntime(r *Registry) {
+	pause := r.Histogram("ppq_gc_pause_seconds",
+		"Stop-the-world GC pause durations.", ExpBuckets(1e-6, 2, 18))
+	var mu sync.Mutex
+	var lastGC uint32
+	r.Source(func(emit func(Sample)) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mu.Lock()
+		n0 := lastGC
+		if ms.NumGC-n0 > 256 { // ring holds the last 256 pauses
+			n0 = ms.NumGC - 256
+		}
+		for n := n0; n < ms.NumGC; n++ {
+			pause.Observe(float64(ms.PauseNs[n%256]) / 1e9)
+		}
+		lastGC = ms.NumGC
+		mu.Unlock()
+
+		emit(Sample{Name: "ppq_goroutines", Help: "Live goroutines.",
+			Kind: KindGauge, Value: float64(runtime.NumGoroutine())})
+		emit(Sample{Name: "ppq_heap_alloc_bytes", Help: "Bytes of allocated heap objects.",
+			Kind: KindGauge, Value: float64(ms.HeapAlloc)})
+		emit(Sample{Name: "ppq_heap_sys_bytes", Help: "Bytes of heap obtained from the OS.",
+			Kind: KindGauge, Value: float64(ms.HeapSys)})
+		emit(Sample{Name: "ppq_gc_runs_total", Help: "Completed GC cycles.",
+			Kind: KindCounter, Value: float64(ms.NumGC)})
+	})
+}

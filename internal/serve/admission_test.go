@@ -16,6 +16,7 @@ import (
 
 	"ppqtraj/internal/admit"
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/wal"
 )
 
@@ -52,7 +53,7 @@ func TestOverloadShedsBounded(t *testing.T) {
 	opts.WALFS = ffs
 	opts.HotTicks = 1 << 20 // no compaction noise
 	opts.CompactInterval = time.Hour
-	opts.Logf = func(string, ...any) {}
+	opts.Log = obs.Discard()
 	opts.Admit = admit.Options{
 		MaxInFlightIngest: 2,
 		MaxInFlightQuery:  2,
@@ -229,7 +230,7 @@ func TestFaultInjectedBurstDegradesCleanly(t *testing.T) {
 	opts.WALFS = ffs
 	opts.HotTicks = 1 << 20 // keep everything hot: recovery must come from the WAL alone
 	opts.CompactInterval = time.Hour
-	opts.Logf = func(string, ...any) {}
+	opts.Log = obs.Discard()
 	repo, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -365,7 +366,7 @@ func TestGroupCommitHTTPConcurrentIngest(t *testing.T) {
 	opts.WALFS = ffs
 	opts.HotTicks = 1 << 20
 	opts.CompactInterval = time.Hour
-	opts.Logf = func(string, ...any) {}
+	opts.Log = obs.Discard()
 	repo, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/traj"
 )
 
@@ -69,7 +70,11 @@ func (h *hotTail) freeze(bound int) {
 // pins the WAL's append order to the tail's application order, which is
 // what lets a crash replay reproduce this exact state; a logged error
 // aborts the ingest with the tail untouched.
-func (h *hotTail) ingest(tick int, ids []traj.ID, pts []geo.Point, logged func() error) error {
+//
+// tr (nil-safe) receives the validate and apply stage laps; the logged
+// hook laps its own wal_append in between, so the three stages partition
+// the tail's critical section.
+func (h *hotTail) ingest(tick int, ids []traj.ID, pts []geo.Point, logged func() error, tr *obs.Trace) error {
 	if len(ids) != len(pts) {
 		return fmt.Errorf("serve: ingest tick %d: %d ids vs %d points", tick, len(ids), len(pts))
 	}
@@ -105,6 +110,7 @@ func (h *hotTail) ingest(tick int, ids []traj.ID, pts []geo.Point, logged func()
 			inBatch[id] = struct{}{}
 		}
 	}
+	tr.Lap("validate")
 	if logged != nil {
 		if err := logged(); err != nil {
 			return err
@@ -131,6 +137,7 @@ func (h *hotTail) ingest(tick int, ids []traj.ID, pts []geo.Point, logged func()
 		h.lastSeen[id] = tick
 	}
 	h.points += len(ids)
+	tr.Lap("apply")
 	return nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"ppqtraj/internal/admit"
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/traj"
 	"ppqtraj/internal/wal"
 )
@@ -29,9 +30,20 @@ import (
 //	GET  /v1/stats   → Stats JSON (includes the "wal" section: segments,
 //	                   bytes, syncs, appended/replayed records — all-zero
 //	                   on a memory-only repository)
-//	GET  /healthz    → 200 "ok"
+//	GET  /metrics    → Prometheus text exposition of the same registry
+//	                   /v1/stats renders (text/plain; version=0.0.4)
+//	GET  /healthz    → 200 "ok" (liveness: the process is serving)
+//	GET  /readyz     → 200 "ready", or 503 while the WAL is fail-stopped
+//	                   or the server is draining (readiness: route here?)
 //
 // Batch sizes are capped so one request cannot monopolize the server.
+//
+// Tracing: every admitted work request is carved into named stages
+// (admission, read_body, validate, execute/wal_append/fsync_wait, write)
+// whose durations feed the ppq_*_stage_seconds histograms. ?trace=1 on
+// /v1/query, /v1/window, or /v1/ingest returns the same breakdown inline
+// in the response's "trace" field, and any request slower than
+// Options.SlowQuery emits it as one structured JSON log line.
 //
 // Deadlines: /v1/query and /v1/window accept a ?timeout= query parameter
 // (a Go duration, e.g. ?timeout=250ms) that bounds the request; without
@@ -92,9 +104,11 @@ type IngestRequest struct {
 	Ticks []IngestTick `json:"ticks"`
 }
 
-// IngestResponse reports how many points were accepted.
+// IngestResponse reports how many points were accepted. Trace carries
+// the request's stage breakdown when the client asked with ?trace=1.
 type IngestResponse struct {
-	AcceptedPoints int `json:"accepted_points"`
+	AcceptedPoints int              `json:"accepted_points"`
+	Trace          *obs.TraceReport `json:"trace,omitempty"`
 }
 
 // QueryRequest is the /v1/query body.
@@ -102,9 +116,18 @@ type QueryRequest struct {
 	Queries []STRQRequest `json:"queries"`
 }
 
-// QueryResponse is the /v1/query reply.
+// QueryResponse is the /v1/query reply. Trace carries the request's
+// stage breakdown when the client asked for it with ?trace=1.
 type QueryResponse struct {
-	Answers []STRQAnswer `json:"answers"`
+	Answers []STRQAnswer     `json:"answers"`
+	Trace   *obs.TraceReport `json:"trace,omitempty"`
+}
+
+// windowResponse wraps the repository-level WindowResult with the
+// optional inline trace, keeping the trace a transport concern.
+type windowResponse struct {
+	*WindowResult
+	Trace *obs.TraceReport `json:"trace,omitempty"`
 }
 
 // WindowRequest is the /v1/window body.
@@ -123,10 +146,36 @@ func (r *Repository) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/ingest", r.handleIngest)
 	mux.HandleFunc("POST /v1/flush", r.handleFlush)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	// Liveness vs readiness: /healthz answers "is the process serving?"
+	// (always yes if this handler runs) so orchestrators do not restart a
+	// degraded-but-serving server; /readyz answers "should traffic route
+	// here?" and turns 503 while the WAL is fail-stopped or shutdown is
+	// draining. Both bypass admission, like /v1/stats.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", r.handleReady)
 	return mux
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// It bypasses admission so scrapes keep working on an overloaded server.
+func (r *Repository) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.met.reg.Snapshot().WritePrometheus(w)
+}
+
+func (r *Repository) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if err := r.Degraded(); err != nil {
+		http.Error(w, "not ready: degraded: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	if r.draining.Load() {
+		http.Error(w, "not ready: draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ready\n"))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -247,15 +296,17 @@ func writeQueryError(w http.ResponseWriter, req *http.Request, err error) {
 }
 
 func (r *Repository) handleQuery(w http.ResponseWriter, req *http.Request) {
-	release, ok := r.admitHTTP(w, req, admit.Query)
+	ro, release, ok := r.beginRequest(w, req, "query", admit.Query)
 	if !ok {
 		return
 	}
 	defer release()
+	defer ro.finish()
 	var in QueryRequest
 	if !readBody(w, req, &in) {
 		return
 	}
+	ro.tr.Lap("read_body")
 	if len(in.Queries) == 0 {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: "no queries"})
 		return
@@ -273,12 +324,14 @@ func (r *Repository) handleQuery(w http.ResponseWriter, req *http.Request) {
 			return
 		}
 	}
+	ro.tr.Lap("validate")
 	ctx, cancel, ok := r.queryContext(w, req)
 	if !ok {
 		return
 	}
 	defer cancel()
-	answers := r.Batch(ctx, in.Queries)
+	answers := r.Batch(obs.WithTrace(ctx, ro.tr), in.Queries)
+	ro.tr.Lap("execute")
 	if err := ctx.Err(); err != nil && batchLostAnswers(answers, err) {
 		// The deadline actually cost answers → the whole request fails
 		// with the transport mapping. A batch that completed just before
@@ -287,7 +340,14 @@ func (r *Repository) handleQuery(w http.ResponseWriter, req *http.Request) {
 		writeQueryError(w, req, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{Answers: answers})
+	resp := QueryResponse{Answers: answers}
+	if ro.wantTrace {
+		// The inline report necessarily precedes the write stage it is
+		// part of; the write lap still lands in histograms and slow logs.
+		resp.Trace = ro.tr.Report()
+	}
+	writeJSON(w, http.StatusOK, resp)
+	ro.tr.Lap("write")
 }
 
 // batchLostAnswers reports whether any answer of the batch was lost to
@@ -303,42 +363,56 @@ func batchLostAnswers(answers []STRQAnswer, err error) bool {
 }
 
 func (r *Repository) handleWindow(w http.ResponseWriter, req *http.Request) {
-	release, ok := r.admitHTTP(w, req, admit.Query)
+	ro, release, ok := r.beginRequest(w, req, "window", admit.Query)
 	if !ok {
 		return
 	}
 	defer release()
+	defer ro.finish()
 	var in WindowRequest
 	if !readBody(w, req, &in) {
 		return
 	}
+	ro.tr.Lap("read_body")
 	if err := validateWindow(in.Rect, in.From, in.To); err != nil {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
 		return
 	}
+	ro.tr.Lap("validate")
 	ctx, cancel, ok := r.queryContext(w, req)
 	if !ok {
 		return
 	}
 	defer cancel()
-	res, err := r.Window(ctx, in.Rect, in.From, in.To, in.Exact)
+	// The window executor laps its own plan / segment_scan / hot_scan /
+	// merge stages off the trace it finds on the context, so "execute"
+	// here only mops up time the executor did not attribute.
+	res, err := r.Window(obs.WithTrace(ctx, ro.tr), in.Rect, in.From, in.To, in.Exact)
+	ro.tr.Lap("execute")
 	if err != nil {
 		writeQueryError(w, req, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	resp := windowResponse{WindowResult: res}
+	if ro.wantTrace {
+		resp.Trace = ro.tr.Report()
+	}
+	writeJSON(w, http.StatusOK, resp)
+	ro.tr.Lap("write")
 }
 
 func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
-	release, ok := r.admitHTTP(w, req, admit.Ingest)
+	ro, release, ok := r.beginRequest(w, req, "ingest", admit.Ingest)
 	if !ok {
 		return
 	}
 	defer release()
+	defer ro.finish()
 	var in IngestRequest
 	if !readBody(w, req, &in) {
 		return
 	}
+	ro.tr.Lap("read_body")
 	total := 0
 	for _, t := range in.Ticks {
 		total += len(t.Points)
@@ -356,7 +430,9 @@ func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
 			ids[i] = p.ID
 			pts[i] = geo.Point{X: p.X, Y: p.Y}
 		}
-		if err := r.Ingest(t.Tick, ids, pts); err != nil {
+		// ingestTick laps validate / wal_append / apply / fsync_wait onto
+		// the trace, accumulating across the request's ticks.
+		if err := r.ingestTick(ro.tr, t.Tick, ids, pts); err != nil {
 			// A fail-stopped WAL is the server's problem, not the
 			// request's: 503 with the latched error, so clients and
 			// probes can tell "fix your payload" from "the disk died".
@@ -374,18 +450,26 @@ func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
 		}
 		accepted += len(t.Points)
 	}
-	writeJSON(w, http.StatusOK, IngestResponse{AcceptedPoints: accepted})
+	resp := IngestResponse{AcceptedPoints: accepted}
+	if ro.wantTrace {
+		resp.Trace = ro.tr.Report()
+	}
+	writeJSON(w, http.StatusOK, resp)
+	ro.tr.Lap("write")
 }
 
 func (r *Repository) handleFlush(w http.ResponseWriter, req *http.Request) {
 	// Flush drives the compactor — mutating, heavyweight work — so it
 	// shares the ingest class's budget.
-	release, ok := r.admitHTTP(w, req, admit.Ingest)
+	ro, release, ok := r.beginRequest(w, req, "flush", admit.Ingest)
 	if !ok {
 		return
 	}
 	defer release()
-	if err := r.Flush(); err != nil {
+	defer ro.finish()
+	err := r.Flush()
+	ro.tr.Lap("execute")
+	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, wal.ErrFailStopped) {
 			status = http.StatusServiceUnavailable
@@ -394,6 +478,7 @@ func (r *Repository) handleFlush(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, r.Stats())
+	ro.tr.Lap("write")
 }
 
 func (r *Repository) handleStats(w http.ResponseWriter, _ *http.Request) {

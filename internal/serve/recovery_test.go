@@ -1,8 +1,8 @@
 package serve
 
 import (
+	"bytes"
 	"context"
-	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -13,9 +13,19 @@ import (
 	"time"
 
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/traj"
 	"ppqtraj/internal/wal"
 )
+
+// testLogWriter forwards the repository's structured log lines to the
+// test log, so recovery chatter shows up under -v but not on stderr.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
 
 // durableOptions is testOptions plus persistence: WAL fsynced on every
 // ingest ack, so a simulated crash at any instant may lose nothing.
@@ -26,7 +36,7 @@ func durableOptions(t *testing.T, raw *traj.Dataset) Options {
 	opts.WALDir = filepath.Join(opts.Dir, "wal")
 	opts.WALSync = wal.SyncAlways
 	opts.WALSegmentBytes = 8 << 10 // force rotations so reclamation is exercised
-	opts.Logf = t.Logf
+	opts.Log = obs.NewLogger(testLogWriter{t}, obs.LevelDebug, obs.FormatText)
 	return opts
 }
 
@@ -377,10 +387,8 @@ func TestOrphanSegmentGC(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var logged []string
-	opts.Logf = func(format string, args ...any) {
-		logged = append(logged, fmt.Sprintf(format, args...))
-	}
+	var logBuf bytes.Buffer
+	opts.Log = obs.NewLogger(&logBuf, obs.LevelInfo, obs.FormatText)
 	repo, err = Open(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -388,7 +396,7 @@ func TestOrphanSegmentGC(t *testing.T) {
 	defer repo.Close()
 
 	if st := repo.Stats(); st.OrphansRemoved != int64(len(orphans)) {
-		t.Fatalf("OrphansRemoved = %d, want %d (logged: %q)", st.OrphansRemoved, len(orphans), logged)
+		t.Fatalf("OrphansRemoved = %d, want %d (logged: %q)", st.OrphansRemoved, len(orphans), logBuf.String())
 	}
 	for _, name := range orphans {
 		if _, err := os.Stat(filepath.Join(opts.Dir, name)); !os.IsNotExist(err) {
@@ -398,8 +406,8 @@ func TestOrphanSegmentGC(t *testing.T) {
 	if _, err := os.Stat(foreign); err != nil {
 		t.Fatalf("foreign file was touched: %v", err)
 	}
-	if len(logged) < len(orphans) {
-		t.Fatalf("orphan removal not logged: %q", logged)
+	if got := strings.Count(logBuf.String(), "removed orphaned file"); got < len(orphans) {
+		t.Fatalf("orphan removal logged %d times, want %d: %q", got, len(orphans), logBuf.String())
 	}
 	// The reloaded segments must still answer.
 	rng := rand.New(rand.NewSource(5))

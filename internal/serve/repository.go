@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"math"
 	"os"
 	"path/filepath"
@@ -21,6 +20,7 @@ import (
 	"ppqtraj/internal/core"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/index"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/par"
 	"ppqtraj/internal/query"
 	"ppqtraj/internal/traj"
@@ -106,9 +106,20 @@ type Options struct {
 	// enables generous defaults; see admit.Options to tighten or disable
 	// individual mechanisms.
 	Admit admit.Options
-	// Logf receives operational log lines (orphan cleanup, WAL replay).
-	// Defaults to log.Printf.
-	Logf func(format string, args ...any)
+	// Log receives operational log lines (orphan cleanup, WAL replay,
+	// slow-query records) as leveled structured events. Defaults to a
+	// text-format logger on stderr at Info; pass obs.Discard() for
+	// silence.
+	Log *obs.Logger
+	// Metrics is the registry the repository publishes its series into
+	// (and the WAL, admission, and cache series ride along). Defaults to
+	// a fresh private registry; pass one to embed the server's series in
+	// a larger process. Each repository needs its own registry.
+	Metrics *obs.Registry
+	// SlowQuery is the slow-request threshold: any admitted request whose
+	// wall time meets or exceeds it emits one structured JSON log line
+	// with its full per-stage breakdown. 0 disables the slow-query log.
+	SlowQuery time.Duration
 }
 
 // DefaultCacheBytes is the decoded-cell cache budget used when
@@ -152,8 +163,8 @@ func (o Options) withDefaults() (Options, error) {
 	if o.WALSync == "" {
 		o.WALSync = wal.SyncEvery
 	}
-	if o.Logf == nil {
-		o.Logf = log.Printf
+	if o.Log == nil {
+		o.Log = obs.NewLogger(os.Stderr, obs.LevelInfo, obs.FormatText)
 	}
 	return o, nil
 }
@@ -220,19 +231,17 @@ type Repository struct {
 	replayedPoints int64 // WAL points re-applied to the hot tail
 	orphansRemoved int64 // unreferenced files deleted at startup
 
-	ingested        atomic.Int64
-	compactions     atomic.Int64
-	compactedPoints atomic.Int64
-	queries         atomic.Int64
-	queryErrors     atomic.Int64
-	lastErr         atomic.Value // string
+	// met holds every counter and histogram the serving layer owns; the
+	// registry inside it is the single source /v1/stats and /metrics
+	// render from. log is the structured operational logger.
+	met *repoMetrics
+	log *obs.Logger
 
-	// Window range-executor telemetry (the /v1/stats "window" section).
-	winQueries      atomic.Int64
-	winSegsScanned  atomic.Int64
-	winSegsSkipped  atomic.Int64
-	winCellsScanned atomic.Int64
-	winCellsSkipped atomic.Int64
+	lastErr atomic.Value // string
+
+	// draining flips when shutdown starts: /readyz reports 503 so load
+	// balancers stop routing while in-flight requests finish.
+	draining atomic.Bool
 }
 
 // Open creates a repository (reloading persisted segments when opts.Dir
@@ -256,11 +265,16 @@ func Open(opts Options) (*Repository, error) {
 		sealedThrough: -1,
 		kick:          make(chan struct{}, 1),
 		stop:          make(chan struct{}),
+		met:           newRepoMetrics(opts.Metrics),
+		log:           opts.Log,
 	}
+	obs.RegisterRuntime(r.met.reg)
 	if opts.CacheBytes > 0 {
 		r.cells = cache.New(opts.CacheBytes)
 	}
-	r.admit = admit.New(opts.Admit)
+	admitOpts := opts.Admit
+	admitOpts.Metrics = r.met.reg
+	r.admit = admit.New(admitOpts)
 	r.lastErr.Store("")
 	if opts.Dir != "" {
 		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -284,15 +298,18 @@ func Open(opts Options) (*Repository, error) {
 			SegmentBytes:    opts.WALSegmentBytes,
 			GroupCommitWait: opts.GroupCommitWait,
 			FS:              opts.WALFS,
+			Metrics:         r.met.reg,
 		}, r.replayRecord)
 		if err != nil {
 			return nil, err
 		}
 		r.wal = l
 		if r.replayedPoints > 0 {
-			opts.Logf("serve: WAL replayed %d points above sealed tick %d", r.replayedPoints, r.sealedThrough)
+			r.log.Info("wal replay rebuilt the hot tail",
+				"points", r.replayedPoints, "sealed_through", r.sealedThrough)
 		}
 	}
+	r.registerSources()
 	r.wg.Add(1)
 	go r.compactLoop()
 	return r, nil
@@ -310,7 +327,7 @@ func (r *Repository) replayRecord(rec wal.Record) error {
 	if rec.Tick <= r.sealedThrough {
 		return nil
 	}
-	if err := r.hot.ingest(rec.Tick, rec.IDs, rec.Points, nil); err != nil {
+	if err := r.hot.ingest(rec.Tick, rec.IDs, rec.Points, nil, nil); err != nil {
 		return err
 	}
 	r.replayedPoints += int64(len(rec.IDs))
@@ -347,7 +364,7 @@ func (r *Repository) gcOrphans() error {
 		if err := os.Remove(filepath.Join(r.opts.Dir, name)); err != nil {
 			return fmt.Errorf("serve: removing orphaned %s: %w", name, err)
 		}
-		r.opts.Logf("serve: removed orphaned file %s (not referenced by the manifest)", name)
+		r.log.Info("removed orphaned file not referenced by the manifest", "file", name)
 		removed++
 	}
 	r.orphansRemoved = int64(removed)
@@ -385,7 +402,8 @@ func (r *Repository) loadManifest() error {
 			// usable in memory, and a failed few-KB sidecar write must
 			// not block serving an otherwise intact repository.
 			if perr := seg.persistZone(r.opts.Dir); perr != nil {
-				r.opts.Logf("serve: %v (continuing with the in-memory zone map)", perr)
+				r.log.Warn("zone sidecar persist failed; continuing with the in-memory zone map",
+					"segment", seg.ID, "err", perr)
 			}
 		}
 		r.attachCache(seg)
@@ -477,15 +495,26 @@ func (r *Repository) Close() error {
 // ingest is rejected with the latched disk error — after a disk lies
 // about an fsync, nothing further can honestly be acknowledged.
 func (r *Repository) Ingest(tick int, ids []traj.ID, pts []geo.Point) error {
+	return r.ingestTick(nil, tick, ids, pts)
+}
+
+// ingestTick is Ingest's body with the per-request trace threaded
+// through: the validate / wal_append / apply / fsync_wait laps carve an
+// HTTP ingest into the stages the slow-query log and the
+// ppq_ingest_stage_seconds histograms report. tr may be nil (programmatic
+// callers and WAL replay), costing one nil check per lap.
+func (r *Repository) ingestTick(tr *obs.Trace, tick int, ids []traj.ID, pts []geo.Point) error {
 	var lsn int64
 	var logged func() error
 	if r.wal != nil {
 		logged = func() (err error) {
 			lsn, err = r.wal.Append(wal.Record{Tick: tick, IDs: ids, Points: pts})
+			tr.Lap("wal_append")
 			return err
 		}
 	}
-	if err := r.hot.ingest(tick, ids, pts, logged); err != nil {
+	if err := r.hot.ingest(tick, ids, pts, logged, tr); err != nil {
+		r.met.ingestErrors.Inc()
 		return err
 	}
 	if r.wal != nil {
@@ -494,12 +523,17 @@ func (r *Repository) Ingest(tick int, ids []traj.ID, pts []geo.Point) error {
 		// gates on it: a Commit error fails the ingest even though the
 		// points are resident — an fsync failure means the disk is lying,
 		// and the caller must not believe the write is durable.
-		if err := r.wal.Commit(lsn); err != nil {
+		err := r.wal.Commit(lsn)
+		tr.Lap("fsync_wait")
+		if err != nil {
 			r.lastErr.Store(err.Error())
+			r.met.ingestErrors.Inc()
 			return err
 		}
 	}
-	r.ingested.Add(int64(len(ids)))
+	r.met.ingestPoints.Add(int64(len(ids)))
+	r.met.ingestBatches.Inc()
+	r.met.batchPoints.Observe(float64(len(ids)))
 	if lo, hi, ok := r.hot.tickSpan(); ok && hi-lo+1 > r.opts.HotTicks {
 		select {
 		case r.kick <- struct{}{}:
@@ -607,8 +641,8 @@ func (r *Repository) compactOnce(force bool) error {
 		r.mu.Unlock()
 		r.hot.trim(chunkEnd)
 
-		r.compactions.Add(1)
-		r.compactedPoints.Add(int64(seg.Points))
+		r.met.compactions.Inc()
+		r.met.compactedPoints.Add(int64(seg.Points))
 		if r.opts.Dir != "" {
 			if err := r.writeManifest(); err != nil {
 				return err
@@ -783,16 +817,16 @@ func (r *Repository) strqTick(ctx context.Context, cell geo.Rect, tick int, exac
 // hot tail. ctx bounds the work: a cancelled or expired context aborts
 // the query and returns the context error.
 func (r *Repository) STRQ(ctx context.Context, req STRQRequest) (*STRQAnswer, error) {
-	r.queries.Add(1)
+	r.met.queries.Inc()
 	// Same rules as the HTTP layer, so programmatic callers get an error
 	// instead of a silent empty answer.
 	if err := req.Validate(); err != nil {
-		r.queryErrors.Add(1)
+		r.met.queryErrors.Inc()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	ans, err := r.strqTick(ctx, r.QueryCell(req.P), req.Tick, req.Exact)
 	if err != nil {
-		r.queryErrors.Add(1)
+		r.met.queryErrors.Inc()
 		return nil, err
 	}
 	if req.PathLen > 0 && len(ans.IDs) > 0 {
@@ -801,13 +835,13 @@ func (r *Repository) STRQ(ctx context.Context, req STRQRequest) (*STRQAnswer, er
 			// Per-ID check: a wide match list reconstructs many paths, and
 			// cancellation latency must not grow with the match count.
 			if err := ctx.Err(); err != nil {
-				r.queryErrors.Add(1)
+				r.met.queryErrors.Inc()
 				return nil, err
 			}
 			ans.Paths[id] = r.Path(ctx, id, req.Tick, req.PathLen)
 		}
 		if err := ctx.Err(); err != nil {
-			r.queryErrors.Add(1)
+			r.met.queryErrors.Inc()
 			return nil, err
 		}
 	}
@@ -937,15 +971,15 @@ type WindowResult struct {
 func (r *Repository) Window(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
 	// Counted at entry like STRQ, so query_errors can never exceed
 	// queries in the stats.
-	r.queries.Add(1)
-	r.winQueries.Add(1)
+	r.met.queries.Inc()
+	r.met.winQueries.Inc()
 	if err := validateWindow(rect, from, to); err != nil {
-		r.queryErrors.Add(1)
+		r.met.queryErrors.Inc()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	res, err := r.windowRange(ctx, rect, from, to, exact)
 	if err != nil {
-		r.queryErrors.Add(1)
+		r.met.queryErrors.Inc()
 		return nil, err
 	}
 	return res, nil
@@ -964,6 +998,7 @@ const maxWindowReplans = 3
 // it, and the freshly published segment is the only tier still serving
 // them. Retries are rare (one per compaction at most) and capped.
 func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
+	tr := obs.TraceFrom(ctx)
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -1000,6 +1035,7 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 			}
 			shards = append(shards, scanShard{seg: s, lo: lo, hi: hi})
 		}
+		tr.Lap("plan")
 
 		// One range scan per surviving segment, on the same bounded pool
 		// Batch uses — a wide window over a long-lived repository can
@@ -1022,6 +1058,7 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 				return nil, fmt.Errorf("serve: segment %d: %w", shards[i].seg.ID, err)
 			}
 		}
+		tr.Lap("segment_scan")
 
 		// Hot residual: only ticks above the snapshot's watermark, under
 		// a single hot-tail lock. Hot points are raw, so approximate and
@@ -1037,6 +1074,7 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 				sources++
 			}
 		}
+		tr.Lap("hot_scan")
 
 		// A watermark move during execution means some planned-hot ticks
 		// may have migrated to a segment after the hot scan read (or
@@ -1054,8 +1092,10 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 
 		// Telemetry lands only for the attempt that survived the
 		// watermark recheck, so a re-planned request counts once.
-		r.winSegsScanned.Add(int64(len(shards)))
-		r.winSegsSkipped.Add(int64(skipped))
+		r.met.winSegsScanned.Add(int64(len(shards)))
+		r.met.winSegsSkipped.Add(int64(skipped))
+		tr.Add("segments_scanned", int64(len(shards)))
+		tr.Add("segments_skipped", int64(skipped))
 
 		// Merge: flatten every column and sort-dedup once. Columns are
 		// per-tick ID sets, so the flat list is mostly runs of near-equal
@@ -1063,14 +1103,23 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 		// margin at window scale.
 		probed := skippedTicks + hotCovered
 		total := 0
+		var scan index.ScanStats
 		for _, rr := range results {
 			probed += rr.CoveredTicks
-			r.winCellsScanned.Add(int64(rr.Scan.CellsScanned))
-			r.winCellsSkipped.Add(int64(rr.Scan.CellsSkipped))
+			scan.Add(rr.Scan)
 			for _, col := range rr.Cols {
 				total += len(col.IDs)
 			}
 		}
+		r.met.winCellsScanned.Add(int64(scan.CellsScanned))
+		r.met.winCellsSkipped.Add(int64(scan.CellsSkipped))
+		tr.Add("cells_scanned", int64(scan.CellsScanned))
+		tr.Add("cells_skipped", int64(scan.CellsSkipped))
+		tr.Add("cache_hits", int64(scan.CacheHits))
+		tr.Add("cache_misses", int64(scan.CacheMisses))
+		tr.Add("bytes_decoded", scan.DecodedBytes)
+		tr.Add("decode_us", scan.DecodeNanos/1e3)
+		tr.Add("ticks_probed", int64(probed))
 		for _, col := range hotCols {
 			total += len(col.ids)
 		}
@@ -1088,6 +1137,7 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 		if len(flat) > 0 { // nil, not empty-but-allocated, keeps the JSON stable
 			res.IDs = traj.DedupSorted(flat)
 		}
+		tr.Lap("merge")
 		return res, nil
 	}
 }
@@ -1101,18 +1151,18 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 func (r *Repository) WindowPerTick(ctx context.Context, rect geo.Rect, from, to int, exact bool) (*WindowResult, error) {
 	// Counted at entry like STRQ, so query_errors can never exceed
 	// queries in the stats.
-	r.queries.Add(1)
+	r.met.queries.Inc()
 	if err := validateWindow(rect, from, to); err != nil {
-		r.queryErrors.Add(1)
+		r.met.queryErrors.Inc()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	if err := ctx.Err(); err != nil {
-		r.queryErrors.Add(1)
+		r.met.queryErrors.Inc()
 		return nil, err
 	}
 	res, err := r.windowPerTickScan(ctx, rect, from, to, exact)
 	if err != nil {
-		r.queryErrors.Add(1)
+		r.met.queryErrors.Inc()
 		return nil, err
 	}
 	return res, nil
@@ -1235,6 +1285,7 @@ func (r *Repository) windowPerTickScan(ctx context.Context, rect geo.Rect, from,
 		res.IDs = append(res.IDs, id)
 	}
 	sort.Slice(res.IDs, func(i, j int) bool { return res.IDs[i] < res.IDs[j] })
+	obs.TraceFrom(ctx).Lap("per_tick_scan")
 	return res, nil
 }
 
@@ -1288,40 +1339,17 @@ type WindowStats struct {
 	CellsSkipped    int64 `json:"cells_skipped"`
 }
 
-// Stats snapshots the repository.
+// Stats snapshots the repository. Every counter comes from ONE registry
+// snapshot — the same collection pass /metrics renders — so the sections
+// of a response are mutually consistent views of one instant rather than
+// a sequence of independent reads.
 func (r *Repository) Stats() Stats {
-	segs, sealed := r.view()
-	st := Stats{
-		Segments:          len(segs),
-		SealedThrough:     sealed,
-		HotPoints:         r.hot.numPoints(),
-		IngestedPoints:    r.ingested.Load(),
-		Compactions:       r.compactions.Load(),
-		CompactedPoints:   r.compactedPoints.Load(),
-		Queries:           r.queries.Load(),
-		QueryErrors:       r.queryErrors.Load(),
-		LastError:         r.lastErr.Load().(string),
-		Degraded:          r.Degraded() != nil,
-		Cache:             r.cells.Snapshot(),
-		WAL:               r.wal.Stats(),
-		Admission:         r.admit.Snapshot(),
-		WALReplayedPoints: r.replayedPoints,
-		OrphansRemoved:    r.orphansRemoved,
-		Window: WindowStats{
-			Queries:         r.winQueries.Load(),
-			SegmentsScanned: r.winSegsScanned.Load(),
-			SegmentsSkipped: r.winSegsSkipped.Load(),
-			CellsScanned:    r.winCellsScanned.Load(),
-			CellsSkipped:    r.winCellsSkipped.Load(),
-		},
-	}
-	for _, s := range segs {
-		st.SegmentPoints += s.Points
-		st.RawAccesses += s.Eng.RawAccesses.Load()
-		st.DiskBytes += s.SizeBytes
-	}
-	return st
+	return r.statsFromSnapshot(r.met.reg.Snapshot())
 }
+
+// Draining reports whether shutdown has started (readiness turns false
+// while in-flight requests finish).
+func (r *Repository) Draining() bool { return r.draining.Load() }
 
 // Degraded returns the write-ahead log's latched disk error, or nil
 // while ingest is healthy. A degraded repository keeps serving reads;

@@ -16,6 +16,7 @@ import (
 	"ppqtraj/internal/gen"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/index"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/partition"
 	"ppqtraj/internal/query"
 	"ppqtraj/internal/traj"
@@ -55,6 +56,7 @@ func testOptions(raw *traj.Dataset) Options {
 		MaxSegmentTicks: 16,
 		CompactInterval: 2 * time.Millisecond,
 		Raw:             raw,
+		Log:             obs.Discard(),
 	}
 }
 

@@ -24,6 +24,10 @@ import (
 // request connections mid-flight, which is the intended bound on a
 // stuck client.
 func DrainAndClose(srv *http.Server, repo *Repository, drainTimeout time.Duration) error {
+	// Flip readiness first: /readyz starts answering 503 so load
+	// balancers stop routing new traffic while Shutdown drains the
+	// requests already in flight.
+	repo.draining.Store(true)
 	ctx := context.Background()
 	if drainTimeout > 0 {
 		var cancel context.CancelFunc

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"ppqtraj/internal/geo"
+	"ppqtraj/internal/obs"
 	"ppqtraj/internal/traj"
 )
 
@@ -92,6 +93,11 @@ type Options struct {
 	// FS is the filesystem seam (default OSFS). Tests inject FaultFS to
 	// exercise disk failures deterministically.
 	FS FS
+	// Metrics, when set, registers the log's latency histograms
+	// (ppq_wal_fsync_seconds, ppq_wal_commit_batch) there. Counter-style
+	// stats stay in the log's own atomics — the serving layer bridges
+	// them into snapshots via a registry source.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -206,6 +212,12 @@ type Log struct {
 	replayedRecs atomic.Int64
 	replayedPts  atomic.Int64
 
+	// fsyncHist observes every fsync's duration; batchHist observes how
+	// many commits each group-commit fsync covered. Both nil without
+	// Options.Metrics.
+	fsyncHist *obs.Histogram
+	batchHist *obs.Histogram
+
 	stopSync chan struct{} // closes the SyncEvery ticker goroutine
 	syncWG   sync.WaitGroup
 
@@ -251,6 +263,12 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 	}
 	l := &Log{opts: opts, fs: opts.FS, stopSync: make(chan struct{})}
 	l.gcCond = sync.NewCond(&l.gcMu)
+	if opts.Metrics != nil {
+		l.fsyncHist = opts.Metrics.Histogram("ppq_wal_fsync_seconds",
+			"Duration of WAL fsync calls.", obs.LatencyBuckets)
+		l.batchHist = opts.Metrics.Histogram("ppq_wal_commit_batch",
+			"Commits acknowledged per group-commit fsync (batching factor).", obs.CountBuckets)
+	}
 
 	entries, err := l.fs.ReadDir(opts.Dir)
 	if err != nil {
@@ -577,7 +595,11 @@ func (l *Log) groupCommit(lsn int64) error {
 				prev = cur
 			}
 		}
-		l.gcLastBatch.Store(l.gcPending.Load())
+		batch := l.gcPending.Load()
+		l.gcLastBatch.Store(batch)
+		if l.batchHist != nil {
+			l.batchHist.Observe(float64(batch))
+		}
 		err := l.Sync()
 
 		l.gcMu.Lock()
@@ -654,7 +676,11 @@ func (l *Log) syncTo(lsn int64) error {
 	f := l.f
 	l.mu.Unlock()
 
+	t0 := time.Now()
 	err := f.Sync()
+	if l.fsyncHist != nil {
+		l.fsyncHist.ObserveSince(t0)
+	}
 
 	l.mu.Lock()
 	defer l.mu.Unlock()

@@ -1,0 +1,110 @@
+// Command ppqvet is the repository's invariant checker: it runs the
+// standard `go vet` passes and then the project-specific analyzers from
+// internal/analysis — durableswap, lockorder, atomichygiene, ctxcancel,
+// and metricname — over the requested packages. CI runs it as a hard
+// gate; run it locally with
+//
+//	go run ./cmd/ppqvet ./...
+//
+// Exit status is 0 when every pass is clean, 1 when any vet pass or
+// analyzer reports a finding, 2 on operational failure (a package that
+// does not type-check, a broken go toolchain, ...).
+//
+// Findings can be waived — sparingly, with a reason — by a
+// "//ppqvet:allow <analyzer> <justification>" comment on the finding's
+// line, the line above it, or the enclosing function's doc comment; a
+// waiver without a justification does not suppress anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+
+	"ppqtraj/internal/analysis"
+	"ppqtraj/internal/analysis/atomichygiene"
+	"ppqtraj/internal/analysis/ctxcancel"
+	"ppqtraj/internal/analysis/durableswap"
+	"ppqtraj/internal/analysis/lockorder"
+	"ppqtraj/internal/analysis/metricname"
+)
+
+// analyzers is the full suite, in the order findings are reported.
+var analyzers = []*analysis.Analyzer{
+	durableswap.Analyzer,
+	lockorder.Analyzer,
+	atomichygiene.Analyzer,
+	ctxcancel.Analyzer,
+	metricname.Analyzer,
+}
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the standard `go vet` passes and run only the project analyzers")
+	list := flag.Bool("list", false, "list the project analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ppqvet [-novet] [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs go vet plus the project invariant analyzers:\n\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*novet {
+		vet := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		vet.Stdout = os.Stdout
+		vet.Stderr = os.Stderr
+		if err := vet.Run(); err != nil {
+			if _, ok := err.(*exec.ExitError); !ok {
+				fmt.Fprintf(os.Stderr, "ppqvet: running go vet: %v\n", err)
+				os.Exit(2)
+			}
+			failed = true
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppqvet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ppqvet: %v\n", err)
+		os.Exit(2)
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ppqvet: %s: %v\n", pkg.Path, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "ppqvet: %d finding(s)\n", findings)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,191 @@
+// Package analysis is a self-contained, dependency-free reimplementation
+// of the golang.org/x/tools/go/analysis surface the repository's static
+// checkers need: an Analyzer is a named check, a Pass hands it one
+// type-checked package, and diagnostics it reports become ppqvet
+// findings. The build environment deliberately carries no third-party
+// modules, so rather than importing x/tools the framework rebuilds the
+// small slice of it we use on top of go/ast, go/types, and the go
+// toolchain's own export data (see load.go).
+//
+// The analyzers encode invariants that previously lived only in comments
+// and reviewer memory — lock ordering in the WAL, durable publication of
+// persistent artifacts, cancellation checks on the read path, atomic
+// field hygiene, and metric naming. cmd/ppqvet runs them as a hard CI
+// gate alongside go vet.
+//
+// Deliberate, reviewed exceptions are waived in the source with a
+//
+//	//ppqvet:allow <analyzer> <justification>
+//
+// comment on the offending line, the line above it, or the enclosing
+// function's doc comment. A waiver without a justification is itself a
+// finding: exceptions must say why they are safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and in //ppqvet:allow
+	// waivers. Lower-case, no spaces.
+	Name string
+	// Doc is the one-line invariant statement shown by ppqvet -help.
+	Doc string
+	// Run inspects one package via pass and reports findings through
+	// pass.Reportf. It returns an error only for operational failures
+	// (findings are not errors).
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one finding: a position and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// IsStdlib reports whether an import path belongs to the standard
+	// library (ctxcancel uses it to tell cheap stdlib helpers from
+	// module-local work inside loops). Never nil.
+	IsStdlib func(path string) bool
+
+	diags    []Diagnostic
+	suppress *suppressIndex
+}
+
+// Reportf records a finding unless a //ppqvet:allow waiver covers pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Suppressed(pos) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, in position order.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diags, func(i, j int) bool { return p.diags[i].Pos < p.diags[j].Pos })
+	return p.diags
+}
+
+// Suppressed reports whether a //ppqvet:allow waiver for this analyzer
+// covers pos: same line, the line immediately above, or the doc comment
+// of the enclosing function declaration. Analyzers that build
+// whole-program summaries (lockorder) consult it directly so a waived
+// call site does not poison its callers.
+func (p *Pass) Suppressed(pos token.Pos) bool {
+	if p.suppress == nil {
+		p.suppress = buildSuppressIndex(p.Fset, p.Files)
+	}
+	return p.suppress.covers(p.Analyzer.Name, p.Fset, pos)
+}
+
+// waiverRe matches "ppqvet:allow name1,name2 justification..." inside a
+// comment's text.
+var waiverRe = regexp.MustCompile(`ppqvet:allow\s+([a-z0-9_,]+)(\s+\S.*)?`)
+
+type waiver struct {
+	names     map[string]bool
+	justified bool
+}
+
+type suppressIndex struct {
+	// byLine maps file name + line to the waiver on that line.
+	byLine map[string]map[int]waiver
+	// funcRanges maps file name to the position ranges of function
+	// declarations whose doc comment carries a waiver.
+	funcRanges map[string][]funcWaiver
+}
+
+type funcWaiver struct {
+	from, to token.Pos
+	w        waiver
+}
+
+func parseWaiver(text string) (waiver, bool) {
+	m := waiverRe.FindStringSubmatch(text)
+	if m == nil {
+		return waiver{}, false
+	}
+	w := waiver{names: map[string]bool{}, justified: strings.TrimSpace(m[2]) != ""}
+	for _, n := range strings.Split(m[1], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			w.names[n] = true
+		}
+	}
+	return w, true
+}
+
+func buildSuppressIndex(fset *token.FileSet, files []*ast.File) *suppressIndex {
+	idx := &suppressIndex{
+		byLine:     map[string]map[int]waiver{},
+		funcRanges: map[string][]funcWaiver{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				w, ok := parseWaiver(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]waiver{}
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = w
+				// A waiver anywhere in a comment group also covers the
+				// line the group ends on, so multi-line justifications
+				// still waive the statement that follows them.
+				if end := fset.Position(cg.End()).Line; end != pos.Line {
+					lines[end] = w
+				}
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if w, ok := parseWaiver(c.Text); ok {
+					name := fset.Position(fd.Pos()).Filename
+					idx.funcRanges[name] = append(idx.funcRanges[name],
+						funcWaiver{from: fd.Pos(), to: fd.End(), w: w})
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx *suppressIndex) covers(analyzer string, fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	if lines, ok := idx.byLine[p.Filename]; ok {
+		for _, line := range []int{p.Line, p.Line - 1} {
+			if w, ok := lines[line]; ok && w.names[analyzer] && w.justified {
+				return true
+			}
+		}
+	}
+	for _, fw := range idx.funcRanges[p.Filename] {
+		if pos >= fw.from && pos < fw.to && fw.w.names[analyzer] && fw.w.justified {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,250 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its findings against // want annotations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract closely enough
+// for golden-file tests of the repository's own analyzers.
+//
+// A fixture directory holds one target package (its *.go files) plus
+// optional subdirectories, each an importable fixture-local package
+// whose import path is its directory name. A line expecting a finding
+// carries a comment of the form
+//
+//	code() // want "regexp" "another regexp"
+//
+// Every want regexp must match a finding reported on its line, and
+// every finding must match a want on its line; anything else fails the
+// test. Standard-library imports in fixtures are resolved through the
+// go toolchain's export data, so fixtures may import os, sync, context,
+// and friends freely without network access.
+package analysistest
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"ppqtraj/internal/analysis"
+)
+
+// Run analyzes the fixture rooted at dir with a and reports annotation
+// mismatches on t.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	diags, fset, files, err := analyze(a, dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	checkWants(t, fset, files, diags)
+}
+
+// analyze loads the fixture's target package and runs the analyzer.
+func analyze(a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File, error) {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{root: dir, fset: fset, locals: map[string]*types.Package{}, stdExports: map[string]string{}}
+	files, tpkg, info, err := imp.checkDir(dir, "")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		IsStdlib:  imp.isStdlib,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, nil, nil, err
+	}
+	return pass.Diagnostics(), fset, files, nil
+}
+
+// fixtureImporter resolves fixture-local packages from source and
+// everything else through gc export data produced by `go list -export`.
+type fixtureImporter struct {
+	root       string
+	fset       *token.FileSet
+	locals     map[string]*types.Package
+	stdExports map[string]string // import path -> export data file
+	gc         types.Importer
+}
+
+func (fi *fixtureImporter) isStdlib(path string) bool {
+	_, ok := fi.stdExports[path]
+	return ok
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.locals[path]; ok {
+		return pkg, nil
+	}
+	if dir := filepath.Join(fi.root, filepath.FromSlash(path)); isDir(dir) {
+		_, pkg, _, err := fi.checkDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		fi.locals[path] = pkg
+		return pkg, nil
+	}
+	if err := fi.ensureExport(path); err != nil {
+		return nil, err
+	}
+	if fi.gc == nil {
+		fi.gc = importer.ForCompiler(fi.fset, "gc", func(p string) (io.ReadCloser, error) {
+			f, ok := fi.stdExports[p]
+			if !ok {
+				if err := fi.ensureExport(p); err != nil {
+					return nil, err
+				}
+				f = fi.stdExports[p]
+			}
+			return os.Open(f)
+		})
+	}
+	return fi.gc.Import(path)
+}
+
+// ensureExport records export data files for path and its transitive
+// dependencies.
+func (fi *fixtureImporter) ensureExport(path string) error {
+	if _, ok := fi.stdExports[path]; ok {
+		return nil
+	}
+	cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", path)
+	cmd.Dir = fi.root
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			fi.stdExports[p.ImportPath] = p.Export
+		}
+	}
+	if _, ok := fi.stdExports[path]; !ok {
+		return fmt.Errorf("no export data for %q", path)
+	}
+	return nil
+}
+
+// checkDir parses and type-checks the single package in dir. pkgPath ""
+// means the fixture's target package (named after its package clause).
+func (fi *fixtureImporter) checkDir(dir, pkgPath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if pkgPath == "" {
+		pkgPath = files[0].Name.Name
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: fi, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(pkgPath, fi.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("type-checking fixture %s: %w", dir, err)
+	}
+	return files, tpkg, info, nil
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// checkWants cross-checks findings against // want annotations.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, am := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					pat := am[1]
+					if pat == "" {
+						pat = am[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	matched := map[key][]bool{}
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		ok := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[k][i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected finding: %s", pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no finding matched %q", k.file, k.line, re)
+			}
+		}
+	}
+}

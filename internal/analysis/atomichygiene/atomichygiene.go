@@ -1,0 +1,107 @@
+// Package atomichygiene enforces all-or-nothing atomicity on struct
+// fields: a field that is ever accessed through a sync/atomic function
+// (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&s.flag), ...) must be
+// accessed that way everywhere. A plain read of an atomically-written
+// counter is a data race the race detector only catches when the racing
+// schedule actually happens, and go vet does not flag the mix at all.
+// The repository's instruments migrated to typed atomics (atomic.Int64
+// and friends, immune by construction), so any function-style atomic
+// that creeps back in gets its plain accesses flagged here.
+//
+// The check is package-local: Go fields are only addressable from their
+// declaring package unless exported, and exported mixed access would be
+// a design smell far beyond what one analyzer should bless.
+package atomichygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ppqtraj/internal/analysis"
+)
+
+// Analyzer is the atomichygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc:  "a field accessed via sync/atomic functions must never be read or written plainly elsewhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields passed by address to sync/atomic functions, with one
+	// representative site for the report.
+	atomicFields := map[types.Object]ast.Node{}
+	// Sites already inside an atomic call, so pass 2 can skip them.
+	inAtomicCall := map[*ast.SelectorExpr]bool{}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.Callee(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !strings.HasPrefix(callee.Name(), "Add") && !strings.HasPrefix(callee.Name(), "Load") &&
+				!strings.HasPrefix(callee.Name(), "Store") && !strings.HasPrefix(callee.Name(), "Swap") &&
+				!strings.HasPrefix(callee.Name(), "CompareAndSwap") {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj := fieldObject(pass.TypesInfo, sel); obj != nil {
+					if _, seen := atomicFields[obj]; !seen {
+						atomicFields[obj] = call
+					}
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector resolving to one of those fields is a
+	// plain access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			obj := fieldObject(pass.TypesInfo, sel)
+			if obj == nil {
+				return true
+			}
+			if _, hot := atomicFields[obj]; hot {
+				pass.Reportf(sel.Pos(),
+					"plain access of field %s, which is accessed with sync/atomic elsewhere: use the atomic API everywhere or a typed atomic (atomic.Int64 et al.)",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldObject resolves sel to the struct-field object it selects, nil
+// for methods, package selectors, and qualified identifiers.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"ppqtraj/internal/analysis/analysistest"
+	"ppqtraj/internal/analysis/atomichygiene"
+)
+
+func TestAtomicHygiene(t *testing.T) {
+	analysistest.Run(t, atomichygiene.Analyzer, "testdata/a")
+}

@@ -1,0 +1,46 @@
+// Package a is a fixture for the atomichygiene analyzer: a field
+// touched through sync/atomic functions anywhere must be touched that
+// way everywhere.
+package a
+
+import "sync/atomic"
+
+// stats mixes one disciplined field, one typed atomic, and one field
+// with split-brain access.
+type stats struct {
+	hits   int64        // always via atomic.* — clean
+	misses int64        // atomic writes, plain reads — flagged
+	evict  atomic.Int64 // typed atomic: immune by construction
+	name   string       // never atomic
+}
+
+func (s *stats) record(hit bool) {
+	if hit {
+		atomic.AddInt64(&s.hits, 1)
+	} else {
+		atomic.AddInt64(&s.misses, 1)
+	}
+	s.evict.Add(1)
+}
+
+func (s *stats) snapshotGood() int64 {
+	return atomic.LoadInt64(&s.hits) + s.evict.Load()
+}
+
+func (s *stats) snapshotBad() int64 {
+	return s.misses // want `plain access of field misses`
+}
+
+func (s *stats) resetBad() {
+	s.misses = 0 // want `plain access of field misses`
+}
+
+func (s *stats) label() string {
+	return s.name // never atomic anywhere: fine
+}
+
+// localShadow has its own misses variable; only the field is tracked.
+func localShadow() int64 {
+	misses := int64(3)
+	return misses
+}

@@ -1,0 +1,138 @@
+// Package ctxcancel enforces the read path's cancellation contract:
+// an exported function or method that accepts a context.Context must
+// observe that context inside every loop that does real work, either by
+// checking ctx.Err()/ctx.Done() directly or by passing ctx into a
+// callee that does. A scan loop that never consults its context turns
+// the per-request deadline (and a client hanging up) into a no-op — the
+// goroutine grinds through segments long after the response is gone.
+//
+// "Real work" is any call that leaves the standard library: module-
+// local calls can decode postings, walk segments, or take locks, so a
+// loop containing one must be cancellable. Loops that only shuffle
+// already-materialized data through stdlib helpers (sort, append, map
+// merges) are bounded by their inputs and exempt — requiring a ctx
+// check per merge iteration would be noise, not safety.
+package ctxcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ppqtraj/internal/analysis"
+)
+
+// Analyzer is the ctxcancel check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc:  "exported ctx-taking functions must observe ctx inside every loop that calls module code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if !takesContext(pass, fd) {
+				continue
+			}
+			checkLoops(pass, fd, fd.Body, false)
+		}
+	}
+	return nil
+}
+
+// takesContext reports whether fd has a named context.Context parameter.
+func takesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) && len(field.Names) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	name, pkg := analysis.NamedTypeName(t)
+	return name == "Context" && pkg != nil && pkg.Path() == "context"
+}
+
+// checkLoops walks node flagging loops that do module-local work without
+// a context in sight. covered means an enclosing loop already observes a
+// context each iteration, which bounds how stale this loop can run — the
+// convention the read path actually uses (an outer per-trajectory
+// ctx.Err() check covering a short inner scatter loop).
+func checkLoops(pass *analysis.Pass, fd *ast.FuncDecl, node ast.Node, covered bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		ok := covered || mentionsContext(pass, body)
+		if !ok && callsModuleCode(pass, body) {
+			pass.Reportf(n.Pos(),
+				"loop in exported %s calls module code without observing a context: check ctx.Err() or pass ctx to a callee inside the loop",
+				fd.Name.Name)
+		}
+		checkLoops(pass, fd, body, ok)
+		return false // the recursive call owns the subtree
+	})
+}
+
+// mentionsContext reports whether any identifier under root is a value
+// of type context.Context — the function's own ctx parameter, a
+// shadowing closure parameter, or a derived context all count.
+func mentionsContext(pass *analysis.Pass, root ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsModuleCode reports whether body contains a call that leaves the
+// standard library (same-package calls, module imports, and calls
+// through function values all count; stdlib and builtins do not).
+func callsModuleCode(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // type conversion, not a call
+		}
+		switch callee := analysis.Callee(pass.TypesInfo, call).(type) {
+		case *types.Builtin, *types.TypeName:
+			return true // len/append/... or a conversion: free
+		case *types.Func:
+			if callee.Pkg() == nil || pass.IsStdlib(callee.Pkg().Path()) {
+				return true // stdlib helper: bounded by its inputs
+			}
+		}
+		// Module-local function or method, or a call through a function
+		// value whose target the checker cannot see: assume real work.
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"ppqtraj/internal/analysis/analysistest"
+	"ppqtraj/internal/analysis/ctxcancel"
+)
+
+func TestCtxCancel(t *testing.T) {
+	analysistest.Run(t, ctxcancel.Analyzer, "testdata/a")
+}

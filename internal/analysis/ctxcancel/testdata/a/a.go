@@ -1,0 +1,106 @@
+// Package a is a fixture for the ctxcancel analyzer: exported
+// ctx-taking functions must observe a context inside every loop that
+// does module-local work.
+package a
+
+import (
+	"context"
+	"sort"
+)
+
+type engine struct{ cells []int }
+
+// decode stands in for module-local per-iteration work.
+func (e *engine) decode(cell int) int { return cell * 2 }
+
+// ScanBad walks cells without ever consulting ctx.
+func (e *engine) ScanBad(ctx context.Context, out []int) error {
+	for i, c := range e.cells { // want `loop in exported ScanBad calls module code without observing a context`
+		out[i] = e.decode(c)
+	}
+	return nil
+}
+
+// ScanGood checks ctx.Err each iteration.
+func (e *engine) ScanGood(ctx context.Context, out []int) error {
+	for i, c := range e.cells {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		out[i] = e.decode(c)
+	}
+	return nil
+}
+
+// ScanDelegated passes ctx to a ctx-aware callee instead of checking
+// directly.
+func (e *engine) ScanDelegated(ctx context.Context, out []int) error {
+	for i, c := range e.cells {
+		v, err := e.decodeCtx(ctx, c)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	return nil
+}
+
+func (e *engine) decodeCtx(ctx context.Context, cell int) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return e.decode(cell), nil
+}
+
+// ScanNested checks ctx in the outer loop only; the short inner
+// scatter loop is covered by the ancestor's per-iteration check.
+func (e *engine) ScanNested(ctx context.Context, out [][]int) error {
+	for i := range e.cells {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		for j := range out[i] {
+			out[i][j] = e.decode(j)
+		}
+	}
+	return nil
+}
+
+// ScanClosure observes a shadowing ctx parameter inside the worker
+// closure, which counts.
+func (e *engine) ScanClosure(ctx context.Context, out []int) {
+	run := func(ctx context.Context, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			out[i] = e.decode(i)
+		}
+	}
+	run(ctx, 0, len(out))
+}
+
+// MergeOnly shuffles already-materialized data through stdlib helpers;
+// no module work, no finding.
+func (e *engine) MergeOnly(ctx context.Context, out []int) {
+	for range e.cells {
+		sort.Ints(out)
+		out = append(out, len(out))
+	}
+}
+
+// unexportedScan is internal plumbing; its caller owns the contract.
+func (e *engine) unexportedScan(ctx context.Context, out []int) {
+	for i, c := range e.cells {
+		out[i] = e.decode(c)
+	}
+}
+
+// ScanWaived relabels a bounded slice after ctx is already done.
+func (e *engine) ScanWaived(ctx context.Context, out []int) {
+	<-ctx.Done()
+	//ppqvet:allow ctxcancel runs only after ctx is done; bounded relabel
+	for i := range out {
+		out[i] = e.decode(i)
+	}
+}

@@ -1,0 +1,92 @@
+// Package durableswap enforces the serving layer's durable-publication
+// invariant: every persistent artifact (segment blobs, zone-map
+// sidecars, the manifest, WAL files) reaches the filesystem through
+// durableSwap's temp-write → fsync → rename → dir-fsync sequence, or
+// through the WAL's own OSFS writer seam. A raw os.Rename or os.Create
+// against the data directory can publish a file whose contents — or
+// whose directory entry — a crash silently discards, which is exactly
+// the class of bug the crash-recovery suite exists to rule out.
+//
+// The analyzer applies to packages named serve and wal and flags direct
+// calls to os.Rename, os.Create, os.CreateTemp, os.WriteFile, and
+// os.OpenFile with O_CREATE, unless the call happens inside a function
+// named durableSwap or a method of the OSFS seam type.
+package durableswap
+
+import (
+	"go/ast"
+
+	"ppqtraj/internal/analysis"
+)
+
+// Analyzer is the durableswap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "durableswap",
+	Doc:  "persistent artifacts in serve/wal must be published via durableSwap or the WAL's OSFS seam, never raw os file writes",
+	Run:  run,
+}
+
+// flagged are the os functions that create or publish a file.
+var flagged = map[string]bool{
+	"Rename":     true,
+	"Create":     true,
+	"CreateTemp": true,
+	"WriteFile":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if name := pass.Pkg.Name(); name != "serve" && name != "wal" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "durableSwap" || analysis.ReceiverTypeName(fd) == "OSFS" {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := analysis.Callee(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "os" {
+			return true
+		}
+		switch {
+		case flagged[callee.Name()]:
+			pass.Reportf(call.Pos(),
+				"raw os.%s in %s: persistent artifacts must be published via durableSwap (temp write, fsync, rename, dir fsync)",
+				callee.Name(), fd.Name.Name)
+		case callee.Name() == "OpenFile" && mentionsCreate(call):
+			pass.Reportf(call.Pos(),
+				"raw os.OpenFile(..., O_CREATE, ...) in %s: persistent artifacts must be created via durableSwap or the FS seam",
+				fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// mentionsCreate reports whether any argument references os.O_CREATE.
+func mentionsCreate(call *ast.CallExpr) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "O_CREATE" {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

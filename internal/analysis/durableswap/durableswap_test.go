@@ -1,0 +1,12 @@
+package durableswap_test
+
+import (
+	"testing"
+
+	"ppqtraj/internal/analysis/analysistest"
+	"ppqtraj/internal/analysis/durableswap"
+)
+
+func TestDurableSwap(t *testing.T) {
+	analysistest.Run(t, durableswap.Analyzer, "testdata/serve")
+}

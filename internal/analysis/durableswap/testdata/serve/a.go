@@ -1,0 +1,96 @@
+// Package serve is a fixture: raw os file publication outside
+// durableSwap must be flagged; durableSwap itself and read-only os use
+// must not.
+package serve
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// durableSwap mirrors the real publish helper; its raw os calls are the
+// one sanctioned site.
+func durableSwap(dir, name string, write func(*os.File) (int64, error)) (int64, error) {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	n, err := write(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return n, err
+	}
+	return n, os.Rename(tmp.Name(), filepath.Join(dir, name))
+}
+
+// persistGood publishes through durableSwap.
+func persistGood(dir string, blob []byte) error {
+	_, err := durableSwap(dir, "seg-000001.ppqs", func(f *os.File) (int64, error) {
+		n, err := f.Write(blob)
+		return int64(n), err
+	})
+	return err
+}
+
+// persistBad writes a temp file by hand and renames it raw — the crash
+// window durableSwap exists to close.
+func persistBad(dir string, blob []byte) error {
+	tmp, err := os.CreateTemp(dir, "seg.tmp*") // want `raw os.CreateTemp in persistBad`
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "MANIFEST.json")) // want `raw os.Rename in persistBad`
+}
+
+// writeStats uses the convenience writers that skip fsync entirely.
+func writeStats(dir string, blob []byte) error {
+	if err := os.WriteFile(filepath.Join(dir, "stats.json"), blob, 0o644); err != nil { // want `raw os.WriteFile in writeStats`
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "stats2.json")) // want `raw os.Create in writeStats`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// appendLog creates through OpenFile, which is just Create with flags.
+func appendLog(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644) // want `raw os.OpenFile\(\.\.\., O_CREATE, \.\.\.\) in appendLog`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// readOnly never creates or publishes anything; os reads are fine.
+func readOnly(dir string) ([]byte, error) {
+	f, err := os.Open(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return os.ReadFile(filepath.Join(dir, "seg-000001.ppqs"))
+}
+
+// waived shows a justified escape hatch.
+func waived(dir string) error {
+	//ppqvet:allow durableswap scratch file on a tmpfs the recovery path never reads
+	f, err := os.Create(filepath.Join(dir, "scratch.bin"))
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// IsStdlib reports whether an import path is standard library,
+	// answered from the build list rather than heuristics.
+	IsStdlib func(path string) bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks every package matched by patterns (run from dir, a
+// directory inside the module) and returns them ready for analysis.
+//
+// It shells out to `go list -deps -export -json`, which compiles each
+// dependency just far enough to produce export data in the build cache,
+// then parses the matched packages from source and type-checks them with
+// the gc importer reading that export data — the same split the real
+// go/analysis driver uses, with the go toolchain itself standing in for
+// golang.org/x/tools (which this build environment does not vendor).
+// Everything works offline; nothing is fetched.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	universe, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listPkg, len(universe))
+	for _, p := range universe {
+		byPath[p.ImportPath] = p
+	}
+	isStdlib := func(path string) bool {
+		p, ok := byPath[path]
+		return ok && p.Standard
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		p, ok := byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("analysis: loading %s: %s", t.ImportPath, t.Error.Err)
+		}
+		meta := byPath[t.ImportPath]
+		if meta == nil {
+			meta = t
+		}
+		if len(meta.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkFromSource(fset, meta, imp, isStdlib)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// checkFromSource parses meta's files and type-checks them against
+// export data for every import.
+func checkFromSource(fset *token.FileSet, meta *listPkg, imp types.Importer, isStdlib func(string) bool) (*Package, error) {
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(meta.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", meta.ImportPath, err)
+	}
+	return &Package{
+		Path:      meta.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+		IsStdlib:  isStdlib,
+	}, nil
+}
+
+// NewTypesInfo allocates the full set of type-checker result maps the
+// analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// goList runs `go list -json=<fields> args...` in dir and decodes the
+// JSON stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmdArgs := append([]string{"list", "-json=ImportPath,Dir,Export,GoFiles,Standard,Error"}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// findings.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		IsStdlib:  pkg.IsStdlib,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return pass.Diagnostics(), nil
+}

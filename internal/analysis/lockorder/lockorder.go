@@ -1,0 +1,361 @@
+// Package lockorder machine-checks the WAL's locking contract, which
+// wal.go states in prose: "Lock order: syncMu before mu, never the
+// reverse", and fsyncs run outside mu — Append runs under the serving
+// layer's hot-tail lock, so an fsync reachable while mu is held stalls
+// every hot-tail query behind the disk.
+//
+// Concretely, in packages named wal the analyzer reports:
+//
+//   - any syncMu.Lock() reachable while mu is held (directly or through
+//     a same-package callee), and
+//   - any fsync — a call to a method named Sync or Fsync that is not a
+//     function declared in the package — reachable while mu is held.
+//
+// The analysis is a linear walk of each function body tracking which of
+// the two mutexes are held (defers of Unlock keep the mutex held to the
+// end of the function, branches that return are discarded), combined
+// with a transitive may-fsync / may-acquire-syncMu summary over the
+// package's call graph. Deliberate exceptions (rotation seals the old
+// segment file under mu by design) carry //ppqvet:allow lockorder
+// waivers with justifications; a waived call site contributes nothing
+// to its callers' summaries.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ppqtraj/internal/analysis"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "in the WAL, never acquire syncMu (or reach an fsync) while mu is held; the only order is syncMu before mu",
+	Run:  run,
+}
+
+// summary is one function's transitive locking facts.
+type summary struct {
+	acquiresSyncMu bool
+	fsyncs         bool
+	calls          []types.Object // same-package callees (unsuppressed sites)
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() != "wal" {
+		return nil
+	}
+
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	sums := map[types.Object]*summary{}
+	for obj, fd := range decls {
+		sums[obj] = directFacts(pass, decls, fd)
+	}
+	// Fixpoint: propagate facts through same-package calls.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			for _, callee := range s.calls {
+				cs, ok := sums[callee]
+				if !ok {
+					continue
+				}
+				if cs.acquiresSyncMu && !s.acquiresSyncMu {
+					s.acquiresSyncMu, changed = true, true
+				}
+				if cs.fsyncs && !s.fsyncs {
+					s.fsyncs, changed = true, true
+				}
+			}
+		}
+	}
+
+	for obj, fd := range decls {
+		w := &walker{pass: pass, decls: decls, sums: sums, self: obj}
+		w.walkStmts(fd.Body.List, map[string]bool{})
+	}
+	return nil
+}
+
+// directFacts computes one function's own facts and call edges, skipping
+// waived sites. Function-literal bodies are excluded: a closure's
+// locking behavior belongs to whoever eventually runs it.
+func directFacts(pass *analysis.Pass, decls map[types.Object]*ast.FuncDecl, fd *ast.FuncDecl) *summary {
+	s := &summary{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.Suppressed(call.Pos()) {
+			return true
+		}
+		if mx, method := mutexOp(call); mx == "syncMu" && method == "Lock" {
+			s.acquiresSyncMu = true
+			return true
+		}
+		callee := analysis.Callee(pass.TypesInfo, call)
+		if callee != nil {
+			if _, declared := decls[callee]; declared {
+				s.calls = append(s.calls, callee)
+				return true
+			}
+		}
+		if isRawFsync(call, callee) {
+			s.fsyncs = true
+		}
+		return true
+	})
+	return s
+}
+
+// mutexOp decodes expressions of the shape <path>.mu.Lock() into the
+// mutex field name and the method, ("", "") otherwise.
+func mutexOp(call *ast.CallExpr) (mutex, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	method = sel.Sel.Name
+	if method != "Lock" && method != "Unlock" {
+		return "", ""
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name, method
+	case *ast.Ident:
+		return x.Name, method
+	}
+	return "", ""
+}
+
+// isRawFsync reports whether call is a Sync/Fsync method call that is
+// not a function declared in this package (os.File.Sync, the File seam's
+// Sync, a raw fd fsync).
+func isRawFsync(call *ast.CallExpr, callee types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if name := sel.Sel.Name; name != "Sync" && name != "Fsync" {
+		return false
+	}
+	// A mutex method can never be named Sync; anything reaching here is a
+	// file-ish receiver or an unresolvable callee — treat both as fsync.
+	_ = callee
+	return true
+}
+
+// walker performs the held-set walk over one function.
+type walker struct {
+	pass  *analysis.Pass
+	decls map[types.Object]*ast.FuncDecl
+	sums  map[types.Object]*summary
+	self  types.Object
+}
+
+// walkStmts processes stmts in order, mutating held.
+func (w *walker) walkStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, st := range stmts {
+		w.walkStmt(st, held)
+	}
+}
+
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *walker) walkStmt(st ast.Stmt, held map[string]bool) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		w.checkExpr(st.X, held)
+		if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok {
+			if mx, method := mutexOp(call); mx == "mu" || mx == "syncMu" {
+				held[mx] = method == "Lock"
+			}
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		w.checkExpr(st, held)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.DeferStmt:
+		// Defers run at function exit under an unknowable held set; a
+		// deferred Unlock keeps the mutex held for the rest of the walk.
+	case *ast.GoStmt:
+		// A goroutine does not inherit the spawner's held locks.
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		w.checkExpr(st.Cond, held)
+		before := copyHeld(held)
+		bodyHeld := copyHeld(held)
+		w.walkStmts(st.Body.List, bodyHeld)
+		bodyEnds := terminates(st.Body.List)
+		var elseHeld map[string]bool
+		elseEnds := false
+		if st.Else != nil {
+			elseHeld = copyHeld(before)
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				w.walkStmts(e.List, elseHeld)
+				elseEnds = terminates(e.List)
+			case *ast.IfStmt:
+				w.walkStmt(e, elseHeld)
+			}
+		}
+		switch {
+		case !bodyEnds && st.Else == nil:
+			merge(held, bodyHeld)
+		case !bodyEnds && elseHeld != nil && elseEnds:
+			replace(held, bodyHeld)
+		case bodyEnds && elseHeld != nil && !elseEnds:
+			replace(held, elseHeld)
+		case !bodyEnds && elseHeld != nil:
+			merge(held, bodyHeld)
+			merge(held, elseHeld)
+		case bodyEnds && st.Else == nil:
+			// Fall through with the pre-if state.
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond, held)
+		}
+		inner := copyHeld(held)
+		w.walkStmts(st.Body.List, inner)
+	case *ast.RangeStmt:
+		w.checkExpr(st.X, held)
+		inner := copyHeld(held)
+		w.walkStmts(st.Body.List, inner)
+	case *ast.BlockStmt:
+		w.walkStmts(st.List, held)
+	case *ast.SwitchStmt:
+		if st.Tag != nil {
+			w.checkExpr(st.Tag, held)
+		}
+		w.walkCases(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		w.walkCases(st.Body, held)
+	case *ast.SelectStmt:
+		w.walkCases(st.Body, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(st.Stmt, held)
+	}
+}
+
+func (w *walker) walkCases(body *ast.BlockStmt, held map[string]bool) {
+	for _, cs := range body.List {
+		inner := copyHeld(held)
+		switch cs := cs.(type) {
+		case *ast.CaseClause:
+			w.walkStmts(cs.Body, inner)
+		case *ast.CommClause:
+			w.walkStmts(cs.Body, inner)
+		}
+	}
+}
+
+// merge ORs locked states (conservative toward "held").
+func merge(dst, src map[string]bool) {
+	for k, v := range src {
+		if v {
+			dst[k] = true
+		}
+	}
+}
+
+func replace(dst, src map[string]bool) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// checkExpr reports violations for every call under e given the current
+// held set. Function-literal bodies are walked with an empty held set —
+// when the closure runs is the caller's business.
+func (w *walker) checkExpr(e ast.Node, held map[string]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, map[string]bool{})
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !held["mu"] {
+			return true
+		}
+		if mx, method := mutexOp(call); mx == "syncMu" && method == "Lock" {
+			w.pass.Reportf(call.Pos(),
+				"syncMu.Lock() while mu is held: the WAL's lock order is syncMu before mu, never the reverse")
+			return true
+		}
+		callee := analysis.Callee(w.pass.TypesInfo, call)
+		if callee != nil {
+			if s, declared := w.sums[callee]; declared {
+				if s.acquiresSyncMu {
+					w.pass.Reportf(call.Pos(),
+						"call to %s acquires syncMu while mu is held: the WAL's lock order is syncMu before mu, never the reverse", callee.Name())
+				}
+				if s.fsyncs {
+					w.pass.Reportf(call.Pos(),
+						"call to %s reaches an fsync while mu is held: fsyncs must run outside the log mutex", callee.Name())
+				}
+				return true
+			}
+		}
+		if isRawFsync(call, callee) {
+			w.pass.Reportf(call.Pos(),
+				"fsync while mu is held: fsyncs must run outside the log mutex (hold syncMu across the sync instead)")
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ppqtraj/internal/analysis/analysistest"
+	"ppqtraj/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/wal")
+}

@@ -1,0 +1,181 @@
+// Package metricname enforces the observability naming contract from
+// PR7: every series registered on an obs.Registry is ppq_-prefixed,
+// lower_snake_case, and carries the suffix its instrument kind demands —
+// counters end in _total, histograms carry a unit suffix (_seconds,
+// _bytes, _count, or _points), and gauges never claim _total (that
+// suffix promises monotonicity to every PromQL rate() downstream).
+// Names are checked where they are string literals — at Registry
+// registration calls and in obs.Sample literals emitted by snapshot
+// sources; a name that reaches the registry through a variable is
+// outside the analyzer's reach and must be audited by review.
+package metricname
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"ppqtraj/internal/analysis"
+)
+
+// Analyzer is the metricname check.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "obs.Registry metric names must be ppq_-prefixed snake_case with the kind-appropriate suffix (_total for counters, a unit for histograms)",
+	Run:  run,
+}
+
+// registrationKind maps Registry method names to the naming rule family.
+var registrationKind = map[string]string{
+	"Counter":      "counter",
+	"CounterVec":   "counter",
+	"Gauge":        "gauge",
+	"GaugeFunc":    "gauge",
+	"Histogram":    "histogram",
+	"HistogramVec": "histogram",
+}
+
+var nameRe = regexp.MustCompile(`^ppq_[a-z0-9_]+$`)
+
+var histogramUnits = []string{"_seconds", "_bytes", "_count", "_points"}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRegistration(pass, n)
+			case *ast.CompositeLit:
+				checkSample(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRegistration validates the literal name of a Registry
+// registration call.
+func checkRegistration(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	kind, ok := registrationKind[sel.Sel.Name]
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	recv, okSel := pass.TypesInfo.Selections[sel]
+	if !okSel {
+		return
+	}
+	tname, tpkg := analysis.NamedTypeName(recv.Recv())
+	if tname != "Registry" || tpkg == nil || tpkg.Name() != "obs" {
+		return
+	}
+	name, ok := literalString(call.Args[0])
+	if !ok {
+		return // dynamic name: not checkable here
+	}
+	checkName(pass, call.Args[0].Pos(), kind, name)
+}
+
+// checkSample validates obs.Sample{Name: "...", Kind: ...} literals.
+func checkSample(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tname, tpkg := analysis.NamedTypeName(pass.TypesInfo.TypeOf(lit))
+	if tname != "Sample" || tpkg == nil || tpkg.Name() != "obs" {
+		return
+	}
+	var name string
+	var namePos ast.Expr
+	kind := ""
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Name":
+			if s, ok := literalString(kv.Value); ok {
+				name, namePos = s, kv.Value
+			}
+		case "Kind":
+			switch kindIdent(kv.Value) {
+			case "KindCounter":
+				kind = "counter"
+			case "KindGauge":
+				kind = "gauge"
+			case "KindHistogram":
+				kind = "histogram"
+			}
+		}
+	}
+	if namePos == nil {
+		return
+	}
+	// An elided or dynamic Kind gets only the prefix/charset rules; the
+	// suffix rules need the instrument kind to be visible in the literal.
+	if kind == "" {
+		kind = "unknown"
+	}
+	checkName(pass, namePos.Pos(), kind, name)
+}
+
+// checkName applies the prefix, charset, and kind-suffix rules.
+func checkName(pass *analysis.Pass, pos token.Pos, kind, name string) {
+	if !nameRe.MatchString(name) {
+		pass.Reportf(pos, "metric name %q must match ppq_[a-z0-9_]+ (ppq_ prefix, lower snake_case)", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter %q must end in _total", name)
+		}
+	case "histogram":
+		if !hasHistogramUnit(name) {
+			pass.Reportf(pos, "histogram %q must carry a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "gauge %q must not end in _total (that suffix promises a monotonic counter)", name)
+		}
+	}
+}
+
+func literalString(e ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+func kindIdent(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func hasHistogramUnit(name string) bool {
+	for _, u := range histogramUnits {
+		if strings.HasSuffix(name, u) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"ppqtraj/internal/analysis/analysistest"
+	"ppqtraj/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, metricname.Analyzer, "testdata/m")
+}

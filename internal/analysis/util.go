@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the object a call expression invokes: a package-level
+// function, a method, or nil when the call is through a function value
+// or type conversion the checker cannot pin to one object.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether obj is the function pkgPath.name, with
+// pkgPath matched on the import path exactly.
+func IsPkgFunc(obj types.Object, pkgPath, name string) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ReceiverTypeName returns the name of a method declaration's receiver
+// type ("" for plain functions), with any pointer stripped.
+func ReceiverTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// NamedTypeName returns the name and package of typ's underlying named
+// type, unwrapping one pointer ("", nil when unnamed).
+func NamedTypeName(typ types.Type) (string, *types.Package) {
+	if ptr, ok := typ.(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	return named.Obj().Name(), named.Obj().Pkg()
+}

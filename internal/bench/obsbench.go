@@ -36,14 +36,14 @@ func ObsBench(label string, w io.Writer) ObsRun {
 	run := ObsRun{Label: label, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	reg := obs.NewRegistry()
 
-	c := reg.Counter("bench_counter_total", "bench")
+	c := reg.Counter("ppq_bench_counter_total", "bench")
 	start := time.Now()
 	for i := 0; i < obsBenchIters; i++ {
 		c.Add(1)
 	}
 	run.CounterNs = float64(time.Since(start).Nanoseconds()) / obsBenchIters
 
-	h := reg.Histogram("bench_latency_seconds", "bench", obs.LatencyBuckets)
+	h := reg.Histogram("ppq_bench_latency_seconds", "bench", obs.LatencyBuckets)
 	vals := [8]float64{1e-6, 3e-5, 1e-4, 2e-3, 1e-2, 0.4, 2, 11}
 	start = time.Now()
 	for i := 0; i < obsBenchIters; i++ {
@@ -66,7 +66,7 @@ func ObsBench(label string, w io.Writer) ObsRun {
 	for i := 0; i < 24; i++ {
 		reg.Counter(fmt.Sprintf("bench_family_%d_total", i), "bench").Add(int64(i))
 	}
-	hv := reg.HistogramVec("bench_stage_seconds", "bench", "stage", obs.LatencyBuckets)
+	hv := reg.HistogramVec("ppq_bench_stage_seconds", "bench", "stage", obs.LatencyBuckets)
 	for _, s := range []string{"plan", "scan", "merge", "write"} {
 		hv.With(s).Observe(0.001)
 	}

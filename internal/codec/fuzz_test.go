@@ -1,0 +1,58 @@
+package codec
+
+import "testing"
+
+// FuzzHuffmanRoundTrip derives a frequency table and a message from the
+// fuzz input and checks that Decode(Encode(msg)) == msg for whatever
+// canonical code NewHuffman builds. The alphabet is kept small so the
+// fuzzer spends its budget on code-shape diversity (skewed, uniform,
+// single-symbol) rather than on huge tables.
+func FuzzHuffmanRoundTrip(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3, 3}, []byte{0, 0, 0, 1, 2, 3})
+	f.Add([]byte{2, 0, 100, 1, 1}, []byte{0, 1, 0, 0, 1})
+	f.Add([]byte{1, 42, 100}, []byte{42, 42, 42})
+	f.Add([]byte{5, 0, 5, 1, 3, 2, 2, 3, 1, 4, 1}, []byte{4, 3, 2, 1, 0, 0, 1, 2})
+
+	f.Fuzz(func(t *testing.T, table, msg []byte) {
+		if len(table) == 0 {
+			return
+		}
+		// table = [count, sym0, w0, sym1, w1, ...]; weights are bumped by
+		// one so every listed symbol has nonzero frequency.
+		n := int(table[0]%16) + 1
+		freq := map[uint32]uint64{}
+		for i := 0; i < n && 1+2*i+1 < len(table); i++ {
+			freq[uint32(table[1+2*i])] = uint64(table[1+2*i+1]) + 1
+		}
+		if len(freq) == 0 {
+			return
+		}
+		h, err := NewHuffman(freq)
+		if err != nil {
+			t.Fatalf("NewHuffman(%v): %v", freq, err)
+		}
+		symbols := make([]uint32, 0, len(msg))
+		for _, b := range msg {
+			s := uint32(b)
+			if _, ok := freq[s]; ok {
+				symbols = append(symbols, s)
+			}
+		}
+		buf, nbits, err := h.Encode(symbols)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", symbols, err)
+		}
+		got, err := h.Decode(buf, nbits, len(symbols))
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if len(got) != len(symbols) {
+			t.Fatalf("round-trip length: got %d, want %d", len(got), len(symbols))
+		}
+		for i := range got {
+			if got[i] != symbols[i] {
+				t.Fatalf("round-trip symbol %d: got %d, want %d", i, got[i], symbols[i])
+			}
+		}
+	})
+}

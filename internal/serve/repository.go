@@ -867,6 +867,8 @@ func (r *Repository) Batch(ctx context.Context, reqs []STRQRequest) []STRQAnswer
 	if err := ctx.Err(); err != nil {
 		// ForCtx may have skipped the fan-out entirely; make every
 		// unanswered slot carry the context error.
+		//ppqvet:allow ctxcancel this loop only runs once ctx is already
+		// done — it relabels the answer slice, bounded by len(reqs).
 		for i := range out {
 			if out[i].Source == "" && out[i].Err == "" {
 				out[i] = STRQAnswer{Tick: reqs[i].Tick, Cell: r.QueryCell(reqs[i].P), Err: err.Error()}

@@ -94,7 +94,7 @@ type Options struct {
 	// exercise disk failures deterministically.
 	FS FS
 	// Metrics, when set, registers the log's latency histograms
-	// (ppq_wal_fsync_seconds, ppq_wal_commit_batch) there. Counter-style
+	// (ppq_wal_fsync_seconds, ppq_wal_commit_batch_count) there. Counter-style
 	// stats stay in the log's own atomics — the serving layer bridges
 	// them into snapshots via a registry source.
 	Metrics *obs.Registry
@@ -266,7 +266,7 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 	if opts.Metrics != nil {
 		l.fsyncHist = opts.Metrics.Histogram("ppq_wal_fsync_seconds",
 			"Duration of WAL fsync calls.", obs.LatencyBuckets)
-		l.batchHist = opts.Metrics.Histogram("ppq_wal_commit_batch",
+		l.batchHist = opts.Metrics.Histogram("ppq_wal_commit_batch_count",
 			"Commits acknowledged per group-commit fsync (batching factor).", obs.CountBuckets)
 	}
 
@@ -702,6 +702,11 @@ func (l *Log) syncTo(lsn int64) error {
 
 // rotateLocked seals the active segment (fsync + close) and starts the
 // next one. Called with mu held.
+//
+//ppqvet:allow lockorder rotation must seal the old file before the segment
+// list swaps to the new one, and both have to happen atomically under mu —
+// a rotation is rare (once per SegmentBytes) and bounded, unlike the
+// per-commit sync path the fsync-outside-mu rule exists for.
 func (l *Log) rotateLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return l.fail(fmt.Errorf("wal: rotate fsync: %w", err))
@@ -793,6 +798,12 @@ func (l *Log) syncLoop() {
 
 // Close fsyncs and closes the active segment and stops the background
 // sync. The log must not be used afterwards.
+//
+// The closing fsync follows the same discipline as syncTo: syncMu is
+// taken first (serializing against any in-flight Commit/Sync, so the
+// file cannot be closed under a racing fsync), mu is released across
+// the disk wait, and the final close happens back under mu. ppqvet's
+// lockorder analyzer enforces exactly this shape.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -803,15 +814,27 @@ func (l *Log) Close() error {
 	close(l.stopSync)
 	l.syncWG.Wait()
 
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	if l.closed { // lost a Close race while waiting on syncMu
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	f := l.f
+	written := l.written
+	l.mu.Unlock()
+
+	err := f.Sync()
+
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.closed = true
-	err := l.f.Sync()
 	if err == nil {
 		l.syncs.Add(1)
-		l.synced = l.written
+		l.synced = written
 	}
-	if cerr := l.f.Close(); err == nil {
+	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	return err

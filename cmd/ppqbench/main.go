@@ -21,6 +21,10 @@
 // (never / interval / always) plus crash-replay speed; the window
 // experiment replays 512-tick window queries through the per-tick and
 // range-scan executors and records the speedup plus zone-map skip rates;
+// the exec experiment replays the same 512-tick windows through the
+// fused range pipeline and the composed iterator executor on one warmed
+// repository, cross-checking every answer and recording the iter/fused
+// ratio plus plan/operator telemetry;
 // the load experiment sweeps an open-loop offered-QPS ladder against a
 // fully-armed server (fsync=always, group commit, admission control)
 // recording served QPS, shed rate, and latency percentiles per rung.
@@ -38,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, window, load, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, window, exec, load, all)")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
 	queries := flag.Int("queries", 0, "override query/probe/window count (0 = scale default)")
 	jsonPath := flag.String("json", "", "perf/serve/cache/wal/window only: append the run to this JSON history file")
@@ -151,6 +155,18 @@ func main() {
 		}
 		fmt.Fprintf(w, "[window completed in %.1fs]\n\n", time.Since(start).Seconds())
 	}
+	if *exp == "exec" {
+		start := time.Now()
+		if *jsonPath != "" {
+			if err := bench.AppendExec(*jsonPath, *label, *queries, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.ExecBench(*label, *queries, w)
+		}
+		fmt.Fprintf(w, "[exec completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 	if *exp == "obs" {
 		start := time.Now()
 		if *jsonPath != "" {
@@ -166,7 +182,7 @@ func main() {
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window", "load", "obs":
+		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window", "exec", "load", "obs":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

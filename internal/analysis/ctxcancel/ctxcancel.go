@@ -12,11 +12,18 @@
 // already-materialized data through stdlib helpers (sort, append, map
 // merges) are bounded by their inputs and exempt — requiring a ctx
 // check per merge iteration would be noise, not safety.
+//
+// The executor's iterators carry their context as a receiver field
+// rather than a parameter (the Iterator contract's Next takes no
+// arguments), so in exec packages every Next method is held to the same
+// rule: a Next loop that calls module code must observe a context —
+// the receiver's ctx field counts, exactly like a parameter.
 package ctxcancel
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"ppqtraj/internal/analysis"
 )
@@ -35,7 +42,7 @@ func run(pass *analysis.Pass) error {
 			if !ok || fd.Body == nil || !fd.Name.IsExported() {
 				continue
 			}
-			if !takesContext(pass, fd) {
+			if !takesContext(pass, fd) && !isIteratorNext(pass, fd) {
 				continue
 			}
 			checkLoops(pass, fd, fd.Body, false)
@@ -57,6 +64,17 @@ func takesContext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
 func isContextType(t types.Type) bool {
 	name, pkg := analysis.NamedTypeName(t)
 	return name == "Context" && pkg != nil && pkg.Path() == "context"
+}
+
+// isIteratorNext reports whether fd is an iterator Next method in an
+// exec package — the pull-based operator contract, whose context lives
+// on the receiver instead of in the parameter list.
+func isIteratorNext(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Name.Name != "Next" || fd.Recv == nil || pass.Pkg == nil {
+		return false
+	}
+	path := pass.Pkg.Path()
+	return path == "exec" || strings.HasSuffix(path, "/exec")
 }
 
 // checkLoops walks node flagging loops that do module-local work without

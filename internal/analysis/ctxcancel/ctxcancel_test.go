@@ -10,3 +10,10 @@ import (
 func TestCtxCancel(t *testing.T) {
 	analysistest.Run(t, ctxcancel.Analyzer, "testdata/a")
 }
+
+// TestCtxCancelExecIterators covers the iterator rule: in exec
+// packages, Next methods are checked even though the context lives on
+// the receiver rather than in the parameter list.
+func TestCtxCancelExecIterators(t *testing.T) {
+	analysistest.Run(t, ctxcancel.Analyzer, "testdata/exec")
+}

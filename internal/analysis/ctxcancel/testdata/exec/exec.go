@@ -1,0 +1,67 @@
+// Package exec is a fixture for the ctxcancel analyzer's iterator rule:
+// in exec packages, every Next method's loop that does module-local
+// work must observe a context — the receiver's ctx field counts.
+package exec
+
+import "context"
+
+type batch struct{ ticks []int }
+
+type source struct {
+	ctx   context.Context
+	cells []int
+}
+
+// decode stands in for module-local per-pull work.
+func (s *source) decode(cell int) int { return cell * 2 }
+
+// Next observes the receiver's ctx field each iteration: clean.
+func (s *source) Next() (*batch, bool) {
+	for _, c := range s.cells {
+		if s.ctx.Err() != nil {
+			return nil, false
+		}
+		s.decode(c)
+	}
+	return nil, false
+}
+
+type leaky struct {
+	ctx   context.Context
+	cells []int
+}
+
+func (l *leaky) decode(cell int) int { return cell * 2 }
+
+// Next loops over module work without ever consulting a context.
+func (l *leaky) Next() (*batch, bool) {
+	for _, c := range l.cells { // want `loop in exported Next calls module code without observing a context`
+		l.decode(c)
+	}
+	return nil, false
+}
+
+type clipper struct {
+	ctx context.Context
+	ids []int
+}
+
+// Next only shuffles materialized data through builtins; exempt.
+func (c *clipper) Next() (*batch, bool) {
+	out := make([]int, 0, len(c.ids))
+	for _, id := range c.ids {
+		out = append(out, id)
+	}
+	return &batch{ticks: out}, len(out) > 0
+}
+
+// Pull is not a Next method and takes no context: out of scope.
+func (c *clipper) Pull() int {
+	n := 0
+	for _, id := range c.ids {
+		n += c.decodeish(id)
+	}
+	return n
+}
+
+func (c *clipper) decodeish(id int) int { return id }

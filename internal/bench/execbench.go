@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"sort"
+	"time"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+)
+
+// ExecRun is one fused-vs-iterator executor comparison: the same set of
+// 512-tick window queries is replayed through the hand-fused STRQRange
+// pipeline and through the composed iterator plans on ONE warmed
+// repository (SetExecutor flips the live executor between passes, so
+// caches, segments, and zone maps are identical). The recorded ratio is
+// the iterator's overhead on the median window — the acceptance bar is
+// staying within ~10% of the fused floor.
+type ExecRun struct {
+	Label      string  `json:"label"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Points     int     `json:"points"`
+	Segments   int     `json:"segments"`
+	SpanTicks  int     `json:"span_ticks"`
+	Windows    int     `json:"windows"`
+	FusedMS    float64 `json:"fused_ms_median"`
+	IterMS     float64 `json:"iter_ms_median"`
+	// IterOverFused is iter median / fused median (1.0 = parity, lower
+	// is an iterator win).
+	IterOverFused float64 `json:"iter_over_fused"`
+	// Plans and Operators are the iterator executor's telemetry across
+	// the replay: composed plans and total operators.
+	Plans     int64 `json:"plans"`
+	Operators int64 `json:"operators"`
+}
+
+// ExecBench builds the staggered window workload once, then replays
+// `windows` fixed 512-tick windows through each executor. Every window's
+// answer is cross-checked between executors — a divergence panics, so
+// the perf number can never be recorded for a wrong answer. windows ≤ 0
+// selects the 16-window default. Human-readable lines go to w (nil for
+// silent).
+func ExecBench(label string, windows int, w io.Writer) ExecRun {
+	cols := windowData()
+	if windows <= 0 {
+		windows = 16
+	}
+	points := 0
+	for _, col := range cols {
+		points += col.Len()
+	}
+	run := ExecRun{
+		Label:      label,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Points:     points,
+		SpanTicks:  windowSpanTicks,
+		Windows:    windows,
+	}
+
+	repo, err := serve.Open(serve.Options{
+		Build:           perfOpts(partition.Spatial),
+		Index:           indexOptions(Porto),
+		HotTicks:        64,
+		MaxSegmentTicks: 64,
+		CompactInterval: time.Hour, // compaction driven by the final Flush only
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer repo.Close()
+	for _, col := range cols {
+		if err := repo.IngestColumn(col); err != nil {
+			panic(err)
+		}
+	}
+	if err := repo.Flush(); err != nil {
+		panic(err)
+	}
+	run.Segments = repo.Stats().Segments
+
+	// The window set mirrors WindowBench: rects a few g_c cells wide on
+	// sampled data positions, plus one far off the data so the planner's
+	// pruning path is exercised too.
+	rng := rand.New(rand.NewSource(777))
+	gc := indexOptions(Porto).GC
+	lastTick := cols[len(cols)-1].Tick
+	type win struct {
+		rect     geo.Rect
+		from, to int
+	}
+	wins := make([]win, windows)
+	for i := range wins {
+		col := cols[rng.Intn(len(cols))]
+		p := col.Points[rng.Intn(col.Len())]
+		half := gc * (2 + 2*rng.Float64())
+		from := rng.Intn(max(1, lastTick-windowSpanTicks+1))
+		wins[i] = win{
+			rect: geo.Rect{MinX: p.X - half, MinY: p.Y - half, MaxX: p.X + half, MaxY: p.Y + half},
+			from: from, to: from + windowSpanTicks - 1,
+		}
+	}
+	wins[len(wins)-1].rect = geo.Rect{MinX: 20, MinY: 20, MaxX: 20.01, MaxY: 20.01}
+
+	ctx := context.Background()
+	replay := func() float64 {
+		times := make([]float64, len(wins))
+		for i, wn := range wins {
+			start := time.Now()
+			if _, err := repo.Window(ctx, wn.rect, wn.from, wn.to, false); err != nil {
+				panic(err)
+			}
+			times[i] = time.Since(start).Seconds() * 1e3
+		}
+		sort.Float64s(times)
+		return times[len(times)/2]
+	}
+	median := func(xs []float64) float64 {
+		sort.Float64s(xs)
+		return xs[len(xs)/2]
+	}
+	setExec := func(name string) {
+		if err := repo.SetExecutor(name); err != nil {
+			panic(err)
+		}
+	}
+
+	// Equivalence guard before any timing: both executors must agree on
+	// every window, point for point. This pass also warms the
+	// decoded-cell cache for both timed replays.
+	for _, wn := range wins {
+		setExec(serve.ExecutorFused)
+		fr, err := repo.Window(ctx, wn.rect, wn.from, wn.to, false)
+		if err != nil {
+			panic(err)
+		}
+		setExec(serve.ExecutorIter)
+		ir, err := repo.Window(ctx, wn.rect, wn.from, wn.to, false)
+		if err != nil {
+			panic(err)
+		}
+		if !reflect.DeepEqual(fr.IDs, ir.IDs) || fr.Ticks != ir.Ticks {
+			panic(fmt.Sprintf("bench: executor divergence on rect %+v span %d..%d: fused %d ids / %d ticks, iter %d ids / %d ticks",
+				wn.rect, wn.from, wn.to, len(fr.IDs), fr.Ticks, len(ir.IDs), ir.Ticks))
+		}
+	}
+
+	before := repo.Stats().Window
+	setExec(serve.ExecutorFused)
+	fused := make([]float64, windowWarmPasses)
+	for p := range fused {
+		fused[p] = replay()
+	}
+	run.FusedMS = median(fused)
+	setExec(serve.ExecutorIter)
+	iter := make([]float64, windowWarmPasses)
+	for p := range iter {
+		iter[p] = replay()
+	}
+	run.IterMS = median(iter)
+	if run.FusedMS > 0 {
+		run.IterOverFused = run.IterMS / run.FusedMS
+	}
+	after := repo.Stats().Window
+	run.Plans = after.Plans - before.Plans
+	run.Operators = after.Operators - before.Operators
+
+	fprintf(w, "== exec: %s (GOMAXPROCS=%d, %d points, %d segments, %d windows × %d ticks) ==\n",
+		label, run.GoMaxProcs, run.Points, run.Segments, run.Windows, run.SpanTicks)
+	fprintf(w, "  fused            %12.2f ms/window (median of %d passes, warm)\n", run.FusedMS, windowWarmPasses)
+	fprintf(w, "  iter             %12.2f ms/window (median of %d passes, warm)\n", run.IterMS, windowWarmPasses)
+	fprintf(w, "  iter/fused       %12.2fx (acceptance bar ≤ ~1.10)\n", run.IterOverFused)
+	fprintf(w, "  iter telemetry   %d plans, %d operators (%.1f operators/plan)\n",
+		run.Plans, run.Operators, float64(run.Operators)/float64(max(1, int(run.Plans))))
+	return run
+}
+
+// AppendExec runs ExecBench and appends the result to the JSON history
+// at path (sharing the file with the other experiment runs).
+func AppendExec(path, label string, windows int, w io.Writer) error {
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.ExecRuns = append(pf.ExecRuns, ExecBench(label, windows, w))
+	return writePerfFile(path, &pf)
+}

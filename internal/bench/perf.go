@@ -59,6 +59,10 @@ type PerfFile struct {
 	// counter increment / histogram observation / trace lap (ppqbench
 	// -experiment obs).
 	ObsRuns []ObsRun `json:"obs_runs,omitempty"`
+	// ExecRuns tracks the iterator executor against the fused floor on
+	// the 512-tick window replay: medians per executor, their ratio, and
+	// the iterator's plan/operator telemetry (ppqbench -experiment exec).
+	ExecRuns []ExecRun `json:"exec_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.

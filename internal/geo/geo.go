@@ -198,6 +198,30 @@ func (r Rect) Expand(d float64) Rect {
 	return Rect{MinX: r.MinX - d, MinY: r.MinY - d, MaxX: r.MaxX + d, MaxY: r.MaxY + d}
 }
 
+// DistToRect is the Euclidean distance from p to the closed rectangle r
+// (zero when p is inside).
+func (p Point) DistToRect(r Rect) float64 {
+	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
+	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MinDist is the minimum distance between the closed rectangles r and s
+// (zero when they overlap or touch).
+func (r Rect) MinDist(s Rect) float64 {
+	dx := math.Max(0, math.Max(s.MinX-r.MaxX, r.MinX-s.MaxX))
+	dy := math.Max(0, math.Max(s.MinY-r.MaxY, r.MinY-s.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MaxDist is the maximum over points p of r of dist(p, s); for
+// axis-aligned rectangles both axis terms are maximized at a corner.
+func (r Rect) MaxDist(s Rect) float64 {
+	dx := math.Max(0, math.Max(s.MinX-r.MinX, r.MaxX-s.MaxX))
+	dy := math.Max(0, math.Max(s.MinY-r.MinY, r.MaxY-s.MaxY))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
 // String implements fmt.Stringer.
 func (r Rect) String() string {
 	return fmt.Sprintf("[%.6f,%.6f]x[%.6f,%.6f]", r.MinX, r.MaxX, r.MinY, r.MaxY)

@@ -67,8 +67,12 @@ func (pi *PI) ScanRange(area geo.Rect, from, to int, st *ScanStats, visit func(c
 		if !r.Rect.Intersects(area) {
 			continue
 		}
-		x0, y0, x1, y1 := r.cellRange(area)
-		scan := func(k cellKey, ci int32) bool {
+		// A sealed region carries an (X, Y)-sorted cell directory: the
+		// walk (forEachCellIn, shared with RangeCursor) binary-searches
+		// each X column's band instead of hashing every candidate
+		// coordinate of the scan rectangle. Emission order across cells
+		// is unspecified either way — callers bucket per tick and sort.
+		ok := r.forEachCellIn(area, func(k cellKey, ci int32) bool {
 			c := r.cellPtr(ci)
 			if !pi.cellMayOverlap(c, from, to) {
 				st.CellsSkipped++
@@ -80,53 +84,9 @@ func (pi *PI) ScanRange(area geo.Rect, from, to int, st *ScanStats, visit func(c
 			}
 			st.CellsScanned++
 			return pi.scanCell(int32(ri), ci, c, from, to, st, emit)
-		}
-		// A sealed region carries an (X, Y)-sorted cell directory: walk
-		// the populated cells of each X column via binary search instead
-		// of hashing every candidate coordinate of the scan rectangle.
-		// Emission order across cells is unspecified either way — callers
-		// bucket per tick and sort.
-		if len(r.dir) > 0 {
-			i := sort.Search(len(r.dir), func(i int) bool {
-				k := r.dir[i].key
-				return k.X > x0 || (k.X == x0 && k.Y >= y0)
-			})
-			for i < len(r.dir) && r.dir[i].key.X <= x1 {
-				k := r.dir[i].key
-				switch {
-				case k.Y > y1:
-					// Past this column's band: jump to the next column.
-					i += sort.Search(len(r.dir)-i, func(j int) bool {
-						return r.dir[i+j].key.X > k.X
-					})
-					continue
-				case k.Y < y0:
-					// Below the band: jump to the band's start within the
-					// column (or past the column).
-					i += sort.Search(len(r.dir)-i, func(j int) bool {
-						kj := r.dir[i+j].key
-						return kj.X > k.X || kj.Y >= y0
-					})
-					continue
-				}
-				if !scan(k, r.dir[i].ci) {
-					return false
-				}
-				i++
-			}
-			continue
-		}
-		for x := x0; x <= x1; x++ {
-			for y := y0; y <= y1; y++ {
-				k := cellKey{x, y}
-				ci, ok := r.cells[k]
-				if !ok {
-					continue
-				}
-				if !scan(k, ci) {
-					return false
-				}
-			}
+		})
+		if !ok {
+			return false
 		}
 	}
 	return true

@@ -10,7 +10,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
@@ -149,12 +148,9 @@ type STRQResult struct {
 }
 
 // distToRect is the Euclidean distance from p to the closed rectangle r
-// (zero when p is inside).
-func distToRect(p geo.Point, r geo.Rect) float64 {
-	dx := math.Max(0, math.Max(r.MinX-p.X, p.X-r.MaxX))
-	dy := math.Max(0, math.Max(r.MinY-p.Y, p.Y-r.MaxY))
-	return math.Sqrt(dx*dx + dy*dy)
-}
+// (zero when p is inside). Alias of geo.Point.DistToRect, shared with
+// the iterator executor's margin filter so the two paths cannot drift.
+func distToRect(p geo.Point, r geo.Rect) float64 { return p.DistToRect(r) }
 
 // STRQ answers "which trajectories were in the g_c cell of p at tick t".
 // With exact=false it returns the local-search candidate list filtered by

@@ -4,7 +4,6 @@ import (
 	"cmp"
 	"context"
 	"fmt"
-	"math"
 	"slices"
 
 	"ppqtraj/internal/geo"
@@ -63,22 +62,6 @@ const (
 	cellAll
 )
 
-// minDistRectToRect is the minimum distance between two rectangles (zero
-// when they overlap or touch).
-func minDistRectToRect(a, b geo.Rect) float64 {
-	dx := math.Max(0, math.Max(b.MinX-a.MaxX, a.MinX-b.MaxX))
-	dy := math.Max(0, math.Max(b.MinY-a.MaxY, a.MinY-b.MaxY))
-	return math.Sqrt(dx*dx + dy*dy)
-}
-
-// maxDistRectToRect is the maximum over points p of cell of dist(p, rect);
-// for axis-aligned rectangles both axis terms are maximized at a corner.
-func maxDistRectToRect(cell, rect geo.Rect) float64 {
-	dx := math.Max(0, math.Max(rect.MinX-cell.MinX, cell.MaxX-rect.MaxX))
-	dy := math.Max(0, math.Max(rect.MinY-cell.MinY, cell.MaxY-rect.MaxY))
-	return math.Sqrt(dx*dx + dy*dy)
-}
-
 // idTick is one (trajectory, tick) verification unit of the exact batch.
 type idTick struct {
 	id   traj.ID
@@ -132,13 +115,13 @@ func (e *Engine) STRQRange(ctx context.Context, rect geo.Rect, from, to int, exa
 		if ctxErr != nil {
 			return false
 		}
-		if minDistRectToRect(cell, rect) > m+1e-12 {
+		if cell.MinDist(rect) > m+1e-12 {
 			// No reconstruction inside this cell can pass the margin
 			// filter: LookupArea's expanded area over-approximates the
 			// Euclidean margin at the corners.
 			return false
 		}
-		if maxDistRectToRect(cell, rect) <= m {
+		if cell.MaxDist(rect) <= m {
 			class = cellAll
 		} else {
 			class = cellCheck

@@ -37,6 +37,11 @@ type repoMetrics struct {
 	winCellsScanned *obs.Counter
 	winCellsSkipped *obs.Counter
 
+	execPlans      *obs.Counter
+	execOperators  *obs.Counter
+	execOpsPerPlan *obs.Histogram
+	execOpRows     *obs.Histogram
+
 	slowQueries *obs.Counter
 
 	batchPoints *obs.Histogram
@@ -75,6 +80,14 @@ func newRepoMetrics(reg *obs.Registry) *repoMetrics {
 			"Populated index cells window scans walked."),
 		winCellsSkipped: reg.Counter("ppq_window_cells_skipped_total",
 			"Populated index cells window scans pruned before any decode."),
+		execPlans: reg.Counter("ppq_exec_plans_total",
+			"Window plans executed by the iterator executor."),
+		execOperators: reg.Counter("ppq_exec_operators_total",
+			"Operators composed across iterator window plans."),
+		execOpsPerPlan: reg.Histogram("ppq_exec_operators_per_plan_count",
+			"Operators composed per iterator window plan.", obs.CountBuckets),
+		execOpRows: reg.Histogram("ppq_exec_operator_rows_count",
+			"Rows emitted per operator aggregate of an iterator window plan.", obs.CountBuckets),
 		slowQueries: reg.Counter("ppq_slow_requests_total",
 			"Requests that exceeded the slow-query threshold."),
 		batchPoints: reg.Histogram("ppq_ingest_batch_points",
@@ -231,6 +244,8 @@ func (r *Repository) statsFromSnapshot(snap *obs.Snapshot) Stats {
 			SegmentsSkipped: snap.Int("ppq_window_segments_skipped_total"),
 			CellsScanned:    snap.Int("ppq_window_cells_scanned_total"),
 			CellsSkipped:    snap.Int("ppq_window_cells_skipped_total"),
+			Plans:           snap.Int("ppq_exec_plans_total"),
+			Operators:       snap.Int("ppq_exec_operators_total"),
 		},
 		Admission: admit.Stats{
 			Ingest: admit.GateStats{
@@ -312,15 +327,15 @@ func (ro *reqObs) finish() {
 // line per offending request, structured so a log pipeline can aggregate
 // stages and facts without parsing prose.
 type slowQueryLine struct {
-	TS       string           `json:"ts"`
-	Level    string           `json:"level"`
-	Msg      string           `json:"msg"`
-	Endpoint string           `json:"endpoint"`
-	Client   string           `json:"client,omitempty"`
-	WallMs   float64          `json:"wall_ms"`
-	StagedMs float64          `json:"staged_ms"`
+	TS       string            `json:"ts"`
+	Level    string            `json:"level"`
+	Msg      string            `json:"msg"`
+	Endpoint string            `json:"endpoint"`
+	Client   string            `json:"client,omitempty"`
+	WallMs   float64           `json:"wall_ms"`
+	StagedMs float64           `json:"staged_ms"`
 	Stages   []obs.StageReport `json:"stages"`
-	Facts    map[string]int64 `json:"facts,omitempty"`
+	Facts    map[string]int64  `json:"facts,omitempty"`
 }
 
 func (r *Repository) emitSlowQuery(ro *reqObs, rep *obs.TraceReport) {

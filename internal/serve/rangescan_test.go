@@ -309,18 +309,21 @@ func TestZoneMapPersistenceAndRebuild(t *testing.T) {
 func TestZoneMapRejectsCorruptSidecar(t *testing.T) {
 	dir := t.TempDir()
 	gc := geo.MetersToDegrees(100)
-	good := &ZoneMap{Version: zoneMapVersion, GC: gc, TickLo: 0, TickHi: 9,
-		Bounds: geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, X0: 0, Y0: 0, W: 2, H: 2, Bits: []byte{0xf}}
+	// ZoneMap holds an atomic counter, so each trial builds a fresh value
+	// instead of copying one.
+	good := func() *ZoneMap {
+		return &ZoneMap{Version: zoneMapVersion, GC: gc, TickLo: 0, TickHi: 9,
+			Bounds: geo.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, X0: 0, Y0: 0, W: 2, H: 2, Bits: []byte{0xf}}
+	}
 	for name, mutate := range map[string]func(z *ZoneMap){
 		"negative-w":    func(z *ZoneMap) { z.W, z.H = -4, -2 },
 		"short-bits":    func(z *ZoneMap) { z.W, z.H, z.Bits = 100, 100, []byte{1} },
 		"wrong-version": func(z *ZoneMap) { z.Version = 99 },
 		"wrong-gc":      func(z *ZoneMap) { z.GC = gc * 2 },
 	} {
-		z := *good
-		z.Bits = append([]byte(nil), good.Bits...)
-		mutate(&z)
-		blob, err := json.Marshal(&z)
+		z := good()
+		mutate(z)
+		blob, err := json.Marshal(z)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -331,7 +334,7 @@ func TestZoneMapRejectsCorruptSidecar(t *testing.T) {
 			t.Fatalf("%s: corrupt sidecar accepted", name)
 		}
 	}
-	blob, err := json.Marshal(good)
+	blob, err := json.Marshal(good())
 	if err != nil {
 		t.Fatal(err)
 	}

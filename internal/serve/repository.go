@@ -18,11 +18,11 @@ import (
 	"ppqtraj/internal/admit"
 	"ppqtraj/internal/cache"
 	"ppqtraj/internal/core"
+	"ppqtraj/internal/exec"
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/index"
 	"ppqtraj/internal/obs"
 	"ppqtraj/internal/par"
-	"ppqtraj/internal/query"
 	"ppqtraj/internal/traj"
 	"ppqtraj/internal/wal"
 )
@@ -120,7 +120,20 @@ type Options struct {
 	// wall time meets or exceeds it emits one structured JSON log line
 	// with its full per-stage breakdown. 0 disables the slow-query log.
 	SlowQuery time.Duration
+	// Executor selects the window executor: ExecutorIter (the default)
+	// runs composed internal/exec iterator plans; ExecutorFused runs the
+	// hand-fused STRQRange pipeline, kept compiled in as the benchmark
+	// floor and transition escape hatch. Both produce point-for-point
+	// identical answers (the equivalence suite enforces it); SetExecutor
+	// switches a live repository.
+	Executor string
 }
+
+// Window executor names accepted by Options.Executor and SetExecutor.
+const (
+	ExecutorFused = "fused"
+	ExecutorIter  = "iter"
+)
 
 // DefaultCacheBytes is the decoded-cell cache budget used when
 // Options.CacheBytes is 0.
@@ -165,6 +178,13 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Log == nil {
 		o.Log = obs.NewLogger(os.Stderr, obs.LevelInfo, obs.FormatText)
+	}
+	switch o.Executor {
+	case "":
+		o.Executor = ExecutorIter
+	case ExecutorFused, ExecutorIter:
+	default:
+		return o, fmt.Errorf("serve: unknown executor %q (want %q or %q)", o.Executor, ExecutorFused, ExecutorIter)
 	}
 	return o, nil
 }
@@ -242,6 +262,12 @@ type Repository struct {
 	// draining flips when shutdown starts: /readyz reports 503 so load
 	// balancers stop routing while in-flight requests finish.
 	draining atomic.Bool
+
+	// execIter selects the live window executor (true = iterator plans,
+	// false = fused STRQRange). Atomic so SetExecutor can flip it under
+	// concurrent queries — both executors answer identically, so a
+	// mid-stream flip is safe.
+	execIter atomic.Bool
 }
 
 // Open creates a repository (reloading persisted segments when opts.Dir
@@ -268,6 +294,7 @@ func Open(opts Options) (*Repository, error) {
 		met:           newRepoMetrics(opts.Metrics),
 		log:           opts.Log,
 	}
+	r.execIter.Store(opts.Executor == ExecutorIter)
 	obs.RegisterRuntime(r.met.reg)
 	if opts.CacheBytes > 0 {
 		r.cells = cache.New(opts.CacheBytes)
@@ -900,31 +927,39 @@ func (r *Repository) Path(ctx context.Context, id traj.ID, from, l int) Path {
 	}
 }
 
-// pathFrom is one stitching pass over a fixed routing view.
+// pathFrom is one stitching pass over a fixed routing view. The walk
+// shares the window planner's span splitter (exec.SplitSpan), so the
+// two layers agree on segment-boundary clipping by construction.
 func (r *Repository) pathFrom(segs []*Segment, sealed int, id traj.ID, from, l int) Path {
 	out := Path{Start: from}
 	started := false
+	gap := false
 	cursor := from
 	end := from + l
-	for _, s := range segs {
-		if cursor >= end {
-			break
+	exec.SplitSpan(from, end-1, len(segs), func(i int) exec.TickRange {
+		return exec.TickRange{Lo: segs[i].StartTick, Hi: segs[i].EndTick}
+	}, func(i int, sub exec.TickRange) {
+		// A segment entirely behind the stitch cursor (or any segment
+		// once the path is complete or broken) contributes nothing.
+		if gap || cursor >= end || sub.Hi < cursor {
+			return
 		}
-		if s.EndTick < cursor || s.StartTick >= end {
-			continue
-		}
-		pts, st := s.reconstructedPath(id, cursor, end-cursor)
+		pts, st := segs[i].reconstructedPath(id, cursor, end-cursor)
 		if len(pts) == 0 {
-			continue
+			return
 		}
 		if !started {
 			out.Start = st
 			started = true
 		} else if st != out.Start+len(out.Points) {
-			return out // gap: trajectory ended and this is another life of the ID
+			gap = true // trajectory ended and this is another life of the ID
+			return
 		}
 		out.Points = append(out.Points, pts...)
 		cursor = st + len(pts)
+	})
+	if gap {
+		return out
 	}
 	if cursor < end && cursor > sealed || !started {
 		hotFrom := cursor
@@ -1007,47 +1042,35 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 		}
 		segs, sealed := r.view()
 
-		type scanShard struct {
-			seg    *Segment
-			lo, hi int
+		// Greedy statistics-free plan: split the span at segment
+		// boundaries, score each sub-span by zone-map selectivity
+		// (populated-cell overlap × tick-span overlap), prune scans the
+		// zone map proves empty, and order the rest largest first so the
+		// parallel fan-out's tail stays short.
+		ordered, pruned := planWindow(segs, rect, from, to)
+		sources := len(ordered) + len(pruned)
+		skipped := len(pruned)
+		skippedTicks := 0
+		for _, p := range pruned {
+			skippedTicks += segs[p.ID].Eng.Idx.CoveredTicks(p.Span.Lo, p.Span.Hi)
 		}
-		var (
-			shards       []scanShard
-			sources      int
-			skipped      int
-			skippedTicks int
-		)
-		for _, s := range segs {
-			lo, hi := max(from, s.StartTick), min(to, s.EndTick)
-			if lo > hi {
-				continue
-			}
-			sources++
-			// Zone-map pruning: the scan's candidate cells all lie inside
-			// rect expanded by the segment's local-search margin, so a
-			// zone map disjoint from that area cannot contribute — only
-			// the covered-tick accounting survives. The extra epsilon
-			// mirrors the candidate filter's slop and absorbs any
-			// floating-point disagreement between the zone map's global
-			// grid and the index's region-anchored cell ranges.
-			if !s.Zone.MayIntersect(rect.Expand(s.Eng.Margin()+1e-12), lo, hi) {
-				skipped++
-				skippedTicks += s.Eng.Idx.CoveredTicks(lo, hi)
-				continue
-			}
-			shards = append(shards, scanShard{seg: s, lo: lo, hi: hi})
-		}
+		useIter := r.execIter.Load()
 		tr.Lap("plan")
 
-		// One range scan per surviving segment, on the same bounded pool
-		// Batch uses — a wide window over a long-lived repository can
-		// overlap hundreds of segments.
-		results := make([]*query.RangeResult, len(shards))
-		errs := make([]error, len(shards))
-		if err := par.ForCtx(ctx, par.Workers(r.opts.Workers), len(shards), 1, func(ctx context.Context, _, wlo, whi int) {
+		// One scan per surviving segment, on the same bounded pool Batch
+		// uses — a wide window over a long-lived repository can overlap
+		// hundreds of segments. Both executors fill the same shardResult
+		// shape, so retry, telemetry, and merge below are shared.
+		results := make([]shardResult, len(ordered))
+		errs := make([]error, len(ordered))
+		if err := par.ForCtx(ctx, par.Workers(r.opts.Workers), len(ordered), 1, func(ctx context.Context, _, wlo, whi int) {
 			for i := wlo; i < whi; i++ {
-				sh := shards[i]
-				results[i], errs[i] = sh.seg.Eng.STRQRange(ctx, rect, sh.lo, sh.hi, exact)
+				sc := ordered[i]
+				if useIter {
+					results[i], errs[i] = runIterShard(ctx, segs[sc.ID], rect, sc.Span.Lo, sc.Span.Hi, exact, tr)
+				} else {
+					results[i], errs[i] = runFusedShard(ctx, segs[sc.ID], rect, sc.Span.Lo, sc.Span.Hi, exact)
+				}
 			}
 		}); err != nil {
 			return nil, err
@@ -1057,7 +1080,7 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 					return nil, err
 				}
-				return nil, fmt.Errorf("serve: segment %d: %w", shards[i].seg.ID, err)
+				return nil, fmt.Errorf("serve: segment %d: %w", segs[ordered[i].ID].ID, err)
 			}
 		}
 		tr.Lap("segment_scan")
@@ -1066,14 +1089,26 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 		// a single hot-tail lock. Hot points are raw, so approximate and
 		// exact mode coincide.
 		var (
-			hotCols    []hotScanCol
+			hotIDs     []traj.ID
 			hotCovered int
+			hotScanned bool
 		)
 		if to > sealed {
-			var hotOverlaps bool
-			hotCols, hotCovered, hotOverlaps = r.hot.scanRange(rect, max(from, sealed+1), to)
+			cols, covered, hotOverlaps := r.hot.scanRange(rect, max(from, sealed+1), to)
+			hotCovered = covered
 			if hotOverlaps {
 				sources++
+			}
+			if useIter {
+				var err error
+				if hotIDs, err = runIterHot(ctx, cols, max(from, sealed+1), to, tr); err != nil {
+					return nil, err
+				}
+				hotScanned = hotOverlaps
+			} else {
+				for _, c := range cols {
+					hotIDs = append(hotIDs, c.ids...)
+				}
 			}
 		}
 		tr.Lap("hot_scan")
@@ -1094,9 +1129,9 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 
 		// Telemetry lands only for the attempt that survived the
 		// watermark recheck, so a re-planned request counts once.
-		r.met.winSegsScanned.Add(int64(len(shards)))
+		r.met.winSegsScanned.Add(int64(len(ordered)))
 		r.met.winSegsSkipped.Add(int64(skipped))
-		tr.Add("segments_scanned", int64(len(shards)))
+		tr.Add("segments_scanned", int64(len(ordered)))
 		tr.Add("segments_skipped", int64(skipped))
 
 		// Merge: flatten every column and sort-dedup once. Columns are
@@ -1104,14 +1139,16 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 		// values — a single sort beats per-ID map inserts by a wide
 		// margin at window scale.
 		probed := skippedTicks + hotCovered
-		total := 0
+		total := len(hotIDs)
 		var scan index.ScanStats
-		for _, rr := range results {
-			probed += rr.CoveredTicks
-			scan.Add(rr.Scan)
-			for _, col := range rr.Cols {
-				total += len(col.IDs)
-			}
+		var scanRows, verifyRows int64
+		for i := range results {
+			rr := &results[i]
+			probed += rr.covered
+			scan.Add(rr.scan)
+			scanRows += rr.scanRows
+			verifyRows += int64(rr.candidates)
+			total += len(rr.ids)
 		}
 		r.met.winCellsScanned.Add(int64(scan.CellsScanned))
 		r.met.winCellsSkipped.Add(int64(scan.CellsSkipped))
@@ -1122,24 +1159,42 @@ func (r *Repository) windowRange(ctx context.Context, rect geo.Rect, from, to in
 		tr.Add("bytes_decoded", scan.DecodedBytes)
 		tr.Add("decode_us", scan.DecodeNanos/1e3)
 		tr.Add("ticks_probed", int64(probed))
-		for _, col := range hotCols {
-			total += len(col.ids)
-		}
 		flat := make([]traj.ID, 0, total)
-		for _, rr := range results {
-			for _, col := range rr.Cols {
-				flat = append(flat, col.IDs...)
-			}
+		for i := range results {
+			flat = append(flat, results[i].ids...)
 		}
-		for _, col := range hotCols {
-			flat = append(flat, col.ids...)
-		}
+		flat = append(flat, hotIDs...)
 		slices.Sort(flat)
 		res := &WindowResult{From: from, To: to, Ticks: probed, Sources: sources, SegmentsSkipped: skipped}
 		if len(flat) > 0 { // nil, not empty-but-allocated, keeps the JSON stable
 			res.IDs = traj.DedupSorted(flat)
 		}
 		tr.Lap("merge")
+
+		// Executor telemetry, recorded only for iterator plans (the
+		// fused pipeline has no operator boundaries to count at): one
+		// plan, its operator count, and per-operator emitted-row
+		// aggregates (scan, verify, hot, merge).
+		if useIter {
+			operators := int64(len(ordered)) * 2 // scan + verify per shard
+			if exact {
+				operators += int64(len(ordered)) // exact-verify sink
+			}
+			if hotScanned {
+				operators++
+			}
+			operators++ // the final merge
+			r.met.execPlans.Inc()
+			r.met.execOperators.Add(operators)
+			r.met.execOpsPerPlan.Observe(float64(operators))
+			r.met.execOpRows.Observe(float64(scanRows))
+			r.met.execOpRows.Observe(float64(verifyRows))
+			if hotScanned {
+				r.met.execOpRows.Observe(float64(len(hotIDs)))
+			}
+			r.met.execOpRows.Observe(float64(len(res.IDs)))
+			tr.Add("exec_operators", operators)
+		}
 		return res, nil
 	}
 }
@@ -1339,6 +1394,11 @@ type WindowStats struct {
 	SegmentsSkipped int64 `json:"segments_skipped"`
 	CellsScanned    int64 `json:"cells_scanned"`
 	CellsSkipped    int64 `json:"cells_skipped"`
+	// Plans and Operators count iterator-executor window plans and the
+	// operators those plans composed (zero while the fused executor
+	// serves).
+	Plans     int64 `json:"plans"`
+	Operators int64 `json:"operators"`
 }
 
 // Stats snapshots the repository. Every counter comes from ONE registry

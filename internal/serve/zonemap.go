@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/bits"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"ppqtraj/internal/geo"
 	"ppqtraj/internal/query"
@@ -44,6 +46,11 @@ type ZoneMap struct {
 	// Bits is the row-major bitmap, packed 8 cells per byte
 	// (JSON-encoded as base64).
 	Bits []byte `json:"bits,omitempty"`
+
+	// popCount caches the bitmap's marked-cell count for OverlapScore
+	// (0 = not yet counted). Atomic because zone maps are consulted by
+	// concurrent window planners; the bitmap itself is immutable.
+	popCount atomic.Int32
 }
 
 const (
@@ -152,6 +159,68 @@ func (z *ZoneMap) MayIntersect(area geo.Rect, lo, hi int) bool {
 		}
 	}
 	return false
+}
+
+// OverlapScore is the planner's statistics-free selectivity estimate:
+// the fraction of the zone's populated cells that fall inside area,
+// times the fraction of the zone's tick span that [lo, hi] covers.
+// Zero means MayIntersect is false — the scan is provably empty and the
+// planner prunes it. A nil zone map (or a bounds-only one) scores the
+// spatial factor 1: no information never prunes, it only loses ordering
+// precision.
+func (z *ZoneMap) OverlapScore(area geo.Rect, lo, hi int) float64 {
+	if z == nil {
+		return 1
+	}
+	if !z.MayIntersect(area, lo, hi) {
+		return 0
+	}
+	tickFrac := 1.0
+	if span := z.TickHi - z.TickLo + 1; span > 0 {
+		overlap := min(hi, z.TickHi) - max(lo, z.TickLo) + 1
+		tickFrac = float64(overlap) / float64(span)
+	}
+	if z.W == 0 || z.H == 0 || len(z.Bits) == 0 {
+		return tickFrac // bounds-only zone map: no cell bitmap to consult
+	}
+	ax0 := max(cellFloor(area.MinX, z.GC), z.X0)
+	ay0 := max(cellFloor(area.MinY, z.GC), z.Y0)
+	ax1 := min(cellFloor(area.MaxX, z.GC), z.X0+z.W-1)
+	ay1 := min(cellFloor(area.MaxY, z.GC), z.Y0+z.H-1)
+	inside := 0
+	for y := ay0; y <= ay1; y++ {
+		row := (y - z.Y0) * z.W
+		for x := ax0; x <= ax1; x++ {
+			bit := row + (x - z.X0)
+			if z.Bits[bit>>3]&(1<<(bit&7)) != 0 {
+				inside++
+			}
+		}
+	}
+	if inside == 0 {
+		// MayIntersect already returned true, so the area clips to a
+		// populated bound but hits no marked cell — rank it at the floor
+		// without pruning (pruning rights belong to MayIntersect alone).
+		return 1e-9 * tickFrac
+	}
+	return float64(inside) / float64(z.populated()) * tickFrac
+}
+
+// populated counts the bitmap's marked cells, computed once and cached
+// (the bitmap is immutable after build/load).
+func (z *ZoneMap) populated() int {
+	if n := z.popCount.Load(); n > 0 {
+		return int(n)
+	}
+	n := 0
+	for _, b := range z.Bits {
+		n += bits.OnesCount8(b)
+	}
+	if n == 0 {
+		n = 1 // unreachable with a live bitmap; guards the division
+	}
+	z.popCount.Store(int32(n))
+	return n
 }
 
 // persistZone writes the segment's zone map sidecar with the same

@@ -27,7 +27,10 @@
 // ratio plus plan/operator telemetry;
 // the load experiment sweeps an open-loop offered-QPS ladder against a
 // fully-armed server (fsync=always, group commit, admission control)
-// recording served QPS, shed rate, and latency percentiles per rung.
+// recording served QPS, shed rate, and latency percentiles per rung;
+// the repl experiment measures WAL-shipped replication — cold-follower
+// catch-up bandwidth, plus sampled staleness (lag in ticks) of a
+// follower tailing a primary ingesting at full speed.
 // All of these append to a machine-readable history with -json so PRs
 // track the perf trajectory.
 package main
@@ -42,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, window, exec, load, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table2..table9, figure7..figure9, perf, serve, cache, wal, window, exec, load, repl, all)")
 	scaleName := flag.String("scale", "small", "dataset scale: small or full")
 	queries := flag.Int("queries", 0, "override query/probe/window count (0 = scale default)")
 	jsonPath := flag.String("json", "", "perf/serve/cache/wal/window only: append the run to this JSON history file")
@@ -167,6 +170,18 @@ func main() {
 		}
 		fmt.Fprintf(w, "[exec completed in %.1fs]\n\n", time.Since(start).Seconds())
 	}
+	if *exp == "repl" {
+		start := time.Now()
+		if *jsonPath != "" {
+			if err := bench.AppendRepl(*jsonPath, *label, w); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			bench.ReplBench(*label, w)
+		}
+		fmt.Fprintf(w, "[repl completed in %.1fs]\n\n", time.Since(start).Seconds())
+	}
 	if *exp == "obs" {
 		start := time.Now()
 		if *jsonPath != "" {
@@ -182,7 +197,7 @@ func main() {
 
 	switch *exp {
 	case "all", "table2", "table3", "table4", "table56", "table7", "table8",
-		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window", "exec", "load", "obs":
+		"table9", "figure7", "figure8", "figure9", "perf", "serve", "cache", "wal", "window", "exec", "load", "obs", "repl":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()

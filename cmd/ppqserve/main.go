@@ -11,6 +11,8 @@
 //	ppqserve -addr :8080 -dir ./data              # persistent repository
 //	ppqserve -addr :8080 -dir ./data -fsync=always # every ack fsynced
 //	ppqserve -addr :8080 -preload 500             # memory-only, synthetic warm-up data
+//	ppqserve -addr :8081 -dir ./replica -replicate-from http://localhost:8080
+//	                                              # read-only follower streaming the primary's WAL
 //
 // See the README's "Repository server" section for the endpoint
 // reference.
@@ -56,6 +58,14 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync=interval")
 	walDir := flag.String("wal-dir", "", "write-ahead log directory (default <dir>/wal; ignored without -dir)")
 	walSegMB := flag.Int64("wal-segment-mb", 16, "WAL file size before rotation, in MiB")
+	walRetain := flag.Int("wal-retain-segments", 0,
+		"sealed WAL segment files kept beyond the compaction watermark, a catch-up cushion for followers that connect late (0 = none)")
+	replicateFrom := flag.String("replicate-from", "",
+		"primary base URL to follow (e.g. http://primary:8080); makes this process a read-only replica (requires -dir)")
+	maxLagTicks := flag.Int("max-replica-lag-ticks", 0,
+		"replica staleness bound: /readyz reports 503 while this follower trails the primary's applied tick by more than this (0 = default 64)")
+	replBackoff := flag.Duration("repl-backoff", 0,
+		"initial reconnect backoff after a replication stream failure, doubling to 50x with jitter (0 = default 100ms)")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second,
 		"default per-request query deadline (0 = none; clients override with ?timeout=)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
@@ -126,7 +136,11 @@ func main() {
 		WALSync:             policy,
 		WALSyncInterval:     *fsyncEvery,
 		WALSegmentBytes:     *walSegMB << 20,
+		WALRetainSegments:   *walRetain,
 		GroupCommitWait:     *groupWait,
+		ReplicateFrom:       *replicateFrom,
+		MaxReplicaLagTicks:  *maxLagTicks,
+		ReplBackoff:         *replBackoff,
 		Admit: admit.Options{
 			MaxInFlightIngest: *maxIngest,
 			MaxInFlightQuery:  *maxQuery,
@@ -146,6 +160,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *preload > 0 && *replicateFrom != "" {
+		fmt.Fprintln(os.Stderr, "-preload and -replicate-from are mutually exclusive: a follower only accepts writes from its primary's stream")
+		os.Exit(2)
+	}
 	if *preload > 0 {
 		d := gen.Porto(gen.Config{NumTrajectories: *preload, MinLen: 30, MaxLen: 200, Seed: *seed})
 		n := 0
@@ -183,9 +201,13 @@ func main() {
 		Handler:           repo.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	role := "primary"
+	if *replicateFrom != "" {
+		role = "follower of " + *replicateFrom
+	}
 	logger.Info("ppqserve listening", "addr", *addr, "dir", *dir, "hot", *hotTicks,
 		"cache_mib", *cacheMB, "timeout", *queryTimeout, "fsync", *fsync,
-		"slow_query_ms", *slowQueryMS)
+		"slow_query_ms", *slowQueryMS, "role", role)
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests, flush the
 	// hot tail (the final compact + manifest swap), and close. A bare kill

@@ -11,6 +11,13 @@ func TestCtxCancel(t *testing.T) {
 	analysistest.Run(t, ctxcancel.Analyzer, "testdata/a")
 }
 
+// TestCtxCancelReplApplier covers the replication-applier shape: an
+// exported Run(ctx) that loops on fetch/apply must let cancellation
+// reach the blocking call.
+func TestCtxCancelReplApplier(t *testing.T) {
+	analysistest.Run(t, ctxcancel.Analyzer, "testdata/repl")
+}
+
 // TestCtxCancelExecIterators covers the iterator rule: in exec
 // packages, Next methods are checked even though the context lives on
 // the receiver rather than in the parameter list.

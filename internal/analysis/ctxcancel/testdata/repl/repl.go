@@ -1,0 +1,67 @@
+// Package repl is a fixture shaped like the replication applier: an
+// exported ctx-taking Run loop that fetches and applies batches forever.
+// A fetch/apply loop that never consults its context survives shutdown —
+// Close blocks on a goroutine that will not notice cancellation.
+package repl
+
+import "context"
+
+type batch struct{ recs int }
+
+type transport struct{}
+
+// fetch stands in for module-local network work.
+func (t *transport) fetch(from int64) (batch, error) { return batch{}, nil }
+
+// fetchCtx is the ctx-aware variant.
+func (t *transport) fetchCtx(ctx context.Context, from int64) (batch, error) {
+	if err := ctx.Err(); err != nil {
+		return batch{}, err
+	}
+	return batch{}, nil
+}
+
+type applier struct {
+	tr   *transport
+	next int64
+}
+
+// RunBad streams forever without ever observing ctx: cancellation (and
+// the server's Close) never reaches it.
+func (a *applier) RunBad(ctx context.Context) error {
+	for { // want `loop in exported RunBad calls module code without observing a context`
+		b, err := a.tr.fetch(a.next)
+		if err != nil {
+			continue
+		}
+		a.next += int64(b.recs)
+	}
+}
+
+// RunGood threads ctx through the fetch, so cancellation lands at the
+// blocking call — the shape the real applier uses.
+func (a *applier) RunGood(ctx context.Context) error {
+	for {
+		b, err := a.tr.fetchCtx(ctx, a.next)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			continue
+		}
+		a.next += int64(b.recs)
+	}
+}
+
+// ApplyBatch checks ctx per record before module-local work.
+func (a *applier) ApplyBatch(ctx context.Context, recs []batch) (int, error) {
+	for i, b := range recs {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		if _, err := a.tr.fetchCtx(ctx, int64(b.recs)); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}

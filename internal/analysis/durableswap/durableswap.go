@@ -7,10 +7,14 @@
 // whose directory entry — a crash silently discards, which is exactly
 // the class of bug the crash-recovery suite exists to rule out.
 //
-// The analyzer applies to packages named serve and wal and flags direct
-// calls to os.Rename, os.Create, os.CreateTemp, os.WriteFile, and
+// The analyzer applies to packages named serve, wal, and repl and flags
+// direct calls to os.Rename, os.Create, os.CreateTemp, os.WriteFile, and
 // os.OpenFile with O_CREATE, unless the call happens inside a function
-// named durableSwap or a method of the OSFS seam type.
+// named durableSwap or a method of the OSFS seam type. repl is in scope
+// because replication state (stream cursors, any future snapshot
+// bootstrap) is exactly the kind of artifact a crash must not tear: a
+// follower today persists only through the WAL, and this gate keeps any
+// future file write in the package honest.
 package durableswap
 
 import (
@@ -35,7 +39,7 @@ var flagged = map[string]bool{
 }
 
 func run(pass *analysis.Pass) error {
-	if name := pass.Pkg.Name(); name != "serve" && name != "wal" {
+	if name := pass.Pkg.Name(); name != "serve" && name != "wal" && name != "repl" {
 		return nil
 	}
 	for _, file := range pass.Files {

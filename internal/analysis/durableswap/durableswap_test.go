@@ -9,4 +9,5 @@ import (
 
 func TestDurableSwap(t *testing.T) {
 	analysistest.Run(t, durableswap.Analyzer, "testdata/serve")
+	analysistest.Run(t, durableswap.Analyzer, "testdata/repl")
 }

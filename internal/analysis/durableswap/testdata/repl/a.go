@@ -1,0 +1,42 @@
+// Package repl is a fixture: the replication layer persists only
+// through the WAL today, so any raw os file publication that creeps in
+// (a hand-rolled cursor file, a snapshot bootstrap) must be flagged the
+// same way serve's and wal's are.
+package repl
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// saveCursorBad persists a stream cursor with the convenience writer —
+// no fsync, no atomic publish: a crash can leave a torn or empty cursor
+// and turn incremental catch-up into a full replay.
+func saveCursorBad(dir string, lsn int64) error {
+	return os.WriteFile(filepath.Join(dir, "CURSOR"), []byte(strconv.FormatInt(lsn, 10)), 0o644) // want `raw os.WriteFile in saveCursorBad`
+}
+
+// snapshotBad stages a bootstrap snapshot by hand and renames it raw.
+func snapshotBad(dir string, blob []byte) error {
+	tmp, err := os.CreateTemp(dir, "snap.tmp*") // want `raw os.CreateTemp in snapshotBad`
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "SNAPSHOT")) // want `raw os.Rename in snapshotBad`
+}
+
+// loadCursor only reads; os reads are fine.
+func loadCursor(dir string) (int64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "CURSOR"))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(string(b), 10, 64)
+}

@@ -30,6 +30,19 @@ func register(r *obs.Registry) {
 	r.Counter(name, "dynamic")
 }
 
+// registerRepl mirrors the replication family: counters for stream
+// traffic, gauges for lag and connection state.
+func registerRepl(r *obs.Registry) {
+	r.Counter("ppq_repl_stream_reconnects_total", "stream reconnects")
+	r.Counter("ppq_repl_applied_records_total", "records applied")
+	r.GaugeFunc("ppq_repl_lag_ticks", "replica staleness", func() float64 { return 0 })
+	r.GaugeFunc("ppq_repl_connected", "stream up", func() float64 { return 0 })
+
+	r.Counter("ppq_repl_applied_records", "counter dropped _total")       // want `counter "ppq_repl_applied_records" must end in _total`
+	r.GaugeFunc("ppq_repl_lag_total", "gauge grabbed _total", func() float64 { return 0 }) // want `gauge "ppq_repl_lag_total" must not end in _total`
+	r.Counter("repl_reconnects_total", "lost the ppq_ prefix")            // want `metric name "repl_reconnects_total" must match ppq_`
+}
+
 func snapshot() []obs.Sample {
 	return []obs.Sample{
 		{Name: "ppq_wal_syncs_total", Kind: obs.KindCounter},

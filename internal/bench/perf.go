@@ -63,6 +63,10 @@ type PerfFile struct {
 	// the 512-tick window replay: medians per executor, their ratio, and
 	// the iterator's plan/operator telemetry (ppqbench -experiment exec).
 	ExecRuns []ExecRun `json:"exec_runs,omitempty"`
+	// ReplRuns tracks WAL-shipped replication: cold-follower catch-up
+	// bandwidth and the sampled staleness of a follower tailing full-rate
+	// ingest (ppqbench -experiment repl).
+	ReplRuns []ReplRun `json:"repl_runs,omitempty"`
 }
 
 // perfData materializes the standard perf workload and its column stream.

@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"ppqtraj/internal/obs"
+	"ppqtraj/internal/partition"
+	"ppqtraj/internal/serve"
+	"ppqtraj/internal/wal"
+)
+
+// ReplRun is one replication measurement over the standard ingest
+// stream, in two phases. Catch-up: the primary already holds the whole
+// stream when the follower first connects, so the number is pure
+// stream-and-apply bandwidth — the recovery-time bound for a replica
+// rebuilt (or long-partitioned) behind a retained WAL. Steady-state:
+// the follower tails a primary ingesting at full speed, and the sampled
+// lag distribution says how stale bounded-staleness reads actually are
+// when the stream is healthy — the number -max-replica-lag-ticks should
+// be calibrated against.
+type ReplRun struct {
+	Label      string `json:"label"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Points     int    `json:"points"`
+
+	CatchupPointsPerSec float64 `json:"catchup_points_per_sec"`
+	CatchupSeconds      float64 `json:"catchup_seconds"`
+
+	SteadyIngestPointsPerSec float64 `json:"steady_ingest_points_per_sec"`
+	SteadyLagTicksMean       float64 `json:"steady_lag_ticks_mean"`
+	SteadyLagTicksMax        int64   `json:"steady_lag_ticks_max"`
+	SteadyConvergeSeconds    float64 `json:"steady_converge_seconds"`
+
+	AppliedRecords int64 `json:"applied_records"`
+	Reconnects     int64 `json:"reconnects"`
+}
+
+// replNode opens a repository with compaction disabled, so both phases
+// measure replication alone: every point rides the WAL and stays hot.
+func replNode(dir string, follow string) *serve.Repository {
+	opts := serve.Options{
+		Build:           perfOpts(partition.Spatial),
+		Index:           indexOptions(Porto),
+		Dir:             dir,
+		WALSync:         wal.SyncEvery,
+		HotTicks:        1 << 30,
+		CompactInterval: time.Hour,
+		ReplicateFrom:   follow,
+		ReplBackoff:     5 * time.Millisecond,
+		Log:             obs.Discard(),
+	}
+	repo, err := serve.Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return repo
+}
+
+// waitReplicated blocks until the follower has applied exactly records
+// WAL records and reports zero lag.
+func waitReplicated(follower *serve.Repository, records int64, within time.Duration) {
+	deadline := time.Now().Add(within)
+	for {
+		rs := follower.Stats().Repl
+		if rs != nil && rs.NextLSN >= records && rs.LagKnown && rs.LagTicks == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			panic(fmt.Sprintf("replbench: follower stalled at lsn %d of %d", rs.NextLSN, records))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// ReplBench measures both phases and prints human-readable lines to w
+// (nil for silent).
+func ReplBench(label string, w io.Writer) ReplRun {
+	d, cols := perfData()
+	run := ReplRun{
+		Label:      label,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Points:     d.NumPoints(),
+	}
+
+	// Phase 1: catch-up. The primary holds the full stream before the
+	// follower exists.
+	func() {
+		pdir, err := os.MkdirTemp("", "ppq-replbench-p-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(pdir)
+		fdir, err := os.MkdirTemp("", "ppq-replbench-f-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(fdir)
+
+		primary := replNode(pdir, "")
+		defer primary.Close()
+		for _, col := range cols {
+			if err := primary.IngestColumn(col); err != nil {
+				panic(err)
+			}
+		}
+		srv := httptest.NewServer(primary.Handler())
+		defer srv.Close()
+
+		start := time.Now()
+		follower := replNode(fdir, srv.URL)
+		defer follower.Close()
+		waitReplicated(follower, int64(len(cols)), 5*time.Minute)
+		run.CatchupSeconds = time.Since(start).Seconds()
+		run.CatchupPointsPerSec = float64(d.NumPoints()) / run.CatchupSeconds
+	}()
+
+	// Phase 2: steady-state tail. The follower is connected before write
+	// load starts; a sampler polls its lag while the primary ingests the
+	// stream at full speed.
+	func() {
+		pdir, err := os.MkdirTemp("", "ppq-replbench-p-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(pdir)
+		fdir, err := os.MkdirTemp("", "ppq-replbench-f-")
+		if err != nil {
+			panic(err)
+		}
+		defer os.RemoveAll(fdir)
+
+		primary := replNode(pdir, "")
+		defer primary.Close()
+		srv := httptest.NewServer(primary.Handler())
+		defer srv.Close()
+		follower := replNode(fdir, srv.URL)
+		defer follower.Close()
+		// A short-wait transport is not needed: the long poll wakes the
+		// moment the first commit lands. Wait for the stream to be up so
+		// the lag samples measure tailing, not bootstrap.
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if rs := follower.Stats().Repl; rs != nil && rs.Connected {
+				break
+			}
+			if time.Now().After(deadline) {
+				panic("replbench: follower never connected")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		stop := make(chan struct{})
+		samples := make(chan [2]int64, 1)
+		go func() {
+			var sum, n, max int64
+			tick := time.NewTicker(2 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					if n == 0 {
+						n = 1
+					}
+					samples <- [2]int64{sum / n, max}
+					return
+				case <-tick.C:
+					if lag, known := follower.ReplLag(); known {
+						sum, n = sum+lag, n+1
+						if lag > max {
+							max = lag
+						}
+					}
+				}
+			}
+		}()
+
+		start := time.Now()
+		for _, col := range cols {
+			if err := primary.IngestColumn(col); err != nil {
+				panic(err)
+			}
+		}
+		ingestSecs := time.Since(start).Seconds()
+		lastIngest := time.Now()
+		waitReplicated(follower, int64(len(cols)), 5*time.Minute)
+		// How long the follower needed to drain its backlog once the
+		// primary went quiet: the failover-freshness number.
+		run.SteadyConvergeSeconds = time.Since(lastIngest).Seconds()
+		close(stop)
+		s := <-samples
+		run.SteadyIngestPointsPerSec = float64(d.NumPoints()) / ingestSecs
+		run.SteadyLagTicksMean = float64(s[0])
+		run.SteadyLagTicksMax = s[1]
+		rs := follower.Stats().Repl
+		run.AppliedRecords = rs.AppliedRecords
+		run.Reconnects = rs.Reconnects
+	}()
+
+	fprintf(w, "== repl: %s (GOMAXPROCS=%d, %d points) ==\n", run.Label, run.GoMaxProcs, run.Points)
+	fprintf(w, "  catch-up         %12.0f points/s (cold follower, %.2fs to zero lag)\n",
+		run.CatchupPointsPerSec, run.CatchupSeconds)
+	fprintf(w, "  steady ingest    %12.0f points/s with a live tailing follower\n", run.SteadyIngestPointsPerSec)
+	fprintf(w, "  steady lag       %12.1f ticks mean, %d max (converged %.2fs after last ingest)\n",
+		run.SteadyLagTicksMean, run.SteadyLagTicksMax, run.SteadyConvergeSeconds)
+	fprintf(w, "  stream           %12d records applied, %d reconnects\n", run.AppliedRecords, run.Reconnects)
+	return run
+}
+
+// AppendRepl runs ReplBench and appends the result to the JSON history
+// at path (sharing the file with the other experiment families).
+func AppendRepl(path, label string, w io.Writer) error {
+	pf := PerfFile{Dataset: "SyntheticPorto(2000, 42)"}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &pf); err != nil {
+			return fmt.Errorf("bench: parsing %s: %w", path, err)
+		}
+	}
+	pf.ReplRuns = append(pf.ReplRuns, ReplBench(label, w))
+	return writePerfFile(path, &pf)
+}

@@ -1,0 +1,125 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultTransport wraps another Transport and injects the four ways a
+// replication stream dies in production, on command:
+//
+//   - DropNext fails whole fetches — the primary is down or partitioned.
+//   - SetDelay stalls fetches — a congested or flapping link.
+//   - CorruptNext flips a byte mid-body — bitrot the CRCs must catch.
+//   - HalfCloseNext tears the final frame — a connection cut mid-write,
+//     which must apply the intact prefix exactly once and refetch only
+//     the torn remainder.
+//
+// All knobs are safe to flip concurrently with a running Applier (that
+// is the point: faults land mid-stream, not between sessions).
+type FaultTransport struct {
+	// Base is the wrapped transport (required).
+	Base Transport
+
+	mu            sync.Mutex
+	dropNext      int
+	dropErr       error
+	delay         time.Duration
+	corruptNext   int
+	halfCloseNext int
+
+	fetches atomic.Int64
+}
+
+// DropNext makes the next n fetches fail with err (a generic injected
+// error when nil) before reaching the wrapped transport.
+func (f *FaultTransport) DropNext(n int, err error) {
+	if err == nil {
+		err = errors.New("faulttransport: injected connection failure")
+	}
+	f.mu.Lock()
+	f.dropNext, f.dropErr = n, err
+	f.mu.Unlock()
+}
+
+// SetDelay stalls every subsequent fetch by d (0 disarms). The stall
+// respects ctx, so per-request timeouts still fire.
+func (f *FaultTransport) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// CorruptNext arms byte corruption on the next n non-empty bodies: one
+// byte near the middle is flipped, so some frame's CRC fails while
+// earlier frames stay intact.
+func (f *FaultTransport) CorruptNext(n int) {
+	f.mu.Lock()
+	f.corruptNext = n
+	f.mu.Unlock()
+}
+
+// HalfCloseNext arms mid-write connection tears on the next n non-empty
+// bodies: the final byte is cut, so the last frame is torn while every
+// earlier frame stays intact.
+func (f *FaultTransport) HalfCloseNext(n int) {
+	f.mu.Lock()
+	f.halfCloseNext = n
+	f.mu.Unlock()
+}
+
+// Fetches returns how many fetches reached the wrapped transport.
+func (f *FaultTransport) Fetches() int64 { return f.fetches.Load() }
+
+// Fetch implements Transport, applying any armed faults.
+func (f *FaultTransport) Fetch(ctx context.Context, from int64) (Batch, error) {
+	f.mu.Lock()
+	var dropErr error
+	if f.dropNext > 0 {
+		f.dropNext--
+		dropErr = f.dropErr
+	}
+	delay := f.delay
+	f.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-ctx.Done():
+			return Batch{}, ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+	if dropErr != nil {
+		return Batch{}, dropErr
+	}
+	b, err := f.Base.Fetch(ctx, from)
+	f.fetches.Add(1)
+	if err != nil || len(b.Frames) == 0 {
+		return b, err
+	}
+	f.mu.Lock()
+	corrupt, tear := false, false
+	if f.corruptNext > 0 {
+		f.corruptNext--
+		corrupt = true
+	}
+	if f.halfCloseNext > 0 {
+		f.halfCloseNext--
+		tear = true
+	}
+	f.mu.Unlock()
+	if corrupt || tear {
+		// Mutate a copy: the wrapped transport may own the buffer.
+		frames := append([]byte(nil), b.Frames...)
+		if corrupt {
+			frames[len(frames)/2] ^= 0xFF
+		}
+		if tear {
+			frames = frames[:len(frames)-1]
+		}
+		b.Frames = frames
+	}
+	return b, nil
+}

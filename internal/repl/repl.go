@@ -1,0 +1,57 @@
+// Package repl is WAL-shipped replication: a primary-side Shipper that
+// streams committed write-ahead-log frames over long-poll HTTP, and a
+// follower-side Applier that replays them through the follower's own
+// ingest path.
+//
+// The design leans entirely on the log's record ordinals (PR4's WAL,
+// upgraded with per-segment base headers): the stream position IS the
+// follower's own durable record count, so after a crash the follower
+// resumes from exactly what it persisted — catch-up is incremental by
+// construction and there is no full-resync path to fall back on
+// silently. The wire format is the disk format, checksums included, so
+// one CRC covers disk, network, and the follower's re-append.
+//
+// Failure handling is the point of the package:
+//
+//   - The Shipper serves only up to the primary's durable watermark — a
+//     follower can never observe a record the primary has not acked.
+//   - Each follower's read position holds a retention pin on the
+//     primary's WAL (plus the -wal-retain-segments floor), so log GC
+//     cannot open a gap under a slow follower; a position that was
+//     reclaimed anyway answers 410 Gone, loudly, never a quiet resync.
+//   - The Applier retries with exponential backoff plus jitter and a
+//     per-request timeout, applies the valid prefix of a torn or
+//     corrupted batch exactly once, and never trusts the server's
+//     cursor — it advances by what it actually applied.
+package repl
+
+import "context"
+
+// Batch is one replication stream response: raw WAL frames plus the
+// primary's cursors at the moment of the read.
+type Batch struct {
+	// Frames holds zero or more length-prefixed, CRC-guarded WAL frames
+	// (wal.DecodeFrames walks them). Empty is a valid response: the
+	// long-poll wait expired with nothing new — a keepalive that still
+	// refreshes the follower's view of the primary's watermarks.
+	Frames []byte
+	// Next is the ordinal after the last shipped frame — advisory: the
+	// applier advances its own cursor by the records it verifiably
+	// applied, so a half-delivered batch cannot skip history.
+	Next int64
+	// Durable is the primary's durable record watermark (exclusive);
+	// Next never exceeds it.
+	Durable int64
+	// PrimaryTick is the primary's highest applied tick (-1 while it has
+	// ingested nothing). The follower's staleness bound is measured
+	// against this.
+	PrimaryTick int64
+}
+
+// Transport fetches one batch of committed WAL frames starting at
+// ordinal from. Implementations must honor ctx (the applier's reconnect
+// loop and shutdown both depend on it) and surface a reclaimed position
+// as an error matching wal.ErrGone.
+type Transport interface {
+	Fetch(ctx context.Context, from int64) (Batch, error)
+}

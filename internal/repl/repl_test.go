@@ -1,0 +1,370 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ppqtraj/internal/geo"
+	"ppqtraj/internal/traj"
+	"ppqtraj/internal/wal"
+)
+
+func openLog(t *testing.T, opts wal.Options) *wal.Log {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	l, err := wal.Open(opts, func(wal.Record) error { return nil })
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() }) //nolint:errcheck // tests may latch the log
+	return l
+}
+
+func streamRecord(tick, n int) wal.Record {
+	rec := wal.Record{Tick: tick}
+	for i := 0; i < n; i++ {
+		rec.IDs = append(rec.IDs, traj.ID(i+1))
+		rec.Points = append(rec.Points, geo.Point{X: float64(tick), Y: float64(i)})
+	}
+	return rec
+}
+
+func appendCommitted(t *testing.T, l *wal.Log, ticks, pts int) {
+	t.Helper()
+	for tick := 0; tick < ticks; tick++ {
+		lsn, err := l.Append(streamRecord(tick, pts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func decodeBatch(t *testing.T, b Batch) []wal.Record {
+	t.Helper()
+	var recs []wal.Record
+	if _, err := wal.DecodeFrames(b.Frames, func(rec wal.Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	return recs
+}
+
+func serveShipper(t *testing.T, s *Shipper) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/repl/stream", s)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestStreamEndToEnd runs the real wire: shipper behind an HTTP server,
+// HTTPTransport fetching — full batches, empty long-poll keepalives, and
+// a long poll woken by a fresh commit.
+func TestStreamEndToEnd(t *testing.T) {
+	l := openLog(t, wal.Options{Policy: wal.SyncAlways})
+	appendCommitted(t, l, 20, 3)
+	s := NewShipper(ShipperOptions{WAL: l, PrimaryTick: func() int64 { return 19 }})
+	defer s.Close()
+	srv := serveShipper(t, s)
+	tp := &HTTPTransport{Base: srv.URL, Follower: "f1", Wait: 50 * time.Millisecond}
+
+	b, err := tp.Fetch(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Fetch(0): %v", err)
+	}
+	recs := decodeBatch(t, b)
+	if len(recs) != 20 || b.Next != 20 || b.Durable != 20 || b.PrimaryTick != 19 {
+		t.Fatalf("Fetch(0): %d records, next=%d durable=%d tick=%d", len(recs), b.Next, b.Durable, b.PrimaryTick)
+	}
+	for i, rec := range recs {
+		if rec.Tick != i || len(rec.IDs) != 3 {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+	}
+
+	// Caught up: the long poll expires into an empty keepalive that still
+	// carries the primary's cursors.
+	b, err = tp.Fetch(context.Background(), 20)
+	if err != nil {
+		t.Fatalf("Fetch(20): %v", err)
+	}
+	if len(b.Frames) != 0 || b.Next != 20 || b.Durable != 20 {
+		t.Fatalf("keepalive: frames=%d next=%d durable=%d", len(b.Frames), b.Next, b.Durable)
+	}
+
+	// A commit mid-poll must wake the waiting request promptly.
+	slow := &HTTPTransport{Base: srv.URL, Wait: 5 * time.Second}
+	done := make(chan Batch, 1)
+	go func() {
+		b, err := slow.Fetch(context.Background(), 20)
+		if err != nil {
+			t.Errorf("long poll: %v", err)
+		}
+		done <- b
+	}()
+	time.Sleep(20 * time.Millisecond)
+	lsn, err := l.Append(streamRecord(20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-done:
+		if recs := decodeBatch(t, b); len(recs) != 1 || recs[0].Tick != 20 {
+			t.Fatalf("woken poll delivered %+v", recs)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("long poll not woken by commit")
+	}
+	if st := s.Stats(); st.ShippedRecords != 21 || st.Holds != 1 {
+		t.Fatalf("shipper stats: %+v", st)
+	}
+}
+
+// TestStreamGoneAndFuture maps the two unserviceable positions onto
+// their sentinels across the wire: reclaimed → ErrGone (410), past the
+// end → ErrFuture (416).
+func TestStreamGoneAndFuture(t *testing.T) {
+	l := openLog(t, wal.Options{Policy: wal.SyncNever, SegmentBytes: 256})
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(streamRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateThrough(14); err != nil {
+		t.Fatal(err)
+	}
+	if l.OldestRec() == 0 {
+		t.Fatal("test needs reclamation to have happened")
+	}
+	s := NewShipper(ShipperOptions{WAL: l})
+	defer s.Close()
+	srv := serveShipper(t, s)
+	tp := &HTTPTransport{Base: srv.URL, Wait: time.Millisecond}
+	if _, err := tp.Fetch(context.Background(), 0); !errors.Is(err, wal.ErrGone) {
+		t.Fatalf("reclaimed position: err = %v, want ErrGone", err)
+	}
+	if _, err := tp.Fetch(context.Background(), 1000); !errors.Is(err, wal.ErrFuture) {
+		t.Fatalf("future position: err = %v, want ErrFuture", err)
+	}
+}
+
+// logTransport serves batches straight off a wal.Log — the in-process
+// transport the fault-injection tests wrap.
+type logTransport struct{ l *wal.Log }
+
+func (t *logTransport) Fetch(_ context.Context, from int64) (Batch, error) {
+	frames, next, err := t.l.ReadFrames(from, 1<<20)
+	if err != nil {
+		return Batch{}, err
+	}
+	return Batch{Frames: frames, Next: next, Durable: t.l.DurableRec(), PrimaryTick: -1}, nil
+}
+
+// runApplierUntil starts an applier over the transport and waits until
+// its cursor reaches want, collecting applied records in order.
+func runApplierUntil(t *testing.T, tp Transport, want int64) ([]wal.Record, *Applier) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []wal.Record
+	a := NewApplier(ApplierOptions{
+		Transport: tp,
+		Apply: func(_ context.Context, recs []wal.Record) (int, error) {
+			mu.Lock()
+			got = append(got, recs...)
+			mu.Unlock()
+			return len(recs), nil
+		},
+		Backoff:      time.Millisecond,
+		FetchTimeout: time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); a.Run(ctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Stats().NextLSN < want {
+		if time.Now().After(deadline) {
+			cancel()
+			<-done
+			t.Fatalf("applier stalled at %d, want %d", a.Stats().NextLSN, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	return got, a
+}
+
+// checkExactSequence fails unless recs are exactly ticks 0..n-1 in
+// order — any duplicate, gap, or reorder across the retries is a bug.
+func checkExactSequence(t *testing.T, recs []wal.Record, n int) {
+	t.Helper()
+	if len(recs) != n {
+		t.Fatalf("applied %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if rec.Tick != i {
+			t.Fatalf("applied[%d].Tick = %d: sequence broken (duplicate or skip)", i, rec.Tick)
+		}
+	}
+}
+
+// TestApplierSurvivesDrops: whole-fetch failures back off and retry; the
+// stream converges with the exact record sequence.
+func TestApplierSurvivesDrops(t *testing.T) {
+	l := openLog(t, wal.Options{Policy: wal.SyncAlways})
+	appendCommitted(t, l, 25, 2)
+	ft := &FaultTransport{Base: &logTransport{l: l}}
+	ft.DropNext(3, nil)
+	recs, a := runApplierUntil(t, ft, 25)
+	checkExactSequence(t, recs, 25)
+	if st := a.Stats(); st.Reconnects < 3 {
+		t.Fatalf("reconnects = %d, want ≥ 3 (one per dropped fetch)", st.Reconnects)
+	}
+}
+
+// TestApplierPrefixOnCorruption: a byte flipped mid-batch fails that
+// frame's CRC; the intact prefix applies exactly once and the remainder
+// is refetched — never skipped, never doubled.
+func TestApplierPrefixOnCorruption(t *testing.T) {
+	l := openLog(t, wal.Options{Policy: wal.SyncAlways})
+	appendCommitted(t, l, 25, 2)
+	ft := &FaultTransport{Base: &logTransport{l: l}}
+	ft.CorruptNext(1)
+	recs, a := runApplierUntil(t, ft, 25)
+	checkExactSequence(t, recs, 25)
+	st := a.Stats()
+	if st.CorruptBatches == 0 {
+		t.Fatal("corruption was injected but never detected")
+	}
+	if st.AppliedRecords != 25 {
+		t.Fatalf("applied_records = %d, want 25 (no double apply)", st.AppliedRecords)
+	}
+}
+
+// TestApplierPrefixOnHalfClose: a connection cut mid-write tears the
+// last frame; everything before it applies once, the torn record is
+// refetched whole.
+func TestApplierPrefixOnHalfClose(t *testing.T) {
+	l := openLog(t, wal.Options{Policy: wal.SyncAlways})
+	appendCommitted(t, l, 25, 2)
+	ft := &FaultTransport{Base: &logTransport{l: l}}
+	ft.HalfCloseNext(1)
+	recs, a := runApplierUntil(t, ft, 25)
+	checkExactSequence(t, recs, 25)
+	if st := a.Stats(); st.AppliedRecords != 25 {
+		t.Fatalf("applied_records = %d, want 25", st.AppliedRecords)
+	}
+}
+
+// TestApplierGiveUpNever: a Gone position is unserviceable — the applier
+// must keep the position, report disconnected, and not invent a resync.
+func TestApplierGoneHoldsPosition(t *testing.T) {
+	l := openLog(t, wal.Options{Policy: wal.SyncNever, SegmentBytes: 256})
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(streamRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.TruncateThrough(14); err != nil {
+		t.Fatal(err)
+	}
+	a := NewApplier(ApplierOptions{
+		Transport: &logTransport{l: l},
+		Apply: func(_ context.Context, recs []wal.Record) (int, error) {
+			return len(recs), nil
+		},
+		Backoff: time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	a.Run(ctx)
+	st := a.Stats()
+	if st.NextLSN != 0 {
+		t.Fatalf("applier moved off a Gone position: next = %d", st.NextLSN)
+	}
+	if st.Connected {
+		t.Fatal("applier claims connected while its position is unserviceable")
+	}
+	if st.Reconnects == 0 {
+		t.Fatal("no retry attempts recorded")
+	}
+}
+
+// TestHoldPinsAndExpiry: a follower's stream request pins the WAL at its
+// position; the pin blocks reclamation, survives until the TTL, and an
+// expired or closed hold releases it.
+func TestHoldPinsAndExpiry(t *testing.T) {
+	l := openLog(t, wal.Options{Policy: wal.SyncNever, SegmentBytes: 256})
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(streamRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	s := NewShipper(ShipperOptions{WAL: l, HoldTTL: time.Minute, now: now})
+	defer s.Close()
+	srv := serveShipper(t, s)
+
+	// A lagging follower reads from 0 — its position is now pinned.
+	tp := &HTTPTransport{Base: srv.URL, Follower: "laggard", Wait: time.Millisecond}
+	if _, err := tp.Fetch(context.Background(), 0); err != nil {
+		t.Fatalf("pin fetch: %v", err)
+	}
+	if err := l.TruncateThrough(29); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.OldestRec(); got != 0 {
+		t.Fatalf("pinned WAL reclaimed up to %d; the laggard now has a gap", got)
+	}
+
+	// TTL passes; any later request sweeps the dead follower's hold.
+	clockMu.Lock()
+	clock = clock.Add(2 * time.Minute)
+	clockMu.Unlock()
+	fresh := &HTTPTransport{Base: srv.URL, Follower: "fresh", Wait: time.Millisecond}
+	if _, err := fresh.Fetch(context.Background(), l.NextRec()-1); err != nil {
+		t.Fatalf("sweep fetch: %v", err)
+	}
+	if st := s.Stats(); st.Holds != 1 {
+		t.Fatalf("holds = %d after TTL sweep, want 1 (the fresh follower)", st.Holds)
+	}
+	if err := l.TruncateThrough(29); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.OldestRec(); got == 0 {
+		t.Fatal("expired hold still blocks reclamation")
+	}
+}

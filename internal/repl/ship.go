@@ -1,0 +1,266 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ppqtraj/internal/obs"
+	"ppqtraj/internal/wal"
+)
+
+// Stream endpoint wire contract (GET /v1/repl/stream):
+//
+//	?from_lsn=N   required: first record ordinal the follower wants
+//	?wait=DUR     optional long-poll budget when nothing is durable past
+//	              from_lsn (clamped to ShipperOptions.MaxWait)
+//	?follower=ID  optional stable follower identity; keeps a standing
+//	              retention pin at the follower's position so WAL GC
+//	              cannot reclaim records it still needs
+//
+//	200  body = raw WAL frames (possibly empty after a wait timeout)
+//	     X-Ppq-Next-Lsn:     ordinal to resume at after this body
+//	     X-Ppq-Durable-Lsn:  primary's durable watermark (exclusive)
+//	     X-Ppq-Primary-Tick: primary's highest applied tick (-1 = none)
+//	410  from_lsn was reclaimed; X-Ppq-Oldest-Lsn says what remains
+//	416  from_lsn is beyond the primary's log — the follower is "ahead",
+//	     which only a diverged or wrong primary can explain; not retryable
+//	503  the log is closed or fail-stopped, or the shipper shut down
+
+// Stream header and parameter names, shared with HTTPTransport.
+const (
+	headerNextLSN     = "X-Ppq-Next-Lsn"
+	headerDurableLSN  = "X-Ppq-Durable-Lsn"
+	headerPrimaryTick = "X-Ppq-Primary-Tick"
+	headerOldestLSN   = "X-Ppq-Oldest-Lsn"
+)
+
+// ShipperOptions configures a Shipper.
+type ShipperOptions struct {
+	// WAL is the primary's log (required).
+	WAL *wal.Log
+	// PrimaryTick reports the primary's highest applied tick (-1 while
+	// empty); it rides every response so followers can compute staleness.
+	PrimaryTick func() int64
+	// MaxBatchBytes bounds one response body (default 1 MiB).
+	MaxBatchBytes int64
+	// MaxWait caps a request's ?wait= long-poll budget (default 25s —
+	// under common 30s proxy idle timeouts).
+	MaxWait time.Duration
+	// HoldTTL expires a follower's standing retention pin this long
+	// after its last request (default 5 min). An expired follower that
+	// comes back may find its position reclaimed — that is the honest
+	// outcome; an eternal pin would let one dead follower fill the disk.
+	HoldTTL time.Duration
+	// Metrics, when set, registers the shipper's stream counters.
+	Metrics *obs.Registry
+	// Log receives hold lifecycle events; nil means silence.
+	Log *obs.Logger
+
+	// now overrides the hold-expiry clock in tests.
+	now func() time.Time
+}
+
+// hold is one follower's standing retention pin.
+type hold struct {
+	release func()
+	pos     int64
+	seen    time.Time
+}
+
+// Shipper is the primary side of replication: an http.Handler that
+// serves committed WAL frames with long-poll tailing and per-follower
+// retention pins. Safe for concurrent use.
+type Shipper struct {
+	opts ShipperOptions
+
+	mu     sync.Mutex
+	holds  map[string]*hold
+	closed bool
+
+	streamRequests *obs.Counter
+	shippedRecords *obs.Counter
+}
+
+// NewShipper returns a Shipper over the given WAL.
+func NewShipper(opts ShipperOptions) *Shipper {
+	if opts.WAL == nil {
+		panic("repl: ShipperOptions.WAL is required")
+	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = 1 << 20
+	}
+	if opts.MaxWait <= 0 {
+		opts.MaxWait = 25 * time.Second
+	}
+	if opts.HoldTTL <= 0 {
+		opts.HoldTTL = 5 * time.Minute
+	}
+	if opts.PrimaryTick == nil {
+		opts.PrimaryTick = func() int64 { return -1 }
+	}
+	if opts.Log == nil {
+		opts.Log = obs.Discard()
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	s := &Shipper{
+		opts:           opts,
+		holds:          make(map[string]*hold),
+		streamRequests: &obs.Counter{},
+		shippedRecords: &obs.Counter{},
+	}
+	if reg := opts.Metrics; reg != nil {
+		s.streamRequests = reg.Counter("ppq_repl_stream_requests_total",
+			"Replication stream requests served (including empty long-poll returns).")
+		s.shippedRecords = reg.Counter("ppq_repl_shipped_records_total",
+			"WAL records shipped to followers over the replication stream.")
+		reg.GaugeFunc("ppq_repl_follower_holds",
+			"Standing follower retention pins on the primary's WAL.",
+			func() float64 { return float64(s.Stats().Holds) })
+	}
+	return s
+}
+
+// pin moves (or creates) the named follower's standing retention hold to
+// pos. The new pin lands before the old one is released, so there is no
+// instant at which GC could slip between them.
+func (s *Shipper) pin(follower string, pos int64) {
+	now := s.opts.now()
+	release := s.opts.WAL.Pin(pos)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		release()
+		return
+	}
+	old := s.holds[follower]
+	s.holds[follower] = &hold{release: release, pos: pos, seen: now}
+	// Sweep expired holds of followers that stopped asking; a pin must
+	// not outlive its follower by more than the TTL.
+	var expired []func()
+	for id, h := range s.holds {
+		if now.Sub(h.seen) > s.opts.HoldTTL {
+			expired = append(expired, h.release)
+			delete(s.holds, id)
+			s.opts.Log.Warn("replication hold expired; follower absent past TTL",
+				"follower", id, "pos", h.pos, "ttl", s.opts.HoldTTL)
+		}
+	}
+	s.mu.Unlock()
+	if old != nil {
+		old.release()
+	}
+	for _, rel := range expired {
+		rel()
+	}
+}
+
+// ServeHTTP serves one stream request; see the wire contract above.
+func (s *Shipper) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		http.Error(w, "repl: shipper is closed", http.StatusServiceUnavailable)
+		return
+	}
+	s.streamRequests.Inc()
+	q := req.URL.Query()
+	from, err := strconv.ParseInt(q.Get("from_lsn"), 10, 64)
+	if err != nil || from < 0 {
+		http.Error(w, fmt.Sprintf("repl: bad from_lsn %q: want a non-negative integer", q.Get("from_lsn")),
+			http.StatusBadRequest)
+		return
+	}
+	wait := s.opts.MaxWait
+	if raw := q.Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			http.Error(w, fmt.Sprintf("repl: bad wait %q: want a Go duration", raw), http.StatusBadRequest)
+			return
+		}
+		if d < wait {
+			wait = d
+		}
+	}
+	if follower := q.Get("follower"); follower != "" {
+		s.pin(follower, from)
+	}
+
+	l := s.opts.WAL
+	if from >= l.DurableRec() && wait > 0 {
+		// Nothing to ship yet: long-poll until the durable watermark
+		// passes the requested ordinal or the wait budget expires. A
+		// timeout is a normal empty response (a keepalive), not an error.
+		ctx, cancel := context.WithTimeout(req.Context(), wait)
+		err := l.WaitDurable(ctx, from)
+		cancel()
+		if err != nil && ctx.Err() == nil {
+			// The log itself failed or closed — not the wait.
+			http.Error(w, "repl: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	frames, next, err := l.ReadFrames(from, s.opts.MaxBatchBytes)
+	switch {
+	case errors.Is(err, wal.ErrGone):
+		w.Header().Set(headerOldestLSN, strconv.FormatInt(l.OldestRec(), 10))
+		http.Error(w, "repl: "+err.Error(), http.StatusGone)
+		return
+	case errors.Is(err, wal.ErrFuture):
+		http.Error(w, "repl: "+err.Error(), http.StatusRequestedRangeNotSatisfiable)
+		return
+	case err != nil:
+		http.Error(w, "repl: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(headerNextLSN, strconv.FormatInt(next, 10))
+	w.Header().Set(headerDurableLSN, strconv.FormatInt(l.DurableRec(), 10))
+	w.Header().Set(headerPrimaryTick, strconv.FormatInt(s.opts.PrimaryTick(), 10))
+	w.Write(frames) //nolint:errcheck // a failed body write is the follower's problem; it refetches
+	s.shippedRecords.Add(next - from)
+}
+
+// ShipperStats is a point-in-time snapshot of the shipper.
+type ShipperStats struct {
+	StreamRequests int64 `json:"stream_requests"`
+	ShippedRecords int64 `json:"shipped_records"`
+	Holds          int   `json:"follower_holds"`
+}
+
+// Stats snapshots the shipper's counters and live hold count.
+func (s *Shipper) Stats() ShipperStats {
+	s.mu.Lock()
+	holds := len(s.holds)
+	s.mu.Unlock()
+	return ShipperStats{
+		StreamRequests: s.streamRequests.Load(),
+		ShippedRecords: s.shippedRecords.Load(),
+		Holds:          holds,
+	}
+}
+
+// Close releases every follower's retention pin and refuses further
+// requests. In-flight long polls finish on their own (the WAL's close
+// wakes them); Close only stops new pins from landing.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	holds := s.holds
+	s.holds = make(map[string]*hold)
+	s.mu.Unlock()
+	for _, h := range holds {
+		h.release()
+	}
+}

@@ -1,0 +1,103 @@
+package repl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"ppqtraj/internal/wal"
+)
+
+// HTTPTransport fetches stream batches from a primary's
+// /v1/repl/stream endpoint. The zero value is unusable; set Base.
+type HTTPTransport struct {
+	// Base is the primary's base URL, e.g. "http://10.0.0.1:8080".
+	Base string
+	// Follower, when non-empty, rides every request as the ?follower= id
+	// so the primary keeps a standing retention pin at this follower's
+	// position. Use something stable across restarts (host + data dir).
+	Follower string
+	// Wait is the long-poll budget requested per call (default 20s; the
+	// primary clamps it to its own cap).
+	Wait time.Duration
+	// MaxBodyBytes bounds one response body (default 8 MiB) — a
+	// misbehaving primary must not balloon the follower's memory.
+	MaxBodyBytes int64
+	// Client overrides the HTTP client (default: a plain client; the
+	// per-fetch context carries the timeout, so the client sets none).
+	Client *http.Client
+}
+
+// Fetch implements Transport.
+func (t *HTTPTransport) Fetch(ctx context.Context, from int64) (Batch, error) {
+	wait := t.Wait
+	if wait <= 0 {
+		wait = 20 * time.Second
+	}
+	maxBody := t.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 8 << 20
+	}
+	u := strings.TrimSuffix(t.Base, "/") + "/v1/repl/stream?from_lsn=" + strconv.FormatInt(from, 10) +
+		"&wait=" + url.QueryEscape(wait.String())
+	if t.Follower != "" {
+		u += "&follower=" + url.QueryEscape(t.Follower)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return Batch{}, err
+	}
+	client := t.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Batch{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		oldest := resp.Header.Get(headerOldestLSN)
+		return Batch{}, fmt.Errorf("repl: primary reclaimed ordinal %d (oldest retained %s): %w",
+			from, oldest, wal.ErrGone)
+	case http.StatusRequestedRangeNotSatisfiable:
+		return Batch{}, fmt.Errorf("repl: follower position %d is ahead of the primary: %w", from, wal.ErrFuture)
+	default:
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return Batch{}, fmt.Errorf("repl: stream request failed: %s: %s",
+			resp.Status, strings.TrimSpace(string(snippet)))
+	}
+	b := Batch{
+		Next:        headerInt64(resp.Header, headerNextLSN, from),
+		Durable:     headerInt64(resp.Header, headerDurableLSN, 0),
+		PrimaryTick: headerInt64(resp.Header, headerPrimaryTick, -1),
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody+1))
+	if err != nil {
+		// A connection torn mid-body still delivered a usable prefix of
+		// whole frames; hand it up with no error and let the framing layer
+		// apply what checks out. The next fetch resumes past it.
+		b.Frames = body
+		return b, nil
+	}
+	if int64(len(body)) > maxBody {
+		return Batch{}, fmt.Errorf("repl: stream body exceeds the %d-byte cap", maxBody)
+	}
+	b.Frames = body
+	return b, nil
+}
+
+func headerInt64(h http.Header, key string, fallback int64) int64 {
+	v, err := strconv.ParseInt(h.Get(key), 10, 64)
+	if err != nil {
+		return fallback
+	}
+	return v
+}

@@ -147,6 +147,10 @@ func (r *Repository) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/flush", r.handleFlush)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
 	mux.HandleFunc("GET /metrics", r.handleMetrics)
+	// The replication stream bypasses admission like /metrics: it is the
+	// replica fleet's lifeline, long-polls would pin query slots for
+	// seconds, and the shipper already bounds its own batch sizes.
+	mux.HandleFunc("GET /v1/repl/stream", r.handleReplStream)
 	// Liveness vs readiness: /healthz answers "is the process serving?"
 	// (always yes if this handler runs) so orchestrators do not restart a
 	// degraded-but-serving server; /readyz answers "should traffic route
@@ -175,7 +179,35 @@ func (r *Repository) handleReady(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "not ready: draining", http.StatusServiceUnavailable)
 		return
 	}
+	if r.follower {
+		// The staleness bound gates routing only: a follower past it (or
+		// one that has never reached its primary) answers reads fine, with
+		// an honest as_of_tick, but load balancers should prefer replicas
+		// inside the bound.
+		lag, known := r.ReplLag()
+		switch {
+		case !known:
+			http.Error(w, "not ready: replica lag unknown (no primary contact since start)",
+				http.StatusServiceUnavailable)
+			return
+		case lag > int64(r.opts.MaxReplicaLagTicks):
+			http.Error(w, fmt.Sprintf("not ready: replica lag %d ticks exceeds the %d-tick bound",
+				lag, r.opts.MaxReplicaLagTicks), http.StatusServiceUnavailable)
+			return
+		}
+	}
 	w.Write([]byte("ready\n"))
+}
+
+// handleReplStream hands the request to the shipper (a memory-only
+// repository has no WAL and nothing to ship).
+func (r *Repository) handleReplStream(w http.ResponseWriter, req *http.Request) {
+	if r.shipper == nil {
+		writeJSON(w, http.StatusNotImplemented,
+			httpError{Error: "replication requires a persistent repository (no WAL to ship)"})
+		return
+	}
+	r.shipper.ServeHTTP(w, req)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -402,6 +434,16 @@ func (r *Repository) handleWindow(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Repository) handleIngest(w http.ResponseWriter, req *http.Request) {
+	if r.follower {
+		// Before admission: a follower rejects every write outright, and
+		// burning an ingest slot to say so would let misdirected writers
+		// starve the replication stream's own admission budget.
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			httpError
+			Reason string `json:"reason"`
+		}{httpError{Error: ErrNotLeader.Error()}, "leader_unavailable"})
+		return
+	}
 	ro, release, ok := r.beginRequest(w, req, "ingest", admit.Ingest)
 	if !ok {
 		return

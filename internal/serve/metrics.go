@@ -181,6 +181,19 @@ func (r *Repository) registerSources() {
 			"Requests rejected by per-client token buckets.", float64(as.QuotaRejected))
 		gauge("ppq_admission_quota_clients", "Live per-client quota buckets.", float64(as.QuotaClients))
 
+		lag, lagKnown := r.ReplLag()
+		gauge("ppq_repl_lag_ticks",
+			"Follower staleness in ticks behind the primary's last-reported watermark (0 on a primary).",
+			float64(lag))
+		known := 0.0
+		if lagKnown {
+			known = 1
+		}
+		gauge("ppq_repl_lag_known",
+			"1 once the follower has heard from its primary at least once (always 1 on a primary).", known)
+		gauge("ppq_repl_applied_tick",
+			"Highest tick applied to this repository (-1 while empty).", float64(r.appliedTick.Load()))
+
 		cs := r.cells.Snapshot()
 		counter("ppq_cache_hits_total", "Decoded-cell cache hits.", float64(cs.Hits))
 		counter("ppq_cache_misses_total", "Decoded-cell cache misses.", float64(cs.Misses))
@@ -267,6 +280,7 @@ func (r *Repository) statsFromSnapshot(snap *obs.Snapshot) Stats {
 			QuotaRejected: snap.Int("ppq_admission_quota_rejected_total"),
 			QuotaClients:  int(snap.Int("ppq_admission_quota_clients")),
 		},
+		Repl: r.replStats(),
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"ppqtraj/internal/index"
 	"ppqtraj/internal/obs"
 	"ppqtraj/internal/par"
+	"ppqtraj/internal/repl"
 	"ppqtraj/internal/traj"
 	"ppqtraj/internal/wal"
 )
@@ -127,6 +128,32 @@ type Options struct {
 	// identical answers (the equivalence suite enforces it); SetExecutor
 	// switches a live repository.
 	Executor string
+	// ReplicateFrom, when non-empty, runs this repository as a follower
+	// replica of the primary at the given base URL (e.g.
+	// "http://10.0.0.1:8080"): a background applier streams the primary's
+	// committed WAL records into the local ingest path, writes are
+	// rejected with ErrNotLeader (HTTP 503 + leader_unavailable), and
+	// /readyz gates on the staleness bound. Requires Dir — the follower
+	// keeps its own WAL, which is exactly what makes its catch-up
+	// incremental after a crash.
+	ReplicateFrom string
+	// ReplTransport overrides the follower's stream transport; setting it
+	// also enables follower mode. Tests inject repl.FaultTransport here to
+	// exercise stream failures deterministically.
+	ReplTransport repl.Transport
+	// MaxReplicaLagTicks is the follower readiness bound: /readyz answers
+	// 503 while the replica lags the primary's applied watermark by more
+	// than this many ticks (default 64). Reads keep serving regardless —
+	// the bound gates routing, not answers.
+	MaxReplicaLagTicks int
+	// ReplBackoff is the follower's initial reconnect backoff (default
+	// 100ms, doubling with jitter up to 50×).
+	ReplBackoff time.Duration
+	// WALRetainSegments keeps at least this many of the newest WAL files
+	// out of reclamation even when fully sealed — slack for a follower
+	// that disconnects briefly without a standing hold (default 0: pins
+	// alone protect followers).
+	WALRetainSegments int
 }
 
 // Window executor names accepted by Options.Executor and SetExecutor.
@@ -172,6 +199,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.WALDir == "" && o.Dir != "" {
 		o.WALDir = filepath.Join(o.Dir, "wal")
+	}
+	if (o.ReplicateFrom != "" || o.ReplTransport != nil) && o.Dir == "" {
+		return o, errors.New("serve: follower mode requires Dir (the replica persists its own WAL to resume from)")
+	}
+	if o.MaxReplicaLagTicks <= 0 {
+		o.MaxReplicaLagTicks = 64
 	}
 	if o.WALSync == "" {
 		o.WALSync = wal.SyncEvery
@@ -268,6 +301,26 @@ type Repository struct {
 	// concurrent queries — both executors answer identically, so a
 	// mid-stream flip is safe.
 	execIter atomic.Bool
+
+	// Replication. shipper serves /v1/repl/stream on any persistent
+	// repository; the rest is live only in follower mode
+	// (Options.ReplicateFrom / ReplTransport).
+	follower bool
+	shipper  *repl.Shipper
+	applier  *repl.Applier
+	replStop context.CancelFunc
+	replWG   sync.WaitGroup
+
+	// appliedTick is the highest tick resident in this repository (-1
+	// while empty): the primary's value rides the stream so followers can
+	// bound their staleness, and a follower's value is the as_of_tick its
+	// answers carry.
+	appliedTick atomic.Int64
+	// primaryTick is the primary's applied watermark as last reported
+	// over the stream (math.MinInt64 until first contact). It freezes at
+	// its last value when the primary disappears — the follower keeps
+	// serving bounded-stale reads against its best knowledge.
+	primaryTick atomic.Int64
 }
 
 // Open creates a repository (reloading persisted segments when opts.Dir
@@ -324,6 +377,7 @@ func Open(opts Options) (*Repository, error) {
 			Interval:        opts.WALSyncInterval,
 			SegmentBytes:    opts.WALSegmentBytes,
 			GroupCommitWait: opts.GroupCommitWait,
+			RetainSegments:  opts.WALRetainSegments,
 			FS:              opts.WALFS,
 			Metrics:         r.met.reg,
 		}, r.replayRecord)
@@ -335,6 +389,54 @@ func Open(opts Options) (*Repository, error) {
 			r.log.Info("wal replay rebuilt the hot tail",
 				"points", r.replayedPoints, "sealed_through", r.sealedThrough)
 		}
+	}
+	// Seed the applied-tick watermark from whatever recovery produced:
+	// sealed segments plus the replayed hot tail.
+	applied := int64(r.sealedThrough)
+	if _, hi, ok := r.hot.tickSpan(); ok && int64(hi) > applied {
+		applied = int64(hi)
+	}
+	r.appliedTick.Store(applied)
+	r.primaryTick.Store(math.MinInt64)
+	if r.wal != nil {
+		r.shipper = repl.NewShipper(repl.ShipperOptions{
+			WAL:         r.wal,
+			PrimaryTick: r.appliedTick.Load,
+			Metrics:     r.met.reg,
+			Log:         r.log,
+		})
+	}
+	if opts.ReplicateFrom != "" || opts.ReplTransport != nil {
+		r.follower = true
+		tp := opts.ReplTransport
+		if tp == nil {
+			host, _ := os.Hostname()
+			tp = &repl.HTTPTransport{
+				Base: opts.ReplicateFrom,
+				// Stable across restarts, so the primary's standing hold
+				// moves with this follower instead of multiplying.
+				Follower: host + ":" + opts.WALDir,
+			}
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		r.replStop = cancel
+		r.applier = repl.NewApplier(repl.ApplierOptions{
+			Transport: tp,
+			// Resume from the follower's own durable record count: after a
+			// crash the WAL replay above already rebuilt everything below
+			// it, so catch-up is incremental by construction.
+			From:    r.wal.NextRec(),
+			Apply:   r.applyReplicated,
+			OnBatch: r.noteBatch,
+			Backoff: opts.ReplBackoff,
+			Metrics: r.met.reg,
+			Log:     r.log,
+		})
+		r.replWG.Add(1)
+		go func() {
+			defer r.replWG.Done()
+			r.applier.Run(ctx)
+		}()
 	}
 	r.registerSources()
 	r.wg.Add(1)
@@ -494,6 +596,16 @@ func (r *Repository) attachCache(seg *Segment) {
 // on a persistent repository, because the WAL replays it on the next
 // Open.
 func (r *Repository) Close() error {
+	// Stop replication first: the applier must not race the WAL close
+	// (its in-flight fetch is cancelled, not awaited to timeout), and the
+	// shipper's follower pins must release before the log shuts.
+	if r.replStop != nil {
+		r.replStop()
+		r.replWG.Wait()
+	}
+	if r.shipper != nil {
+		r.shipper.Close()
+	}
 	close(r.stop)
 	r.wg.Wait()
 	var err error
@@ -522,8 +634,16 @@ func (r *Repository) Close() error {
 // ingest is rejected with the latched disk error — after a disk lies
 // about an fsync, nothing further can honestly be acknowledged.
 func (r *Repository) Ingest(tick int, ids []traj.ID, pts []geo.Point) error {
+	if r.follower {
+		return ErrNotLeader
+	}
 	return r.ingestTick(nil, tick, ids, pts)
 }
+
+// ErrNotLeader rejects writes addressed to a follower replica: its data
+// arrives over the replication stream only, so a direct write would fork
+// history. The HTTP layer maps it to 503 with reason leader_unavailable.
+var ErrNotLeader = errors.New("serve: not the leader: this replica follows a primary; write there")
 
 // ingestTick is Ingest's body with the per-request trace threaded
 // through: the validate / wal_append / apply / fsync_wait laps carve an
@@ -561,6 +681,7 @@ func (r *Repository) ingestTick(tr *obs.Trace, tick int, ids []traj.ID, pts []ge
 	r.met.ingestPoints.Add(int64(len(ids)))
 	r.met.ingestBatches.Inc()
 	r.met.batchPoints.Observe(float64(len(ids)))
+	r.noteApplied(tick)
 	if lo, hi, ok := r.hot.tickSpan(); ok && hi-lo+1 > r.opts.HotTicks {
 		select {
 		case r.kick <- struct{}{}:
@@ -568,6 +689,104 @@ func (r *Repository) ingestTick(tr *obs.Trace, tick int, ids []traj.ID, pts []ge
 		}
 	}
 	return nil
+}
+
+// noteApplied advances the applied-tick watermark (monotonic max).
+func (r *Repository) noteApplied(tick int) {
+	t := int64(tick)
+	for {
+		cur := r.appliedTick.Load()
+		if t <= cur || r.appliedTick.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// noteBatch publishes the primary's applied watermark from one clean
+// stream batch (empty keepalives included — that is how an idle
+// follower's lag stays current).
+func (r *Repository) noteBatch(b repl.Batch) {
+	for {
+		cur := r.primaryTick.Load()
+		if b.PrimaryTick <= cur && cur != math.MinInt64 {
+			return
+		}
+		if r.primaryTick.CompareAndSwap(cur, b.PrimaryTick) {
+			return
+		}
+	}
+}
+
+// applyReplicated replays one stream batch on a follower. Each record
+// takes the same path a primary ingest does — validation, WAL append,
+// hot-tail mutation, compaction pressure — under one ingest-class
+// admission slot per batch, so an overloaded follower slows its own
+// catch-up instead of starving local queries. Durability is one fsync
+// per network batch (not per record), which is what the follower's
+// resume position advances by after a crash.
+func (r *Repository) applyReplicated(ctx context.Context, recs []wal.Record) (int, error) {
+	release, rej, ok := r.admit.Admit(ctx, admit.Ingest, "")
+	if !ok {
+		return 0, fmt.Errorf("serve: replication batch shed by admission (%s)", rej.Reason)
+	}
+	defer release()
+	for i, rec := range recs {
+		if err := r.applyReplicatedRecord(rec); err != nil {
+			return i, err
+		}
+	}
+	if err := r.wal.Sync(); err != nil {
+		return len(recs), err
+	}
+	return len(recs), nil
+}
+
+// applyReplicatedRecord is ingestTick minus the per-record durability
+// barrier (the batch fsync in applyReplicated covers it) and minus the
+// leader check — the stream is the one writer a follower accepts.
+func (r *Repository) applyReplicatedRecord(rec wal.Record) error {
+	logged := func() (err error) {
+		_, err = r.wal.Append(rec)
+		return err
+	}
+	if err := r.hot.ingest(rec.Tick, rec.IDs, rec.Points, logged, nil); err != nil {
+		r.met.ingestErrors.Inc()
+		return err
+	}
+	r.met.ingestPoints.Add(int64(len(rec.IDs)))
+	r.met.ingestBatches.Inc()
+	r.met.batchPoints.Observe(float64(len(rec.IDs)))
+	r.noteApplied(rec.Tick)
+	if lo, hi, ok := r.hot.tickSpan(); ok && hi-lo+1 > r.opts.HotTicks {
+		select {
+		case r.kick <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// ReplLag reports a follower's staleness: how many ticks the primary's
+// applied watermark (as last reported over the stream) is ahead of this
+// replica's, and whether that number is known at all — false until the
+// first successful exchange after boot. On a primary the lag is 0 and
+// always known. A partitioned follower keeps its last-known lag: the
+// number is honest about what the replica has, even when the primary has
+// moved on unseen (ppq_repl_connected tells operators which case they
+// are in).
+func (r *Repository) ReplLag() (ticks int64, known bool) {
+	if !r.follower {
+		return 0, true
+	}
+	pt := r.primaryTick.Load()
+	if pt == math.MinInt64 {
+		return 0, false
+	}
+	lag := pt - r.appliedTick.Load()
+	if lag < 0 {
+		lag = 0
+	}
+	return lag, true
 }
 
 // IngestColumn ingests a traj.Column.
@@ -990,6 +1209,11 @@ type WindowResult struct {
 	// SegmentsSkipped counts overlapping segments the zone-map planner
 	// pruned without scanning.
 	SegmentsSkipped int `json:"segments_skipped,omitempty"`
+	// AsOfTick is the repository's applied-tick watermark when the answer
+	// was computed (-1 while empty). On a follower this is the freshness
+	// the caller actually got: a disconnected replica keeps answering with
+	// an honest, possibly stale, as_of_tick instead of erroring.
+	AsOfTick int64 `json:"as_of_tick"`
 }
 
 // Window answers the window query with the segment-native range executor:
@@ -1019,6 +1243,7 @@ func (r *Repository) Window(ctx context.Context, rect geo.Rect, from, to int, ex
 		r.met.queryErrors.Inc()
 		return nil, err
 	}
+	res.AsOfTick = r.appliedTick.Load()
 	return res, nil
 }
 
@@ -1222,6 +1447,7 @@ func (r *Repository) WindowPerTick(ctx context.Context, rect geo.Rect, from, to 
 		r.met.queryErrors.Inc()
 		return nil, err
 	}
+	res.AsOfTick = r.appliedTick.Load()
 	return res, nil
 }
 
@@ -1381,6 +1607,54 @@ type Stats struct {
 	// Admission reports the overload valve: per-class in-flight /
 	// shed counters and client-quota rejections.
 	Admission admit.Stats `json:"admission"`
+	// Repl reports replication: absent on a memory-only repository,
+	// otherwise role "primary" with shipper counters, plus the stream and
+	// staleness state in follower mode.
+	Repl *ReplStats `json:"repl,omitempty"`
+}
+
+// ReplStats is the /v1/stats replication section.
+type ReplStats struct {
+	Role           string `json:"role"` // "primary" or "follower"
+	LagTicks       int64  `json:"lag_ticks"`
+	LagKnown       bool   `json:"lag_known"`
+	AppliedTick    int64  `json:"applied_tick"`
+	Connected      bool   `json:"connected"`
+	NextLSN        int64  `json:"next_lsn"`
+	AppliedRecords int64  `json:"applied_records"`
+	AppliedPoints  int64  `json:"applied_points"`
+	Reconnects     int64  `json:"reconnects"`
+	CorruptBatches int64  `json:"corrupt_batches"`
+	StreamRequests int64  `json:"stream_requests"`
+	ShippedRecords int64  `json:"shipped_records"`
+	FollowerHolds  int    `json:"follower_holds"`
+}
+
+// replStats assembles the replication stats section (nil when the
+// repository has no WAL and therefore neither shipper nor applier).
+func (r *Repository) replStats() *ReplStats {
+	if r.shipper == nil && r.applier == nil {
+		return nil
+	}
+	rs := &ReplStats{Role: "primary", AppliedTick: r.appliedTick.Load()}
+	if r.shipper != nil {
+		ss := r.shipper.Stats()
+		rs.StreamRequests = ss.StreamRequests
+		rs.ShippedRecords = ss.ShippedRecords
+		rs.FollowerHolds = ss.Holds
+	}
+	if r.follower {
+		rs.Role = "follower"
+		as := r.applier.Stats()
+		rs.Connected = as.Connected
+		rs.NextLSN = as.NextLSN
+		rs.AppliedRecords = as.AppliedRecords
+		rs.AppliedPoints = as.AppliedPoints
+		rs.Reconnects = as.Reconnects
+		rs.CorruptBatches = as.CorruptBatches
+		rs.LagTicks, rs.LagKnown = r.ReplLag()
+	}
+	return rs
 }
 
 // WindowStats counts the window executor's zone-map pruning work: how

@@ -32,6 +32,7 @@ type FaultFS struct {
 
 	writeBudget atomic.Int64 // bytes until writes start failing; <0 = disarmed
 	writeErr    error        // under mu
+	writeStuck  error        // under mu; sticky full-stop write failure (ENOSPC)
 
 	syncs  atomic.Int64 // fsyncs that went through (file + dir)
 	writes atomic.Int64 // writes that went through
@@ -72,6 +73,17 @@ func (f *FaultFS) FailWriteAfter(n int64, err error) {
 	f.writeErr = err
 	f.mu.Unlock()
 	f.writeBudget.Store(n)
+}
+
+// SetWriteErr arms (or, with nil, disarms) a sticky full-stop write
+// failure: every subsequent write fails with err before a single byte
+// reaches the wrapped FS. This is the disk-full shape — ENOSPC rejects
+// the write cleanly rather than tearing it — used to prove a full disk
+// latches the log fail-stopped with no torn acked state.
+func (f *FaultFS) SetWriteErr(err error) {
+	f.mu.Lock()
+	f.writeStuck = err
+	f.mu.Unlock()
 }
 
 // Syncs returns how many fsyncs reached the wrapped FS.
@@ -127,6 +139,12 @@ type faultFile struct {
 }
 
 func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	stuck := ff.fs.writeStuck
+	ff.fs.mu.Unlock()
+	if stuck != nil {
+		return 0, stuck
+	}
 	budget := ff.fs.writeBudget.Load()
 	if budget < 0 {
 		ff.fs.writes.Add(1)

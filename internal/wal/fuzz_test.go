@@ -11,8 +11,7 @@ import (
 // payloadOf strips the length+crc header from a fully encoded record,
 // leaving exactly what replaySegment hands to decodeRecord.
 func payloadOf(rec Record) []byte {
-	l := &Log{}
-	b := l.encodeRecord(rec)
+	b := EncodeFrame(nil, rec)
 	return append([]byte(nil), b[recHeaderLen:]...)
 }
 
@@ -51,6 +50,42 @@ func FuzzWALRecordDecode(f *testing.F) {
 		again := payloadOf(rec)
 		if !bytes.Equal(again, payload) {
 			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", payload, again)
+		}
+	})
+}
+
+// FuzzDecodeFrames feeds arbitrary byte streams to the replication frame
+// decoder. Unlike replay, DecodeFrames faces bytes that crossed a
+// network, so it must never panic, must consume only checksum-valid
+// whole frames, and must round-trip whatever it accepts.
+func FuzzDecodeFrames(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrame(nil, Record{Tick: 3, IDs: []traj.ID{9}, Points: []geo.Point{{X: 1, Y: 2}}}))
+	two := EncodeFrame(nil, Record{Tick: 0})
+	two = EncodeFrame(two, Record{Tick: 1, IDs: []traj.ID{1, 2}, Points: []geo.Point{{X: 0, Y: 0}, {X: 4, Y: 4}}})
+	f.Add(two)
+	f.Add(two[:len(two)-3]) // torn tail
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		var recs []Record
+		n, err := DecodeFrames(stream, func(rec Record) error {
+			recs = append(recs, rec)
+			return nil
+		})
+		if n != len(recs) {
+			t.Fatalf("DecodeFrames reported %d records but delivered %d", n, len(recs))
+		}
+		// Whatever was accepted must re-encode to a prefix of the input.
+		var again []byte
+		for _, rec := range recs {
+			again = EncodeFrame(again, rec)
+		}
+		if !bytes.Equal(again, stream[:len(again)]) {
+			t.Fatalf("accepted frames are not a byte-identical prefix:\n in  %x\n out %x", stream[:len(again)], again)
+		}
+		if err == nil && len(again) != len(stream) {
+			t.Fatalf("nil error but %d of %d bytes consumed", len(again), len(stream))
 		}
 	})
 }

@@ -1,0 +1,318 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// collectFrames decodes a frame blob, failing the test on any error.
+func collectFrames(t *testing.T, frames []byte) []Record {
+	t.Helper()
+	var recs []Record
+	if _, err := DecodeFrames(frames, func(rec Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("DecodeFrames: %v", err)
+	}
+	return recs
+}
+
+// TestOrdinalsStableAcrossReopenAndReclaim is the property replication
+// leans on: a record's ordinal never changes — not across restart, not
+// after every earlier file is reclaimed — so a follower's resume
+// position stays meaningful forever.
+func TestOrdinalsStableAcrossReopenAndReclaim(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncNever, SegmentBytes: 256}
+	l, _ := openCollect(t, opts)
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(testRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.NextRec(); got != 30 {
+		t.Fatalf("NextRec = %d, want 30", got)
+	}
+	// Reclaim everything: only a fresh empty active file survives, and
+	// its header must still carry ordinal 30.
+	if err := l.TruncateThrough(29); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Segments != 1 || st.OldestRec != 30 || st.NextRec != 30 {
+		t.Fatalf("after full reclaim: %+v, want oldest=next=30 in one segment", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, got := openCollect(t, opts)
+	if len(got) != 0 {
+		t.Fatalf("replayed %d records after full reclaim", len(got))
+	}
+	if n := l2.NextRec(); n != 30 {
+		t.Fatalf("NextRec after reopen = %d, want 30 (ordinal regressed)", n)
+	}
+	// New appends continue the ordinal space.
+	if _, err := l2.Append(testRecord(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if n := l2.NextRec(); n != 31 {
+		t.Fatalf("NextRec after append = %d, want 31", n)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, _ := openCollect(t, opts)
+	defer l3.Close()
+	if n := l3.NextRec(); n != 31 {
+		t.Fatalf("NextRec after second reopen = %d, want 31", n)
+	}
+}
+
+// TestReadFramesRoundTrip tails the log across rotations and checks the
+// frames decode to exactly the appended records, in order, and that the
+// resume cursor semantics (next ordinal) hold batch to batch.
+func TestReadFramesRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Dir: dir, Policy: SyncAlways, SegmentBytes: 512}
+	l, _ := openCollect(t, opts)
+	defer l.Close()
+	var want []Record
+	for tick := 0; tick < 40; tick++ {
+		rec := testRecord(tick, 1+tick%5)
+		want = append(want, rec)
+		lsn, err := l.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	next := int64(0)
+	for {
+		frames, n, err := l.ReadFrames(next, 300) // tiny budget: force many batches
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == next {
+			break
+		}
+		batch := collectFrames(t, frames)
+		if int64(len(batch)) != n-next {
+			t.Fatalf("batch of %d records advanced cursor by %d", len(batch), n-next)
+		}
+		got = append(got, batch...)
+		next = n
+	}
+	if len(got) != len(want) {
+		t.Fatalf("tailed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !sameRecord(got[i], want[i]) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReadFramesDurabilityBound: records not yet fsynced are invisible
+// to the tailing reader — the shipper can never serve a follower data
+// the primary has not acked as durable.
+func TestReadFramesDurabilityBound(t *testing.T) {
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncNever})
+	defer l.Close()
+	if _, err := l.Append(testRecord(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	frames, next, err := l.ReadFrames(0, 0)
+	if err != nil || next != 0 || len(frames) != 0 {
+		t.Fatalf("unsynced record visible: frames=%d next=%d err=%v", len(frames), next, err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	frames, next, err = l.ReadFrames(0, 0)
+	if err != nil || next != 1 {
+		t.Fatalf("after Sync: next=%d err=%v, want 1 visible record", next, err)
+	}
+	if recs := collectFrames(t, frames); len(recs) != 1 || recs[0].Tick != 1 {
+		t.Fatalf("decoded %v, want the tick-1 record", recs)
+	}
+}
+
+// TestReadFramesGone: asking for reclaimed ordinals must fail loudly
+// with ErrGone — replication refuses to paper over a gap.
+func TestReadFramesGone(t *testing.T) {
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncNever, SegmentBytes: 256})
+	defer l.Close()
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(testRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateThrough(14); err != nil {
+		t.Fatal(err)
+	}
+	oldest := l.OldestRec()
+	if oldest == 0 {
+		t.Fatal("test needs reclamation to have happened")
+	}
+	if _, _, err := l.ReadFrames(0, 0); !errors.Is(err, ErrGone) {
+		t.Fatalf("reading reclaimed ordinal 0: err = %v, want ErrGone", err)
+	}
+	// Reading beyond the end is an error too, not an empty batch.
+	if _, _, err := l.ReadFrames(l.NextRec()+1, 0); !errors.Is(err, ErrFuture) {
+		t.Fatalf("reading past the end of the log: err = %v, want ErrFuture", err)
+	}
+}
+
+// TestWaitDurableWakesOnCommit: the long-poll primitive must wake when
+// the durable watermark passes the requested ordinal, and respect
+// context cancellation while nothing arrives.
+func TestWaitDurableWakesOnCommit(t *testing.T) {
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncAlways})
+	defer l.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := l.WaitDurable(ctx, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitDurable on empty log: err = %v, want deadline exceeded", err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- l.WaitDurable(ctx, 0)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	lsn, err := l.Append(testRecord(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("WaitDurable after commit: %v", err)
+	}
+}
+
+// TestPinBlocksReclamation: a retention pin at a follower's resume
+// position must keep every file holding records at or past it, and
+// release must let the next truncation reclaim them.
+func TestPinBlocksReclamation(t *testing.T) {
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncNever, SegmentBytes: 256})
+	defer l.Close()
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(testRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	release := l.Pin(0)
+	if err := l.TruncateThrough(29); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Reclaimed != 0 || st.OldestRec != 0 {
+		t.Fatalf("pinned log reclaimed: %+v", st)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned tail must still be fully readable — the whole point.
+	frames, next, err := l.ReadFrames(0, 1<<20)
+	if err != nil || next != 30 {
+		t.Fatalf("reading pinned tail: next=%d err=%v", next, err)
+	}
+	if recs := collectFrames(t, frames); len(recs) != 30 {
+		t.Fatalf("pinned tail decoded %d records, want 30", len(recs))
+	}
+	release()
+	release() // idempotent
+	if err := l.TruncateThrough(29); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Reclaimed == 0 || st.OldestRec != 30 {
+		t.Fatalf("release did not unblock reclamation: %+v", st)
+	}
+}
+
+// TestRetainSegmentsFloor: the -wal-retain-segments floor keeps the
+// newest N files even when fully sealed and unpinned.
+func TestRetainSegmentsFloor(t *testing.T) {
+	l, _ := openCollect(t, Options{Dir: t.TempDir(), Policy: SyncNever, SegmentBytes: 256, RetainSegments: 3})
+	defer l.Close()
+	for tick := 0; tick < 30; tick++ {
+		if _, err := l.Append(testRecord(tick, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats()
+	if before.Segments < 4 {
+		t.Fatalf("test needs ≥ 4 segments, got %d", before.Segments)
+	}
+	if err := l.TruncateThrough(29); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats()
+	if after.Segments < 3 {
+		t.Fatalf("floor of 3 violated: %d segments survive", after.Segments)
+	}
+	if after.Reclaimed == 0 {
+		t.Fatal("floor blocked all reclamation; only the newest 3 should survive")
+	}
+	// The retained tail stays readable for a late follower.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	oldest := l.OldestRec()
+	_, next, err := l.ReadFrames(oldest, 1<<20)
+	if err != nil || next != 30 {
+		t.Fatalf("reading retained tail from %d: next=%d err=%v", oldest, next, err)
+	}
+}
+
+// TestENOSPCLatchesFailStop: a full disk rejects the append cleanly (no
+// torn bytes), the log latches fail-stopped, and recovery after the
+// operator frees space replays exactly the acked prefix.
+func TestENOSPCLatchesFailStop(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS()
+	opts := Options{Dir: dir, Policy: SyncAlways, FS: ffs}
+	l, _ := openCollect(t, opts)
+	for tick := 0; tick < 3; tick++ {
+		lsn, err := l.Append(testRecord(tick, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Commit(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.SetWriteErr(syscall.ENOSPC)
+	if _, err := l.Append(testRecord(3, 2)); !errors.Is(err, ErrFailStopped) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append on full disk: err = %v, want fail-stop wrapping ENOSPC", err)
+	}
+	if _, err := l.Append(testRecord(4, 2)); !errors.Is(err, ErrFailStopped) {
+		t.Fatalf("latch did not hold: %v", err)
+	}
+	if st := l.Stats(); st.Failed == "" {
+		t.Fatal("ENOSPC latch not surfaced in Stats")
+	}
+	l.Close() //nolint:errcheck // the log is already latched
+
+	// Disk freed: reopen must replay the three acked records, nothing torn.
+	ffs.SetWriteErr(nil)
+	l2, got := openCollect(t, opts)
+	defer l2.Close()
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records after ENOSPC crash, want the 3 acked", len(got))
+	}
+	if _, err := l2.Append(testRecord(3, 2)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}

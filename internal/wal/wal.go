@@ -6,8 +6,14 @@
 // hot tail exactly, and segments whose records are all covered by sealed
 // repository segments are reclaimed after compaction.
 //
-// Format: the log is a sequence of files wal-<seq>.log (seq ascending,
-// records in append order across files). Each record is
+// Format (v2): the log is a sequence of files wal-<seq>.log (seq
+// ascending, records in append order across files). Each file starts with
+// a 16-byte header — magic "PPQW", u32 format version, u64 base record
+// ordinal (how many records precede this file over the log's whole
+// lifetime, reclaimed files included). The header is what makes record
+// ordinals stable across restarts and reclamation, which replication
+// uses as its LSN: a follower can resume from an ordinal even after the
+// primary reclaimed every earlier file. After the header, each record is
 //
 //	[u32 payload length][u32 CRC32-C of payload][payload]
 //
@@ -15,8 +21,11 @@
 // count × u32 trajectory ID, count × (f64 x, f64 y), all little-endian.
 // A torn write (crash mid-append) leaves a short or checksum-failing
 // record at the very end of the last file; Open truncates it away and the
-// log continues from the last good record. Corruption anywhere else is a
-// hard error — that data was acknowledged and cannot be silently dropped.
+// log continues from the last good record. A torn header (crash
+// mid-rotation) can only ever afflict the last file, before any record
+// was acked into it; Open rebuilds it from the previous segment's header.
+// Corruption anywhere else is a hard error — that data was acknowledged
+// and cannot be silently dropped.
 //
 // Durability is governed by the sync policy: SyncAlways fsyncs before an
 // append commits (no acknowledged write is ever lost, even to a power
@@ -28,6 +37,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -90,6 +100,12 @@ type Options struct {
 	// writers. 0 disables batching windows (every commit races straight
 	// to the fsync, batching only with syncs already in flight).
 	GroupCommitWait time.Duration
+	// RetainSegments, when positive, keeps at least that many of the
+	// newest segment files out of TruncateThrough's reach even when their
+	// ticks are fully sealed. It is the replication floor: a follower that
+	// reconnects after a pause can still be served from the retained tail
+	// without a gap, at the cost of that much extra disk.
+	RetainSegments int
 	// FS is the filesystem seam (default OSFS). Tests inject FaultFS to
 	// exercise disk failures deterministically.
 	FS FS
@@ -116,6 +132,9 @@ func (o Options) withDefaults() (Options, error) {
 	if o.SegmentBytes <= 0 {
 		o.SegmentBytes = 16 << 20
 	}
+	if o.RetainSegments < 0 {
+		o.RetainSegments = 0
+	}
 	if o.FS == nil {
 		o.FS = OSFS{}
 	}
@@ -128,6 +147,19 @@ func (o Options) withDefaults() (Options, error) {
 // serving layer matches this sentinel (errors.Is) to surface degraded
 // mode as 503s instead of generic failures.
 var ErrFailStopped = errors.New("wal: log is fail-stopped after a disk error")
+
+// ErrGone reports that a reader asked for record ordinals that were
+// already reclaimed by TruncateThrough: the data exists only in sealed
+// repository segments now, not in the log. Replication surfaces it as
+// 410 Gone — the honest answer, never a silent full resync.
+var ErrGone = errors.New("wal: requested records were reclaimed")
+
+// ErrFuture reports that a reader asked for record ordinals past the end
+// of the log — a follower that is somehow ahead of its primary. That is
+// never a transient state (ordinals only grow), so replication surfaces
+// it as 416 and refuses to serve rather than waiting for history to
+// rewrite itself.
+var ErrFuture = errors.New("wal: requested records are beyond the end of the log")
 
 // failStopError carries the original disk error while matching
 // ErrFailStopped, so callers keep the root cause in the message and a
@@ -158,6 +190,16 @@ type Stats struct {
 	ReplayedRecords int64 `json:"replayed_records"`
 	ReplayedPoints  int64 `json:"replayed_points"`
 	Reclaimed       int64 `json:"reclaimed_segments"`
+	// Record ordinals (the replication LSN space): OldestRec is the first
+	// ordinal still present in a log file, NextRec the ordinal the next
+	// append gets, DurableRec the watermark below which every record is
+	// known fsynced (what the shipper may serve).
+	OldestRec  int64 `json:"oldest_rec"`
+	NextRec    int64 `json:"next_rec"`
+	DurableRec int64 `json:"durable_rec"`
+	// PinnedHolds counts live retention pins (one per follower position
+	// the shipper is protecting from reclamation).
+	PinnedHolds int `json:"pinned_holds,omitempty"`
 	// Failed carries the latched disk-failure error, if any: once set the
 	// log is fail-stopped and rejects every further append and commit.
 	Failed string `json:"failed,omitempty"`
@@ -170,9 +212,15 @@ type Stats struct {
 type segment struct {
 	seq     uint64
 	path    string
-	bytes   int64
+	bytes   int64 // record bytes (the 16-byte file header is not counted)
 	records int64
 	maxTick int
+	// baseRec is the ordinal of the file's first record, read from (or
+	// destined for) its header; hasHeader is false only for a file whose
+	// header has not been written yet (fresh create, or a torn header
+	// truncated away during Open).
+	baseRec   int64
+	hasHeader bool
 }
 
 // Log is the write-ahead log. Append/Commit/TruncateThrough/Stats are
@@ -189,6 +237,26 @@ type Log struct {
 
 	written int64 // LSN: total bytes appended over the log's lifetime
 	synced  int64 // highest LSN known durable
+
+	// Record-ordinal space (the replication LSN): recs is the ordinal the
+	// next append gets, syncedRecs the durable watermark readers may see.
+	// recsCh is closed and replaced whenever syncedRecs advances (or the
+	// log closes or fail-stops), waking WaitDurable long-pollers.
+	recs       int64
+	syncedRecs int64
+	recsCh     chan struct{}
+
+	// pins are retention holds: ordinal → refcount. A segment whose
+	// records reach at or past the smallest pinned ordinal survives
+	// TruncateThrough, so a lagging follower never finds a gap.
+	pins map[int64]int
+
+	// Single-entry tail-read cursor: when a reader resumes exactly where
+	// the previous ReadFrames left off (the steady replication state), the
+	// prefix skip is a byte discard at a known offset instead of a parse.
+	readPath string
+	readOrd  int64
+	readOff  int64
 
 	// syncMu serializes fsyncs; it is held across the Sync call itself so
 	// mu (which Append needs, inside the serving layer's hot-tail lock)
@@ -225,13 +293,37 @@ type Log struct {
 }
 
 const (
-	recHeaderLen  = 8 // u32 length + u32 crc
+	recHeaderLen  = 8  // u32 length + u32 crc
+	segHeaderLen  = 16 // magic + u32 version + u64 base record ordinal
+	segMagic      = "PPQW"
+	segVersion    = 2
 	segPrefix     = "wal-"
 	segSuffix     = ".log"
 	maxRecordSize = 64 << 20 // sanity bound when reading lengths back
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segHeader builds the 16-byte file header for a segment whose first
+// record has ordinal baseRec.
+func segHeader(baseRec int64) [segHeaderLen]byte {
+	var b [segHeaderLen]byte
+	copy(b[0:4], segMagic)
+	binary.LittleEndian.PutUint32(b[4:8], segVersion)
+	binary.LittleEndian.PutUint64(b[8:16], uint64(baseRec))
+	return b
+}
+
+// parseSegHeader validates a header read back from disk.
+func parseSegHeader(b []byte) (baseRec int64, err error) {
+	if string(b[0:4]) != segMagic {
+		return 0, fmt.Errorf("wal: bad segment magic %q", b[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(b[4:8]); v != segVersion {
+		return 0, fmt.Errorf("wal: unsupported segment format version %d (want %d)", v, segVersion)
+	}
+	return int64(binary.LittleEndian.Uint64(b[8:16])), nil
+}
 
 // segName is the canonical file name of segment seq.
 func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
@@ -261,7 +353,8 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{opts: opts, fs: opts.FS, stopSync: make(chan struct{})}
+	l := &Log{opts: opts, fs: opts.FS, stopSync: make(chan struct{}),
+		recsCh: make(chan struct{}), pins: make(map[int64]int)}
 	l.gcCond = sync.NewCond(&l.gcMu)
 	if opts.Metrics != nil {
 		l.fsyncHist = opts.Metrics.Histogram("ppq_wal_fsync_seconds",
@@ -293,6 +386,30 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 	}
 	l.synced = l.written // everything read back from disk is durable
 
+	// Validate header contiguity and fix up a torn header (which
+	// replaySegment only permits on the last file, and only from a crash
+	// inside a rotation — so the previous segment's header is intact and
+	// pins the ordinal). This is what keeps record ordinals stable across
+	// restarts even after earlier files were reclaimed.
+	next := int64(-1)
+	for _, s := range l.segs {
+		if !s.hasHeader {
+			if next < 0 {
+				next = 0
+			}
+			s.baseRec = next
+		} else if next >= 0 && s.baseRec != next {
+			return nil, fmt.Errorf("wal: %s: header base ordinal %d, want %d (record ordinals discontiguous)",
+				s.path, s.baseRec, next)
+		}
+		next = s.baseRec + s.records
+	}
+	if next < 0 {
+		next = 0
+	}
+	l.recs = next
+	l.syncedRecs = next
+
 	// Open (or create) the active segment for append.
 	var active *segment
 	if n := len(l.segs); n > 0 {
@@ -306,6 +423,20 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 		return nil, err
 	}
 	l.f = f
+	if !active.hasHeader {
+		// Fresh file (or torn header truncated away): write the header and
+		// make it durable before any record can be acknowledged into it.
+		hdr := segHeader(active.baseRec)
+		if _, err := f.Write(hdr[:]); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: writing segment header: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: syncing segment header: %w", err)
+		}
+		active.hasHeader = true
+	}
 	if len(l.segs) == 1 && active.bytes == 0 {
 		// First-ever segment: make its directory entry durable too, so a
 		// crash right after Open cannot resurrect an empty directory.
@@ -324,17 +455,37 @@ func Open(opts Options, replay func(Record) error) (*Log, error) {
 
 // replaySegment streams one file's records through replay. Only the last
 // segment may end in a torn record (rotation fsyncs a file before moving
-// on), which is truncated away; corruption anywhere else is fatal.
+// on), which is truncated away; corruption anywhere else is fatal. A
+// torn file header — possible only in the last file, from a crash inside
+// the rotation that was creating it — truncates the file to empty; Open
+// rewrites the header from the previous segment's ordinals.
 func (l *Log) replaySegment(s *segment, last bool, replay func(Record) error) error {
 	f, err := l.fs.Open(s.path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	var seghdr [segHeaderLen]byte
+	if _, err := io.ReadFull(f, seghdr[:]); err != nil {
+		if (err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF)) && last {
+			// Crash mid-rotation: no record was ever acked into this file.
+			if terr := l.fs.Truncate(s.path, 0); terr != nil {
+				return fmt.Errorf("wal: truncating torn header of %s: %w", s.path, terr)
+			}
+			s.bytes, s.hasHeader = 0, false
+			return nil
+		}
+		return fmt.Errorf("wal: %s: reading segment header: %w", s.path, err)
+	}
+	base, err := parseSegHeader(seghdr[:])
+	if err != nil {
+		return fmt.Errorf("wal: %s: %w", s.path, err)
+	}
+	s.baseRec, s.hasHeader = base, true
 	var (
 		hdr    [recHeaderLen]byte
 		buf    []byte
-		offset int64
+		offset int64 = segHeaderLen
 	)
 	for {
 		if _, err := io.ReadFull(f, hdr[:]); err != nil {
@@ -388,19 +539,20 @@ func (l *Log) replaySegment(s *segment, last bool, replay func(Record) error) er
 		l.replayedRecs.Add(1)
 		l.replayedPts.Add(int64(len(rec.IDs)))
 	}
-	s.bytes = offset
+	s.bytes = offset - segHeaderLen
 	return nil
 }
 
 // truncateTorn cuts the (last) segment back to the end of its final good
 // record: the bytes beyond it are a half-written append from the crash —
 // never acknowledged, so dropping them is correct, and keeping them would
-// poison every future read of the file.
+// poison every future read of the file. offset is a file offset (header
+// included).
 func (l *Log) truncateTorn(s *segment, offset int64, why string) error {
 	if err := l.fs.Truncate(s.path, offset); err != nil {
 		return fmt.Errorf("wal: truncating torn tail of %s (%s): %w", s.path, why, err)
 	}
-	s.bytes = offset
+	s.bytes = offset - segHeaderLen
 	return nil
 }
 
@@ -429,15 +581,22 @@ func decodeRecord(buf []byte) (Record, error) {
 	return rec, nil
 }
 
-// encodeRecord encodes rec into l.scratch (header included).
-func (l *Log) encodeRecord(rec Record) []byte {
+// EncodeFrame appends rec's framed encoding — [len][crc][payload], bit
+// for bit the on-disk format — to dst and returns the extended slice.
+// Exported because replication ships the same frames over the wire: the
+// storage checksum doubles as end-to-end corruption detection.
+func EncodeFrame(dst []byte, rec Record) []byte {
 	n := len(rec.IDs)
 	payload := 12 + n*4 + n*16
 	total := recHeaderLen + payload
-	if cap(l.scratch) < total {
-		l.scratch = make([]byte, total)
+	start := len(dst)
+	if cap(dst)-start < total {
+		grown := make([]byte, start, start+total)
+		copy(grown, dst)
+		dst = grown
 	}
-	b := l.scratch[:total]
+	dst = dst[:start+total]
+	b := dst[start:]
 	binary.LittleEndian.PutUint32(b[0:4], uint32(payload))
 	binary.LittleEndian.PutUint64(b[8:16], uint64(int64(rec.Tick)))
 	binary.LittleEndian.PutUint32(b[16:20], uint32(n))
@@ -452,7 +611,44 @@ func (l *Log) encodeRecord(rec Record) []byte {
 		off += 16
 	}
 	binary.LittleEndian.PutUint32(b[4:8], crc32.Checksum(b[recHeaderLen:], castagnoli))
-	return b
+	return dst
+}
+
+// DecodeFrames walks b as a sequence of frames, calling fn for each
+// record that passes its checksum, in order. It returns how many records
+// were consumed and a nil error only if b was exactly a whole number of
+// valid frames; a torn or corrupt remainder returns the count of the good
+// prefix and a descriptive error, so a replication applier can keep the
+// intact records and refetch the rest. An error from fn stops the walk.
+func DecodeFrames(b []byte, fn func(Record) error) (int, error) {
+	n, off := 0, 0
+	for off < len(b) {
+		if len(b)-off < recHeaderLen {
+			return n, fmt.Errorf("wal: torn frame header at offset %d", off)
+		}
+		length := binary.LittleEndian.Uint32(b[off : off+4])
+		sum := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if length > maxRecordSize {
+			return n, fmt.Errorf("wal: implausible frame length %d at offset %d", length, off)
+		}
+		if int64(len(b)-off-recHeaderLen) < int64(length) {
+			return n, fmt.Errorf("wal: torn frame payload at offset %d", off)
+		}
+		payload := b[off+recHeaderLen : off+recHeaderLen+int(length)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return n, fmt.Errorf("wal: frame checksum mismatch at offset %d", off)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return n, err
+		}
+		if err := fn(rec); err != nil {
+			return n, err
+		}
+		n++
+		off += recHeaderLen + int(length)
+	}
+	return n, nil
 }
 
 // Append writes one record to the active segment (rotating first when it
@@ -485,7 +681,8 @@ func (l *Log) Append(rec Record) (lsn int64, err error) {
 		}
 		active = l.segs[len(l.segs)-1]
 	}
-	b := l.encodeRecord(rec)
+	l.scratch = EncodeFrame(l.scratch[:0], rec)
+	b := l.scratch
 	if _, err := l.f.Write(b); err != nil {
 		// A short write leaves a torn record in the file; nothing after
 		// it could be replayed, so the log must fail-stop.
@@ -497,6 +694,7 @@ func (l *Log) Append(rec Record) (lsn int64, err error) {
 		active.maxTick = rec.Tick
 	}
 	l.written += int64(len(b))
+	l.recs++
 	l.appends.Add(1)
 	return l.written, nil
 }
@@ -626,6 +824,7 @@ func (l *Log) groupCommit(lsn int64) error {
 func (l *Log) fail(err error) error {
 	if l.failed == nil {
 		l.failed = &failStopError{err: err}
+		l.bumpDurableRecsLocked(l.syncedRecs) // wake waiters to see the latch
 	}
 	return l.failed
 }
@@ -673,6 +872,7 @@ func (l *Log) syncTo(lsn int64) error {
 		return nil
 	}
 	cur := l.written
+	curRecs := l.recs // captured with cur: the fsync covers both watermarks
 	f := l.f
 	l.mu.Unlock()
 
@@ -697,7 +897,20 @@ func (l *Log) syncTo(lsn int64) error {
 	if cur > l.synced {
 		l.synced = cur
 	}
+	l.bumpDurableRecsLocked(curRecs)
 	return nil
+}
+
+// bumpDurableRecsLocked advances the durable record watermark and wakes
+// long-poll waiters. Called with mu held; also used (with an unchanged
+// watermark) to wake waiters on close and fail-stop so they can observe
+// the terminal state.
+func (l *Log) bumpDurableRecsLocked(n int64) {
+	if n > l.syncedRecs {
+		l.syncedRecs = n
+	}
+	close(l.recsCh)
+	l.recsCh = make(chan struct{})
 }
 
 // rotateLocked seals the active segment (fsync + close) and starts the
@@ -715,12 +928,15 @@ func (l *Log) rotateLocked() error {
 	if l.synced < l.written {
 		l.synced = l.written
 	}
+	l.bumpDurableRecsLocked(l.recs) // the sealed file held every record so far
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: rotate close: %w", err)
 	}
 	next := &segment{
-		seq:     l.segs[len(l.segs)-1].seq + 1,
-		maxTick: math.MinInt,
+		seq:       l.segs[len(l.segs)-1].seq + 1,
+		maxTick:   math.MinInt,
+		baseRec:   l.recs,
+		hasHeader: true,
 	}
 	next.path = filepath.Join(l.opts.Dir, segName(next.seq))
 	f, err := l.fs.OpenFile(next.path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -729,6 +945,17 @@ func (l *Log) rotateLocked() error {
 	}
 	l.f = f
 	l.segs = append(l.segs, next)
+	// Write the new file's header and fsync it before anything else can
+	// run: once this returns, TruncateThrough may reclaim every earlier
+	// file, and the header is then the only surviving carrier of the
+	// record ordinal. A failure past the swap must latch (see below).
+	hdr := segHeader(next.baseRec)
+	if _, err := f.Write(hdr[:]); err != nil {
+		return l.fail(fmt.Errorf("wal: rotate header write: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return l.fail(fmt.Errorf("wal: rotate header fsync: %w", err))
+	}
 	// The new file's directory entry must be durable before records in it
 	// are acknowledged; one directory sync at rotation covers them all. A
 	// failure must latch: the swap to the new file already happened, so
@@ -746,23 +973,34 @@ func (l *Log) rotateLocked() error {
 // anyway). An active segment that qualifies and holds records is rotated
 // first so its file can go too — this is what keeps the log's disk
 // footprint proportional to the hot tail instead of the full history.
+//
+// Two things veto reclamation of an otherwise-sealed file: a retention
+// pin at or below the file's last record ordinal (a replication follower
+// still needs those records), and the Options.RetainSegments floor
+// (the newest N files always survive). Reclamation is how replication
+// could otherwise race GC into a gap; the pins make the race a held-back
+// file instead.
 func (l *Log) TruncateThrough(sealedTick int) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
+	minPin, pinned := l.minPinLocked()
+	pinOK := func(s *segment) bool { return !pinned || s.baseRec+s.records <= minPin }
 	active := l.segs[len(l.segs)-1]
-	if active.records > 0 && active.maxTick <= sealedTick {
+	if active.records > 0 && active.maxTick <= sealedTick && pinOK(active) && l.opts.RetainSegments <= 1 {
 		if err := l.rotateLocked(); err != nil {
 			return err
 		}
 	}
 	kept := l.segs[:0]
 	removed := false
+	n := len(l.segs)
 	for i, s := range l.segs {
-		last := i == len(l.segs)-1
-		if !last && s.records > 0 && s.maxTick <= sealedTick {
+		last := i == n-1
+		floored := n-i <= l.opts.RetainSegments
+		if !last && !floored && s.records > 0 && s.maxTick <= sealedTick && pinOK(s) {
 			if err := l.fs.Remove(s.path); err != nil {
 				return fmt.Errorf("wal: reclaiming %s: %w", s.path, err)
 			}
@@ -777,6 +1015,37 @@ func (l *Log) TruncateThrough(sealedTick int) error {
 		return l.fs.SyncDir(l.opts.Dir)
 	}
 	return nil
+}
+
+// Pin places a retention hold at ordinal from: TruncateThrough will not
+// reclaim any file holding records at or past it. The returned release is
+// idempotent. The replication shipper pins each follower's resume
+// position so a slow follower never comes back to a gap.
+func (l *Log) Pin(from int64) (release func()) {
+	l.mu.Lock()
+	l.pins[from]++
+	l.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			if l.pins[from]--; l.pins[from] <= 0 {
+				delete(l.pins, from)
+			}
+			l.mu.Unlock()
+		})
+	}
+}
+
+// minPinLocked returns the smallest pinned ordinal. Called with mu held.
+func (l *Log) minPinLocked() (int64, bool) {
+	min, ok := int64(0), false
+	for p := range l.pins {
+		if !ok || p < min {
+			min, ok = p, true
+		}
+	}
+	return min, ok
 }
 
 // syncLoop is the SyncEvery background fsync.
@@ -824,6 +1093,7 @@ func (l *Log) Close() error {
 	l.closed = true
 	f := l.f
 	written := l.written
+	recs := l.recs
 	l.mu.Unlock()
 
 	err := f.Sync()
@@ -833,11 +1103,208 @@ func (l *Log) Close() error {
 	if err == nil {
 		l.syncs.Add(1)
 		l.synced = written
+		l.bumpDurableRecsLocked(recs)
+	} else {
+		l.bumpDurableRecsLocked(l.syncedRecs) // wake waiters to observe closed
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// NextRec returns the ordinal the next appended record will get — the
+// exclusive upper bound of the log's record space.
+func (l *Log) NextRec() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs
+}
+
+// DurableRec returns the durable record watermark: every record with a
+// smaller ordinal is known fsynced. This is the bound the replication
+// shipper serves up to — a follower can never see a record the primary
+// has not made stable.
+func (l *Log) DurableRec() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncedRecs
+}
+
+// OldestRec returns the smallest record ordinal still present in a log
+// file; ordinals below it were reclaimed by TruncateThrough.
+func (l *Log) OldestRec() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].baseRec
+}
+
+// WaitDurable blocks until the durable record watermark passes from
+// (that is, record ordinal from exists and is durable), the context is
+// done, or the log closes or fail-stops. It is the long-poll primitive
+// under the replication stream endpoint.
+func (l *Log) WaitDurable(ctx context.Context, from int64) error {
+	for {
+		l.mu.Lock()
+		if l.failed != nil {
+			err := l.failed
+			l.mu.Unlock()
+			return err
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return errors.New("wal: wait on closed log")
+		}
+		if l.syncedRecs > from {
+			l.mu.Unlock()
+			return nil
+		}
+		ch := l.recsCh
+		l.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// ReadFrames reads durable records starting at ordinal from, returning
+// their raw frames (ready to ship: the wire format is the disk format,
+// checksums included) and the next ordinal to resume at. It stops after
+// roughly maxBytes of frames — always returning at least one record when
+// any is available — or at the durable watermark, whichever is first;
+// next == from with a nil error means nothing is durable past from yet.
+// Asking for reclaimed ordinals fails with ErrGone; a checksum failure
+// on re-read is fatal (acknowledged history is damaged), matching
+// replay's stance.
+//
+// The read is sequential from the owning file's start (the FS seam has
+// no seek), but a single-entry cursor makes the resume-where-you-left
+// pattern — the steady state of a tailing follower — skip the prefix
+// with a byte discard instead of a parse.
+func (l *Log) ReadFrames(from int64, maxBytes int64) (frames []byte, next int64, err error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	next = from
+	for int64(len(frames)) < maxBytes {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return frames, next, errors.New("wal: read on closed log")
+		}
+		durable := l.syncedRecs
+		if oldest := l.segs[0].baseRec; next < oldest {
+			l.mu.Unlock()
+			return frames, next, fmt.Errorf("%w: ordinal %d requested, oldest retained is %d", ErrGone, next, oldest)
+		}
+		if next > l.recs {
+			l.mu.Unlock()
+			return frames, next, fmt.Errorf("%w: ordinal %d requested, log ends at %d", ErrFuture, next, l.recs)
+		}
+		if next >= durable {
+			l.mu.Unlock()
+			return frames, next, nil
+		}
+		var seg *segment
+		for _, s := range l.segs {
+			if next < s.baseRec+s.records {
+				seg = s
+				break
+			}
+		}
+		path := seg.path
+		want := seg.baseRec + seg.records - next
+		if end := durable - next; end < want {
+			want = end
+		}
+		skipRecs := next - seg.baseRec
+		var skipOff int64
+		if l.readPath == path && l.readOrd == next && l.readOff > 0 {
+			skipOff, skipRecs = l.readOff, 0
+		}
+		l.mu.Unlock()
+
+		chunk, got, endOff, rerr := l.readSegFrames(path, skipOff, skipRecs, want, maxBytes-int64(len(frames)))
+		if rerr != nil {
+			return frames, next, rerr
+		}
+		if got == 0 {
+			break // budget exhausted before one record fit
+		}
+		frames = append(frames, chunk...)
+		next += got
+
+		l.mu.Lock()
+		l.readPath, l.readOrd, l.readOff = path, next, endOff
+		l.mu.Unlock()
+	}
+	return frames, next, nil
+}
+
+// readSegFrames reads up to want records from one segment file, skipping
+// skipOff bytes (a cursor resume, header included) or else skipRecs
+// records past the header. It returns the frames, how many records they
+// hold, and the file offset just past them. At least one record is
+// returned regardless of budget so a reader always makes progress.
+func (l *Log) readSegFrames(path string, skipOff, skipRecs, want, budget int64) (data []byte, n, endOff int64, err error) {
+	f, err := l.fs.Open(path)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	if skipOff > 0 {
+		if _, err := io.CopyN(io.Discard, f, skipOff); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: %s: seeking to cursor offset %d: %w", path, skipOff, err)
+		}
+		endOff = skipOff
+	} else {
+		var seghdr [segHeaderLen]byte
+		if _, err := io.ReadFull(f, seghdr[:]); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: %s: reading segment header: %w", path, err)
+		}
+		if _, err := parseSegHeader(seghdr[:]); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: %s: %w", path, err)
+		}
+		endOff = segHeaderLen
+	}
+	var hdr [recHeaderLen]byte
+	for n < want {
+		if skipRecs == 0 && n > 0 && int64(len(data)) >= budget {
+			break
+		}
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: %s: reading frame header at offset %d: %w", path, endOff, err)
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if length > maxRecordSize {
+			return nil, 0, 0, fmt.Errorf("wal: %s: implausible frame length %d at offset %d", path, length, endOff)
+		}
+		if skipRecs > 0 {
+			if _, err := io.CopyN(io.Discard, f, length); err != nil {
+				return nil, 0, 0, fmt.Errorf("wal: %s: skipping frame at offset %d: %w", path, endOff, err)
+			}
+			skipRecs--
+			endOff += recHeaderLen + length
+			continue
+		}
+		start := len(data)
+		data = append(data, hdr[:]...)
+		data = append(data, make([]byte, length)...)
+		if _, err := io.ReadFull(f, data[start+recHeaderLen:]); err != nil {
+			return nil, 0, 0, fmt.Errorf("wal: %s: reading frame payload at offset %d: %w", path, endOff, err)
+		}
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if crc32.Checksum(data[start+recHeaderLen:], castagnoli) != sum {
+			// Durable, acknowledged history failing its checksum on re-read
+			// is bitrot, not a torn tail: fatal, same as replay.
+			return nil, 0, 0, fmt.Errorf("wal: %s: frame checksum mismatch at offset %d", path, endOff)
+		}
+		n++
+		endOff += recHeaderLen + length
+	}
+	return data, n, endOff, nil
 }
 
 // Stats snapshots the log's counters.
@@ -846,7 +1313,13 @@ func (l *Log) Stats() Stats {
 		return Stats{}
 	}
 	l.mu.Lock()
-	st := Stats{Segments: len(l.segs)}
+	st := Stats{
+		Segments:    len(l.segs),
+		OldestRec:   l.segs[0].baseRec,
+		NextRec:     l.recs,
+		DurableRec:  l.syncedRecs,
+		PinnedHolds: len(l.pins),
+	}
 	for _, s := range l.segs {
 		st.Bytes += s.bytes
 	}
